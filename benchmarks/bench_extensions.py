@@ -1,0 +1,99 @@
+"""Extension workloads beyond the paper's Table 4.
+
+Probes the analysis past the published evaluation with three more
+Olden programs.  Expected outcomes (asserted):
+
+* **health** -- a 4-ary village tree with parent links, each village
+  holding a patient waiting list: *succeeds*, synthesizing a nested
+  predicate (the §3.2 "nested data structures, e.g. trees of
+  linked-lists" capability, one structure deeper than power);
+* **em3d** -- bipartite lists with data-dependent cross links:
+  *reported failure* (outside the tree-backbone class);
+* **tsp** -- a cyclic doubly-linked tour: *reported failure* (the
+  backbone itself is cyclic).
+
+The failure cases pin the paper's honesty clause: when recursion
+synthesis cannot explain the structure, the analysis halts and reports
+rather than producing a wrong predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite import extensions
+from repro.concrete import Interpreter
+from repro.logic import satisfies
+from repro.reporting import render_table
+
+_RESULTS: dict[str, object] = {}
+
+_PROGRAMS = {
+    "health": extensions.health_program,
+    "em3d": extensions.em3d_program,
+    "tsp": extensions.tsp_program,
+}
+
+
+def _run(name: str):
+    result = ShapeAnalysis(_PROGRAMS[name](), name=name).run()
+    _RESULTS[name] = result
+    return result
+
+
+@pytest.mark.parametrize("name", sorted(_PROGRAMS))
+def test_extension(benchmark, name):
+    result = benchmark(_run, name)
+    if name == "health":
+        assert result.succeeded, result.failure
+    else:
+        assert not result.succeeded
+        assert isinstance(result.failure, str)
+
+
+def test_health_nested_predicate():
+    result = _RESULTS.get("health") or _run("health")
+    nested = [
+        d
+        for d in result.recursive_predicates()
+        if any(c.pred != d.name for c in d.rec_calls)
+    ]
+    assert nested, [str(d) for d in result.recursive_predicates()]
+    village = nested[0]
+    assert {"forward", "back", "left", "right", "parent", "waiting"} == {
+        s.field for s in village.fields
+    }
+
+
+def test_health_oracle():
+    result = _RESULTS.get("health") or _run("health")
+    village = max(result.recursive_predicates(), key=lambda d: len(d.fields))
+    run = Interpreter(extensions.health_program()).run()
+    footprint = satisfies(
+        result.env, village.name, (run.value, 0), run.heap.snapshot()
+    )
+    assert footprint == set(run.heap.cells)
+
+
+def test_print_extensions(capsys):
+    rows = []
+    for name in sorted(_PROGRAMS):
+        result = _RESULTS.get(name) or _run(name)
+        rows.append(
+            [
+                name,
+                "ok" if result.succeeded else "reported failure",
+                f"{result.shape_seconds * 1000:.1f}",
+                (result.failure or "-")[:60],
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["Extension", "Outcome", "Shape ms", "Failure (if any)"],
+                rows,
+                title="Beyond Table 4: additional Olden workloads",
+            )
+        )

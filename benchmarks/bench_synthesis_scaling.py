@@ -1,0 +1,130 @@
+"""Scaling of the recursion-synthesis core.
+
+The paper notes that the truncation-point case analysis is exponential
+in (recursion points x truncation points) but that both are small in
+practice, and that segmentation search backtracks.  This bench measures
+the synthesis kernel (translate + segment + anti-unify + substitute)
+as a function of
+
+* trace depth (number of unrolled nodes) for a list,
+* structure arity (1, 2, 4 recursive fields) at fixed depth,
+* number of backward-link parameters,
+
+and asserts sub-quadratic growth in trace depth over the measured
+range (the search is top-down and commits early on regular traces).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.logic import NULL_VAL, PointsTo, PredicateEnv, SpatialFormula, Var
+from repro.logic.heapnames import FieldPath
+from repro.reporting import render_table
+from repro.synthesis import synthesize_term, translate_heap
+
+
+def chain_trace(depth: int, fields: int = 1, backlinks: int = 0) -> SpatialFormula:
+    """A regular trace: each node has ``fields`` recursive fields (only
+    the first is expanded; the rest are null) and ``backlinks`` backward
+    links to the previous node."""
+    s = SpatialFormula()
+    node = Var("a")
+    ancestors: list = []  # most recent first
+    link_names = [f"f{i}" for i in range(fields)]
+    back_names = [f"b{i}" for i in range(backlinks)]
+    for level in range(depth):
+        target = FieldPath(node, "f0")
+        s.add(PointsTo(node, "f0", target))
+        for name in link_names[1:]:
+            s.add(PointsTo(node, name, NULL_VAL))
+        for i, name in enumerate(back_names):
+            # b0 -> parent, b1 -> grandparent, ... (distinct params)
+            value = ancestors[i] if i < len(ancestors) else NULL_VAL
+            s.add(PointsTo(node, name, value))
+        ancestors.insert(0, node)
+        node = target
+    return s
+
+
+def synthesize(spatial: SpatialFormula):
+    env = PredicateEnv()
+    (term,) = translate_heap(spatial)
+    return synthesize_term(term, env)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8, 16])
+def test_depth_scaling(benchmark, depth):
+    spatial = chain_trace(depth)
+    instance = benchmark(synthesize, spatial)
+    assert instance is not None
+
+
+@pytest.mark.parametrize("fields", [1, 2, 4])
+def test_arity_scaling(benchmark, fields):
+    spatial = chain_trace(4, fields=fields)
+    instance = benchmark(synthesize, spatial)
+    assert instance is not None
+    assert len(instance.definition.fields) == fields
+
+
+@pytest.mark.parametrize("backlinks", [0, 1])
+def test_backlink_scaling(benchmark, backlinks):
+    spatial = chain_trace(4, backlinks=backlinks)
+    instance = benchmark(synthesize, spatial)
+    assert instance is not None
+    assert instance.definition.arity == 1 + backlinks
+
+
+def test_two_backward_links_mcf_shape(benchmark):
+    """Two *distinct* backward links need two recursion fields to be
+    expressible (as in mcf_tree: parent and sib_prev); a grandparent
+    link along a single chain is outside the class the synthesis
+    targets and correctly fails."""
+    from repro.logic import PointsTo, Var
+
+    def mcf_like():
+        s = SpatialFormula()
+        a = Var("a")
+        c = FieldPath(a, "child")
+        cs = FieldPath(c, "sib")
+        css = FieldPath(cs, "sib")
+        rows = [
+            (a, {"parent": NULL_VAL, "child": c, "sib": NULL_VAL,
+                 "sib_prev": NULL_VAL}),
+            (c, {"parent": a, "child": NULL_VAL, "sib": cs, "sib_prev": a}),
+            (cs, {"parent": a, "child": NULL_VAL, "sib": css,
+                  "sib_prev": c}),
+        ]
+        for src, fields_map in rows:
+            for field, target in fields_map.items():
+                s.add(PointsTo(src, field, target))
+        return synthesize(s)
+
+    instance = benchmark(mcf_like)
+    assert instance is not None and instance.definition.arity == 3
+    # and the unsupported grandparent-chain case fails cleanly
+    assert synthesize(chain_trace(4, backlinks=2)) is None
+
+
+def test_subquadratic_depth_growth(capsys):
+    timings = []
+    for depth in (4, 8, 16, 32):
+        spatial = chain_trace(depth)
+        start = time.perf_counter()
+        for _ in range(5):
+            assert synthesize(spatial) is not None
+        timings.append((depth, (time.perf_counter() - start) / 5))
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["trace depth", "synthesis ms"],
+                [[d, f"{t * 1000:.2f}"] for d, t in timings],
+                title="Recursion-synthesis scaling in trace depth",
+            )
+        )
+    # growth from depth 4 to 32 (8x input) must stay under ~64x (quadratic)
+    assert timings[-1][1] <= timings[0][1] * 64 + 0.05

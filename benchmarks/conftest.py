@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.heapnames import reset_fresh_counter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_names():
+    reset_fresh_counter()
+    yield
+    reset_fresh_counter()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Run the full Table 4 benchmark suite and print the results table.
+
+Run:  python examples/olden_suite.py
+
+This is the scripted (non-pytest) face of ``benchmarks/bench_table4.py``:
+it analyzes 181.mcf and the four Olden kernels, prints the inferred
+data types and the pointer/slicing/shape time split, and cross-checks
+each tree-shaped predicate against a concrete execution.
+"""
+
+from repro import Interpreter, ShapeAnalysis, satisfies
+from repro.benchsuite import TABLE4_PROGRAMS
+from repro.reporting import render_table
+
+ORACLE_ARGS = {
+    "181.mcf": lambda v: (v, 0, 0),
+    "treeadd": lambda v: (v,),
+    "bisort": lambda v: (v,),
+    "perimeter": lambda v: (v, 0),
+}
+
+
+def main() -> None:
+    rows = []
+    details = []
+    for name, program in sorted(TABLE4_PROGRAMS().items()):
+        result = ShapeAnalysis(program, name=name).run()
+        status = "ok" if result.succeeded else f"FAIL: {result.failure}"
+        oracle = "-"
+        if result.succeeded and name in ORACLE_ARGS:
+            run = Interpreter(TABLE4_PROGRAMS()[name]).run()
+            predicate = max(
+                result.recursive_predicates(), key=lambda d: d.arity
+            )
+            footprint = satisfies(
+                result.env,
+                predicate.name,
+                ORACLE_ARGS[name](run.value),
+                run.heap.snapshot(),
+            )
+            oracle = (
+                f"exact ({len(footprint)} nodes)"
+                if footprint == run.heap.reachable_from(run.value)
+                else "MISMATCH"
+            )
+        rows.append(
+            [
+                name,
+                result.instruction_count,
+                f"{result.pointer_seconds * 1000:.1f}",
+                f"{result.slicing_seconds * 1000:.1f}",
+                f"{result.shape_seconds * 1000:.1f}",
+                status,
+                oracle,
+            ]
+        )
+        if result.succeeded:
+            for definition in result.recursive_predicates():
+                details.append(f"[{name}] {definition}")
+
+    print(
+        render_table(
+            [
+                "Benchmark",
+                "#Insts",
+                "Pointer ms",
+                "Slicing ms",
+                "Shape ms",
+                "Analysis",
+                "Oracle check",
+            ],
+            rows,
+            title="Table 4 reproduction (this machine)",
+        )
+    )
+    print("\nInferred data types:")
+    for line in details:
+        print("  ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: infer a recursive shape predicate from C code.
+
+Run:  python examples/quickstart.py
+
+The analysis starts with *zero* knowledge -- no pre-defined list or
+tree predicates -- and reverse-engineers the data type from the code,
+then verifies the inferred loop invariant derives itself.
+"""
+
+from repro import Interpreter, ShapeAnalysis, compile_c, satisfies
+
+SOURCE = """
+struct node { struct node *next; int val; };
+
+struct node *build(int n) {
+    struct node *head = NULL;
+    while (n > 0) {
+        struct node *p = malloc(sizeof(struct node));
+        p->next = head;
+        p->val = n;
+        head = p;
+        n = n - 1;
+    }
+    return head;
+}
+
+int sum(struct node *l) {
+    int total = 0;
+    struct node *c = l;
+    while (c != NULL) {
+        total = total + c->val;
+        c = c->next;
+    }
+    return total;
+}
+
+int main() {
+    struct node *list = build(10);
+    return sum(list);
+}
+"""
+
+
+def main() -> None:
+    program = compile_c(SOURCE)
+
+    print("=== IR instruction count:", program.instruction_count())
+
+    result = ShapeAnalysis(program, name="quickstart").run()
+    if not result.succeeded:
+        raise SystemExit(f"analysis failed: {result.failure}")
+
+    print("\n=== Inferred recursive predicates (from scratch):")
+    for predicate in result.recursive_predicates():
+        print("   ", predicate)
+
+    print("\n=== Exit states of main:")
+    for state in result.exit_states:
+        print("   ", state)
+
+    print(
+        "\n=== Timing: pointer={:.4f}s slicing={:.4f}s shape={:.4f}s".format(
+            result.pointer_seconds, result.slicing_seconds, result.shape_seconds
+        )
+    )
+
+    # Cross-check against a real execution: the inferred predicate must
+    # hold on the concrete heap, with exact footprint.
+    run = Interpreter(compile_c(SOURCE)).run()
+    predicate = result.recursive_predicates()[0]
+    # the list head is what build() returned; find it from the heap:
+    heads = [
+        addr
+        for addr in run.heap.cells
+        if not any(
+            cell.get("next") == addr for cell in run.heap.cells.values()
+        )
+    ]
+    footprint = satisfies(result.env, predicate.name, (heads[0],), run.heap.snapshot())
+    print(
+        f"\n=== Oracle: {predicate.name} holds on the concrete heap "
+        f"covering {len(footprint)} nodes (sum returned {run.value})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Setup script.
+
+Kept as a classic setup.py (no pyproject.toml) deliberately: this
+repository targets offline environments where pip cannot download the
+`wheel` build dependency, and the legacy `setup.py develop` path that
+pip uses for `pip install -e .` in the absence of pyproject.toml works
+without it.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Shape analysis with inductive recursion synthesis (PLDI 2007) "
+        "- full reproduction"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,77 @@
+"""repro -- a full reimplementation of "Shape Analysis with Inductive
+Recursion Synthesis" (Guo, Vachharajani, August; PLDI 2007).
+
+The library infers recursive separation-logic predicates describing a
+program's heap data structures *from scratch*: no pre-defined list/tree
+predicates, no user annotations.  Loop invariants and recursive
+procedure summaries are synthesized by inductive recursion synthesis
+over bounded symbolic traces and then *verified* to derive themselves;
+local updates to structures with internal sharing are handled by
+generic unfold/fold algorithms built on truncation points.
+
+Quickstart::
+
+    from repro import ShapeAnalysis, compile_c
+
+    program = compile_c('''
+        struct node { struct node *next; };
+        struct node *build(int n) {
+            struct node *head = NULL;
+            while (n > 0) {
+                struct node *p = malloc(sizeof(struct node));
+                p->next = head;
+                head = p;
+                n = n - 1;
+            }
+            return head;
+        }
+        int main() { struct node *h = build(10); return 0; }
+    ''')
+    result = ShapeAnalysis(program, name="example").run()
+    for predicate in result.recursive_predicates():
+        print(predicate)   # P1(x1) = (x1=null /\\ emp) \\/ (x1.next|->a * P1(a))
+
+Package map (see DESIGN.md for the paper-to-module index):
+
+* :mod:`repro.ir` -- the low-level target language (paper, Table 1)
+* :mod:`repro.frontend` -- mini-C to IR
+* :mod:`repro.logic` -- separation-logic substrate (states, predicates,
+  subsumption, concrete models)
+* :mod:`repro.synthesis` -- inductive recursion synthesis (§3)
+* :mod:`repro.analysis` -- abstract semantics, unfold/fold with
+  truncation points (§4), loop/procedure invariants, the engine (§5)
+* :mod:`repro.prepass` -- pointer analysis, recursive types, slicing (§5.1)
+* :mod:`repro.concrete` -- reference interpreter (test oracle)
+* :mod:`repro.benchsuite` -- the paper's Table 4 workloads
+"""
+
+from repro.analysis import AnalysisFailure, AnalysisResult, ShapeAnalysis
+from repro.concrete import Interpreter
+from repro.frontend import compile_c
+from repro.ir import Program, parse_program, print_program
+from repro.logic import (
+    AbstractState,
+    PredicateDef,
+    PredicateEnv,
+    satisfies,
+    satisfies_truncated,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractState",
+    "AnalysisFailure",
+    "AnalysisResult",
+    "Interpreter",
+    "PredicateDef",
+    "PredicateEnv",
+    "Program",
+    "ShapeAnalysis",
+    "__version__",
+    "compile_c",
+    "parse_program",
+    "print_program",
+    "satisfies",
+    "satisfies_truncated",
+]

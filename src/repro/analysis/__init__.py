@@ -1,0 +1,50 @@
+"""The shape analysis: abstract semantics, rearrange_names, unfold/fold
+with truncation points, loop-invariant inference, and the
+interprocedural engine."""
+
+from repro.analysis.engine import ShapeAnalysis
+from repro.analysis.fold import fold_state, normalize_nulls
+from repro.analysis.interproc import (
+    RET_REGISTER,
+    AnalysisFailure,
+    ShapeEngine,
+    Summary,
+    transplant_state,
+)
+from repro.analysis.invariants import guarded_locations, normalize_state
+from repro.analysis.localheap import SplitHeap, combine, extract_local_heap
+from repro.analysis.rearrange import rearrange_names
+from repro.analysis.results import AnalysisResult
+from repro.analysis.semantics import apply_instruction, filter_condition
+from repro.analysis.unfold import (
+    expose,
+    params_holding_root,
+    unfold_interior,
+    unfold_root,
+    unify_values,
+)
+
+__all__ = [
+    "AnalysisFailure",
+    "AnalysisResult",
+    "RET_REGISTER",
+    "ShapeAnalysis",
+    "ShapeEngine",
+    "SplitHeap",
+    "Summary",
+    "apply_instruction",
+    "combine",
+    "expose",
+    "extract_local_heap",
+    "filter_condition",
+    "fold_state",
+    "guarded_locations",
+    "normalize_nulls",
+    "normalize_state",
+    "params_holding_root",
+    "rearrange_names",
+    "transplant_state",
+    "unfold_interior",
+    "unfold_root",
+    "unify_values",
+]

@@ -1,0 +1,375 @@
+"""Folding heap back into recursive predicates: ``foldT`` (paper, §4).
+
+Folding restores global invariants after local updates: it looks for
+locations not pointed to by any live register and merges them into a
+neighbouring data structure.  Unlike unfolding, no case analysis is
+needed -- absorbing explicit cells into a predicate can never create
+implicit aliasing.  It works from two directions:
+
+* *bottom-up*: a truncation point ``t`` of ``A(h..; ..t..)`` whose
+  explicit cells fit ``A``'s definition body is absorbed; sub-structure
+  roots that dangle (no cells yet -- e.g. the frontier slot of an
+  array-based builder) become new truncation points of the enclosing
+  instance, and sub-instances rooted at the cells' targets are consumed
+  after their dictated arguments unify with the recorded ones.  This
+  generalizes the paper's list rule ``list(p, k) * k |-> q => list(p, q)``.
+* *top-down*: a location sitting atop a structure whose cells fit the
+  body and whose sub-structure targets all root instances (or are null)
+  is wrapped into a new instance -- the generalization of
+  ``p |-> k * list(k, q) => list(p, q)``.
+
+Cutpoints (and any location a live register still needs) are protected
+from folding, as required by the interprocedural analysis (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.logic.assertions import PointsTo, PredInstance, Raw
+from repro.logic.heapnames import HeapName, Var
+from repro.logic.predicates import (
+    AnyArg,
+    ArgExpr,
+    NullArg,
+    ParamArg,
+    PredicateDef,
+    PredicateEnv,
+    RecTarget,
+)
+from repro.logic.state import AbstractState
+from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = ["fold_state", "normalize_nulls"]
+
+
+def fold_state(
+    state: AbstractState,
+    env: PredicateEnv,
+    protect: frozenset[HeapName] = frozenset(),
+    keep_registers: bool = True,
+) -> AbstractState:
+    """Fold *state* in place until no rule applies; returns it.
+
+    ``protect`` lists locations that must stay explicit (cutpoints) --
+    they are neither absorbed nor wrapped.  When ``keep_registers`` is
+    set, locations held by a register (callers pass states whose dead
+    registers have been dropped -- the paper's "not pointed to by any
+    live register") are protected from *absorption into the interior*
+    of a structure; they may still become the root of an instance or a
+    truncation point, both of which keep the location addressable.
+    """
+    normalize_nulls(state)
+    hard = set(protect)
+    soft = set(protect)
+    if keep_registers:
+        for value in state.rho.values():
+            resolved = state.resolve(value)
+            if isinstance(resolved, (NullVal, Opaque)):
+                continue
+            if isinstance(resolved, OffsetVal):
+                resolved = resolved.base
+            soft.add(resolved)
+    changed = True
+    while changed:
+        changed = _fold_bottom_up(state, env, soft) or _fold_top_down(
+            state, env, hard, soft
+        )
+        normalize_nulls(state)
+    collect_pure_garbage(state)
+    return state
+
+
+def collect_pure_garbage(state: AbstractState) -> None:
+    """Drop pure condition atoms about names that no longer occur
+    anywhere (folded away); they can never be consulted again and would
+    otherwise accumulate across loop iterations."""
+    alive = state.heap_names()
+    for offset_val in state.pure.aliases():
+        alive.add(offset_val.base)
+    for atom in state.pure.atoms():
+        keep = True
+        for side in (atom.lhs, atom.rhs):
+            if isinstance(side, (NullVal, Opaque)):
+                continue
+            name = side.base if isinstance(side, OffsetVal) else side
+            if name not in alive:
+                keep = False
+        if not keep:
+            state.pure.discard(atom)
+
+
+def normalize_nulls(state: AbstractState) -> None:
+    """Remove base-case instances (null root) and null truncation points."""
+    for atom in list(state.spatial):
+        if not isinstance(atom, PredInstance):
+            continue
+        if isinstance(atom.root, NullVal) and not atom.truncs:
+            state.spatial.remove(atom)
+        elif any(isinstance(t, NullVal) for t in atom.truncs):
+            state.spatial.replace(
+                atom,
+                atom.with_truncs(
+                    tuple(t for t in atom.truncs if not isinstance(t, NullVal))
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+
+
+def _observed_params(
+    state: AbstractState, definition: PredicateDef, loc: HeapName
+) -> tuple[dict[int, SymVal], dict[int, SymVal], bool] | None:
+    """Match *loc*'s explicit cells against the definition body.
+
+    Returns (param values by index, sub-structure targets by rec-call
+    index, complete) or None when some required field is missing or
+    contradicts the body.
+    """
+    params: dict[int, SymVal] = {0: loc}
+    targets: dict[int, SymVal] = {}
+    for spec in definition.fields:
+        atom = state.spatial.points_to(loc, spec.field)
+        if atom is None:
+            return None
+        value = state.resolve(atom.target)
+        target = spec.target
+        if isinstance(target, NullArg):
+            if not isinstance(value, NullVal):
+                return None
+        elif isinstance(target, ParamArg):
+            if target.index in params and params[target.index] != value:
+                return None
+            params[target.index] = value
+        elif isinstance(target, RecTarget):
+            targets[target.index] = value
+        elif isinstance(target, AnyArg):
+            pass
+    return params, targets, True
+
+
+def _eval_call_args(
+    definition: PredicateDef,
+    call_index: int,
+    params: dict[int, SymVal],
+    targets: dict[int, SymVal],
+) -> list[SymVal] | None:
+    values: list[SymVal] = []
+    for expr in definition.rec_calls[call_index].args:
+        value = _eval_arg(expr, params, targets)
+        if value is None:
+            return None
+        values.append(value)
+    return values
+
+
+def _eval_arg(
+    expr: ArgExpr, params: dict[int, SymVal], targets: dict[int, SymVal]
+) -> SymVal | None:
+    if isinstance(expr, NullArg):
+        return NULL_VAL
+    if isinstance(expr, ParamArg):
+        return params.get(expr.index)
+    if isinstance(expr, RecTarget):
+        return targets.get(expr.index)
+    return None
+
+
+def _try_absorb(
+    state: AbstractState,
+    env: PredicateEnv,
+    definition: PredicateDef,
+    loc: HeapName,
+    guarded: set[HeapName],
+) -> tuple[list[PredInstance], list[HeapName], dict[int, SymVal]] | None:
+    """Can *loc*'s cells be absorbed as one unfolding of *definition*?
+
+    Returns (consumed sub-instances, new dangling truncation points,
+    observed params) without mutating the state, or None.
+    """
+    present = {atom.field for atom in state.spatial.points_to_from(loc)}
+    if present != {spec.field for spec in definition.fields}:
+        return None  # the cell's fields must match the body exactly
+    observed = _observed_params(state, definition, loc)
+    if observed is None:
+        return None
+    params, targets, _ = observed
+    consumed: list[PredInstance] = []
+    dangling: list[HeapName] = []
+    for i, call in enumerate(definition.rec_calls):
+        value = targets[i]
+        if isinstance(value, NullVal):
+            continue
+        if isinstance(value, (OffsetVal, Opaque)):
+            return None
+        if value in guarded:
+            # A protected location (cutpoint / live register target)
+            # becomes a truncation point: its sub-structure is cut out.
+            dangling.append(value)
+            continue
+        sub = state.spatial.instance_rooted_at(value)
+        if sub is not None:
+            if sub.pred != call.pred:
+                return None
+            expected = _eval_call_args(definition, i, params, targets)
+            if expected is None:
+                return None
+            for want, have in zip(expected, sub.args[1:]):
+                have = state.resolve(have)
+                # A dangling argument unifies later (during the merge);
+                # a definite mismatch blocks the fold.
+                if want != have and not _either_dangling(state, want, have):
+                    return None
+            consumed.append(sub)
+            continue
+        if state.spatial.is_allocated(value):
+            return None  # inner structure must fold first
+        dangling.append(value)
+    return consumed, dangling, params
+
+
+def _either_dangling(state: AbstractState, a: SymVal, b: SymVal) -> bool:
+    for value in (a, b):
+        if isinstance(value, Var) and not state.spatial.is_allocated(value):
+            return True
+    return False
+
+
+def _consume(
+    state: AbstractState,
+    definition: PredicateDef,
+    loc: HeapName,
+    consumed: list[PredInstance],
+    params: dict[int, SymVal],
+) -> tuple[HeapName, ...]:
+    """Remove *loc*'s cells and the consumed sub-instances; returns the
+    truncation points inherited from the consumed instances."""
+    from repro.analysis.unfold import unify_values
+
+    inherited: list[HeapName] = []
+    targets: dict[int, SymVal] = {}
+    for spec in definition.fields:
+        atom = state.spatial.points_to(loc, spec.field)
+        if isinstance(spec.target, RecTarget):
+            targets[spec.target.index] = state.resolve(atom.target)
+        state.spatial.remove(atom)
+    raw = state.spatial.raw_at(loc)
+    if raw is not None:
+        state.spatial.remove(raw)
+    for i, call in enumerate(definition.rec_calls):
+        value = targets.get(i)
+        sub = state.spatial.instance_rooted_at(value) if value is not None else None
+        if sub is None or sub not in consumed:
+            continue
+        expected = _eval_call_args(definition, i, params, targets)
+        state.spatial.remove(sub)
+        inherited.extend(sub.truncs)
+        if expected is not None:
+            for want, have in zip(expected, sub.args[1:]):
+                unify_values(state, want, have)
+    return tuple(inherited)
+
+
+def _reachable_preds(env: PredicateEnv, name: str) -> frozenset[str]:
+    """Predicates reachable through the recursive calls of *name*'s
+    definition (including itself)."""
+    reachable = {name}
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current not in env:
+            continue
+        for call in env[current].rec_calls:
+            if call.pred not in reachable:
+                reachable.add(call.pred)
+                frontier.append(call.pred)
+    return frozenset(reachable)
+
+
+def _fold_bottom_up(
+    state: AbstractState, env: PredicateEnv, guarded: set[HeapName]
+) -> bool:
+    """Absorb one truncation point whose cells fit its host's body, or
+    merge a truncation point that roots a folded instance of the same
+    predicate (the inverse of the exact-placement unfolding)."""
+    for host in state.spatial.pred_instances():
+        if not host.truncs or host.pred not in env:
+            continue
+        definition = env[host.pred]
+        for trunc in host.truncs:
+            if trunc in guarded:
+                continue
+            sub = state.spatial.instance_rooted_at(trunc)
+            if sub is not None and sub is not host and (
+                sub.pred in _reachable_preds(env, host.pred)
+            ):
+                # The cut-out piece may be a sub-structure of the host
+                # itself or of any structure nested inside it (e.g. a
+                # cursor into the waiting list of a tree-of-lists).
+                state.spatial.remove(sub)
+                new_truncs = tuple(
+                    t for t in host.truncs if t != trunc
+                ) + tuple(sub.truncs)
+                state.spatial.replace(host, host.with_truncs(new_truncs))
+                return True
+            if not state.spatial.points_to_from(trunc):
+                continue
+            plan = _try_absorb(state, env, definition, trunc, guarded)
+            if plan is None:
+                continue
+            consumed, dangling, params = plan
+            root = host.root
+            inherited = _consume(state, definition, trunc, consumed, params)
+            # Unification inside _consume may have rewritten the host
+            # atom; re-locate it through its root.
+            located = state.spatial.instance_rooted_at(state.resolve(root))
+            if located is None:
+                return True  # host vanished (degenerate); treat as progress
+            new_truncs = (
+                tuple(t for t in located.truncs if t != trunc)
+                + tuple(dangling)
+                + inherited
+            )
+            state.spatial.replace(located, located.with_truncs(new_truncs))
+            return True
+    return False
+
+
+def _fold_top_down(
+    state: AbstractState,
+    env: PredicateEnv,
+    hard: set[HeapName],
+    soft: set[HeapName],
+) -> bool:
+    """Wrap one location sitting atop folded sub-structures.
+
+    Register-held locations may be wrapped (the instance root stays
+    addressable); only hard-protected cutpoints are skipped.  Interior
+    targets that are register-held become truncation points (``soft``)."""
+    sources: dict = {}
+    for atom in state.spatial.points_to_atoms():
+        sources.setdefault(atom.src, []).append(atom.field)
+    for loc in sorted(sources, key=str, reverse=True):
+        if loc in hard:
+            continue
+        for definition in env.candidates_for_fields(tuple(sources[loc])):
+            plan = _try_absorb(state, env, definition, loc, soft)
+            if plan is None:
+                continue
+            consumed, dangling, params = plan
+            if loc in soft and not consumed:
+                # A live (register-held) cell is only wrapped when the
+                # wrap actually absorbs sub-structures; wrapping a bare
+                # frontier cell would just be unfolded again on the next
+                # store, leaking orphan instances each round.
+                continue
+            inherited = _consume(state, definition, loc, consumed, params)
+            args = tuple(
+                state.resolve(params.get(j, NULL_VAL))
+                for j in range(definition.arity)
+            )
+            instance = PredInstance(
+                definition.name, args, tuple(dangling) + inherited
+            )
+            state.spatial.add(instance)
+            return True
+    return False

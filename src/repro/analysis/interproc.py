@@ -1,0 +1,795 @@
+"""Interprocedural engine (paper, §5.2, Figure 8).
+
+A worklist interpreter per procedure activation with:
+
+* tabulated procedure summaries keyed by equivalent entry local heaps
+  (reused through a renaming witness);
+* local-heap extraction / Frame-rule recombination at call sites, with
+  cutpoints preserved (never folded);
+* the loop protocol of §3: propagate raw states around each natural
+  loop for a bounded number of iterations (2 suffices, as in the
+  paper), then hypothesize an invariant with recursion synthesis and
+  *verify* it by executing the body once more -- a back-edge state that
+  does not fold into the invariant means the hypothesis failed and the
+  analysis halts (:class:`AnalysisFailure`), never silently
+  approximates;
+* the recursive-procedure protocol of §5.2.1: a sample path enters
+  every procedure of a call-graph SCC at least twice (branches that
+  reach recursive calls are taken preferentially, then avoided),
+  entry/exit invariants are synthesized from the latest entry/exit
+  states, and each SCC member is re-executed from its entry invariant
+  with recursive calls answered by the hypothesized contracts; exits
+  must be subsumed by the exit invariants (a coinductive proof, the
+  "invariants derive themselves" check).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Goto,
+    Instruction,
+    Nop,
+    Return,
+)
+from repro.ir.program import Program
+from repro.ir.values import Register
+from repro.logic.entailment import Mapping, subsumes
+from repro.logic.formula import PureFormula, SpatialFormula
+from repro.logic.heapnames import (
+    FieldPath,
+    GlobalLoc,
+    HeapName,
+    Var,
+    fresh_var,
+    path_of,
+    root_of,
+)
+from repro.logic.predicates import PredicateEnv
+from repro.logic.state import AbstractState, AnalysisStuck
+from repro.logic.symvals import NULL_VAL, NullVal, Opaque, OffsetVal, SymVal
+from repro.logic.assertions import Raw
+from repro.prepass.liveness import Liveness
+from repro.analysis.fold import fold_state
+from repro.analysis.invariants import normalize_state
+from repro.analysis.localheap import combine, extract_local_heap
+from repro.analysis.semantics import apply_instruction, filter_condition
+from repro.analysis.unfold import unify_values
+
+__all__ = ["ShapeEngine", "AnalysisFailure", "Summary", "RET_REGISTER"]
+
+#: Pseudo-register holding a procedure's return value in exit states.
+RET_REGISTER = Register("$ret")
+
+
+class AnalysisFailure(Exception):
+    """The analysis halted: an invariant hypothesis failed to verify,
+    the abstract execution got stuck, or a resource cap was hit.  The
+    paper's analysis halts and reports failure in the same situations
+    (no silent approximation)."""
+
+
+@dataclass
+class Summary:
+    """A tabulated procedure summary: entry invariant, exit states and
+    the cutpoints under which it was computed."""
+
+    entry: AbstractState
+    exits: list[AbstractState]
+    cutpoints: frozenset[HeapName] = frozenset()
+
+
+@dataclass
+class _Sampler:
+    """Bookkeeping for the sample-path execution through a call-graph SCC."""
+
+    scc: frozenset[str]
+    max_visits: int
+    visits: dict[str, int] = field(default_factory=dict)
+    depth: int = 0
+    #: per procedure, the sampled activations as (entry, exits,
+    #: cutpoints) triples, in completion order; entries and exits of
+    #: one triple share names.
+    activations: dict[
+        str,
+        list[tuple[AbstractState, list[AbstractState], frozenset[HeapName]]],
+    ] = field(default_factory=dict)
+    latest_entry: dict[str, AbstractState] = field(default_factory=dict)
+
+    def head_toward_recursion(self) -> bool:
+        """Branch-selection policy of the sample path (§5.2.1).
+
+        While the current *nesting depth* of SCC activations is within
+        the quota, branches head toward recursive calls so that every
+        recursive call site of every activation in the quota window
+        contributes a level of structure; beyond it they head away,
+        steering each further activation straight to a base case.
+        Depth-based (rather than total-visit-count-based) steering is
+        what makes both recursive fields of a tree builder unfold."""
+        return self.depth <= self.max_visits * len(self.scc)
+
+    def record_entry(self, name: str, entry: AbstractState) -> None:
+        self.visits[name] = self.visits.get(name, 0) + 1
+        self.latest_entry[name] = entry.copy()
+
+    def record_activation(
+        self,
+        name: str,
+        entry: AbstractState,
+        exits: list[AbstractState],
+        cutpoints: frozenset[HeapName],
+    ) -> None:
+        self.activations.setdefault(name, []).append(
+            (entry.copy(), [e.copy() for e in exits], cutpoints)
+        )
+
+
+@dataclass
+class _Stats:
+    instructions: int = 0
+    states: int = 0
+    invariants: int = 0
+    summaries_reused: int = 0
+    procedures: int = 0
+
+
+class ShapeEngine:
+    """Drives the shape analysis over a (pre-sliced) program."""
+
+    def __init__(
+        self,
+        program: Program,
+        env: PredicateEnv | None = None,
+        max_unroll: int = 2,
+        state_budget: int = 20000,
+        max_invariants_per_header: int = 8,
+        max_back_arrivals: int = 40,
+    ):
+        program.validate()
+        self.program = program
+        self.env = env if env is not None else PredicateEnv()
+        self.max_unroll = max_unroll
+        self.state_budget = state_budget
+        self.max_invariants_per_header = max_invariants_per_header
+        self.max_back_arrivals = max_back_arrivals
+        self.callgraph = CallGraph(program)
+        self.cfgs = {name: CFG(proc) for name, proc in program.procedures.items()}
+        self.liveness = {
+            name: Liveness(proc) for name, proc in program.procedures.items()
+        }
+        self.summaries: dict[str, list[Summary]] = {
+            name: [] for name in program.procedures
+        }
+        #: verified loop invariants, keyed by (procedure, header index);
+        #: the paper's point that the analysis infers them from scratch
+        #: makes them a first-class output.
+        self.loop_invariants: dict[tuple[str, int], list[AbstractState]] = {}
+        self.stats = _Stats()
+        self._reach_rec: dict[str, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def analyze(self) -> list[AbstractState]:
+        """Run the analysis from the entry procedure; returns its exit
+        states.  Raises :class:`AnalysisFailure` when the analysis
+        halts (the paper's failure report)."""
+        entry = AbstractState()
+        for name in self.program.globals:
+            entry.spatial.add(Raw(GlobalLoc(name)))
+        try:
+            return self.run_procedure(
+                self.program.entry, entry, frozenset(), None, None
+            )
+        except AnalysisStuck as exc:
+            raise AnalysisFailure(f"abstract execution stuck: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Procedure dispatch
+    # ------------------------------------------------------------------
+    def run_procedure(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        sampler: _Sampler | None,
+        contracts: dict[str, list[Summary]] | None,
+    ) -> list[AbstractState]:
+        self.stats.procedures += 1
+        # Canonicalize the entry: fold what the environment already
+        # explains (cutpoints protected) so that entry matching against
+        # summaries and contracts compares folded forms.
+        fold_state(entry, self.env, protect=cutpoints, keep_registers=True)
+        if contracts is not None and name in contracts:
+            for contract in contracts[name]:
+                witness = subsumes(contract.entry, entry, env=self.env)
+                if witness is not None:
+                    return [transplant_state(e, witness) for e in contract.exits]
+            raise AnalysisFailure(
+                f"call into {name} does not satisfy any of its entry invariants"
+            )
+        if sampler is not None and name in sampler.scc:
+            # An activation beyond the steering window that recurses
+            # anyway has no branch guarding its recursion: the sample
+            # path cannot reach a base case.
+            if sampler.depth > sampler.max_visits * len(sampler.scc) + 2:
+                raise AnalysisFailure(
+                    f"sample path through {name} does not terminate; "
+                    f"cannot steer execution toward a base case"
+                )
+            if sum(sampler.visits.values()) > 500:
+                raise AnalysisFailure(
+                    f"sample path through {name} explodes; too many "
+                    f"activations before the quota window closes"
+                )
+            sampler.record_entry(name, entry)
+            sampler.depth += 1
+            try:
+                exits = self.interpret(
+                    name, entry.copy(), cutpoints, sampler, contracts
+                )
+            finally:
+                sampler.depth -= 1
+            sampler.record_activation(name, entry, exits, cutpoints)
+            return exits
+        for summary in self.summaries[name]:
+            into = subsumes(summary.entry, entry, env=self.env)
+            back = subsumes(entry, summary.entry, env=self.env)
+            if into is not None and back is not None:
+                mapped_cuts = frozenset(
+                    into.binding.get(c, c) for c in summary.cutpoints
+                )
+                if mapped_cuts == cutpoints:
+                    self.stats.summaries_reused += 1
+                    return [transplant_state(e, into) for e in summary.exits]
+        if self.callgraph.is_recursive(name):
+            return self._analyze_recursive(name, entry, cutpoints, contracts)
+        exits = self.interpret(name, entry.copy(), cutpoints, None, contracts)
+        self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
+        return [e.copy() for e in exits]
+
+    # ------------------------------------------------------------------
+    # Recursive procedures (§5.2.1)
+    # ------------------------------------------------------------------
+    def _analyze_recursive(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        outer_contracts: dict[str, list[Summary]] | None,
+    ) -> list[AbstractState]:
+        scc = self.callgraph.scc_of(name)
+        sampler = _Sampler(scc=scc, max_visits=self.max_unroll)
+        sampler.record_entry(name, entry)
+        sampler.depth = 1
+        outer_exits = self.interpret(
+            name, entry.copy(), cutpoints, sampler, outer_contracts
+        )
+        sampler.depth = 0
+        sampler.record_activation(name, entry, outer_exits, cutpoints)
+
+        contracts: dict[str, list[Summary]] = dict(outer_contracts or {})
+        visited = [p for p in scc if p in sampler.latest_entry]
+        for p in visited:
+            contracts[p] = self._build_contracts(p, sampler, cutpoints)
+        # Verification: re-execute each body from each entry invariant
+        # with recursive calls answered by the hypothesized contracts.
+        # An exit the hypothesis missed (e.g. a base case the sample
+        # path only saw under a different entry shape) *widens* the
+        # contract, and verification restarts -- a bounded Kleene
+        # iteration on the exit sets; failure to stabilize means the
+        # synthesized invariants do not derive themselves.
+        for _round in range(8):
+            stable = True
+            for p in visited:
+                for contract in contracts[p]:
+                    verify_exits = self.interpret(
+                        p, contract.entry.copy(), contract.cutpoints,
+                        None, contracts,
+                    )
+                    for exit_state in verify_exits:
+                        if not any(
+                            subsumes(candidate, exit_state, env=self.env) is not None
+                            for candidate in contract.exits
+                        ):
+                            contract.exits.append(exit_state)
+                            stable = False
+            if stable:
+                break
+        else:
+            raise AnalysisFailure(
+                f"exit states of {name}'s recursion do not stabilize; "
+                f"the synthesized exit invariants do not derive themselves"
+            )
+        for p in visited:
+            self.summaries[p].extend(contracts[p])
+            self.stats.invariants += len(contracts[p])
+        for contract in contracts[name]:
+            witness = subsumes(contract.entry, entry, env=self.env)
+            if witness is not None:
+                return [transplant_state(e, witness) for e in contract.exits]
+        raise AnalysisFailure(
+            f"original entry of {name} does not satisfy its invariant"
+        )
+
+    def _build_contracts(
+        self,
+        p: str,
+        sampler: _Sampler,
+        cutpoints: frozenset[HeapName],
+    ) -> list[Summary]:
+        """Group the sampled activations of *p* by entry shape and
+        synthesize one (entry invariant, exit invariants) contract per
+        group.  Each activation's exits are re-based into its group's
+        name space through the inverted subsumption witness (entry and
+        exits of one activation share their names)."""
+        params = set(self.program.proc(p).params)
+        keep_live = {RET_REGISTER} | params
+        groups: list[tuple[AbstractState, list[AbstractState], frozenset]] = []
+        for seen_entry, seen_exits, act_cuts in reversed(
+            sampler.activations.get(p, [])
+        ):
+            folded_entry = fold_state(
+                seen_entry.copy(), self.env, protect=act_cuts,
+                keep_registers=True,
+            )
+            witness = None
+            group_exits = None
+            for group_entry, exits_acc, _cuts in groups:
+                witness = subsumes(group_entry, folded_entry, env=self.env)
+                if witness is not None:
+                    group_exits = exits_acc
+                    break
+            if witness is None:
+                group_entry = normalize_state(
+                    seen_entry.copy(), self.env, live=params, hint="R",
+                    protect=act_cuts,
+                )
+                if len(groups) >= 4:
+                    raise AnalysisFailure(
+                        f"entry states of {p} fall into too many shapes; "
+                        f"recursion synthesis cannot generalize them"
+                    )
+                witness = subsumes(group_entry, folded_entry, env=self.env)
+                if witness is None:
+                    raise AnalysisFailure(
+                        f"entry state of {p} is not derivable from its "
+                        f"synthesized entry invariant"
+                    )
+                group_exits = []
+                groups.append((group_entry, group_exits, act_cuts))
+            inverse = Mapping()
+            for inv_name, value in witness.binding.items():
+                if isinstance(value, (NullVal, OffsetVal)):
+                    continue
+                inverse.binding.setdefault(value, inv_name)
+            for exit_state in seen_exits:
+                normalized = normalize_state(
+                    exit_state.copy(), self.env, live=keep_live, hint="R",
+                    protect=act_cuts,
+                )
+                candidate = transplant_state(normalized, inverse)
+                if not any(
+                    subsumes(kept, candidate, env=self.env) is not None
+                    for kept in group_exits
+                ):
+                    group_exits.append(candidate)
+        return [
+            Summary(entry, exits or [AbstractState()], cuts)
+            for entry, exits, cuts in groups
+        ]
+
+    # ------------------------------------------------------------------
+    # Intraprocedural worklist
+    # ------------------------------------------------------------------
+    def interpret(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        sampler: _Sampler | None,
+        contracts: dict[str, Summary] | None,
+    ) -> list[AbstractState]:
+        proc = self.program.proc(name)
+        cfg = self.cfgs[name]
+        liveness = self.liveness[name]
+        exits: list[AbstractState] = []
+        header_invariants: dict[int, list[AbstractState]] = {}
+        back_arrivals: dict[int, int] = {}
+        worklist: deque[tuple[int, AbstractState]] = deque()
+        processed = 0
+
+        def push(index: int, state: AbstractState) -> None:
+            worklist.append((index, state))
+
+        def follow_edge(src: int, dst: int, state: AbstractState) -> None:
+            if cfg.is_back_edge(src, dst):
+                self._back_edge(
+                    name,
+                    dst,
+                    state,
+                    header_invariants,
+                    back_arrivals,
+                    cutpoints,
+                    liveness,
+                    push,
+                )
+            else:
+                push(dst, state)
+
+        if not proc.instrs:
+            return [entry]
+        push(0, entry)
+        while worklist:
+            processed += 1
+            self.stats.states += 1
+            if processed > self.state_budget:
+                raise AnalysisFailure(
+                    f"state budget exceeded while analyzing {name}"
+                )
+            index, state = worklist.popleft()
+            instr = proc.instrs[index]
+            self.stats.instructions += 1
+            if isinstance(instr, Nop):
+                follow_edge(index, index + 1, state)
+            elif isinstance(instr, Goto):
+                follow_edge(index, proc.labels[instr.target], state)
+            elif isinstance(instr, Return):
+                exits.append(
+                    self._make_exit(state, instr, cutpoints, proc.params)
+                )
+            elif isinstance(instr, Branch):
+                self._branch(
+                    name, index, instr, state, sampler, follow_edge, proc
+                )
+            elif isinstance(instr, Call):
+                live_after = liveness.live_after(index)
+                for successor in self._call(
+                    name, state, instr, sampler, contracts, live_after
+                ):
+                    follow_edge(index, index + 1, successor)
+            else:
+                for successor in apply_instruction(state, instr, self.env):
+                    follow_edge(index, index + 1, successor)
+        # Predicates synthesized on later paths can fold earlier exits,
+        # and exits subsumed by more general siblings are dropped.
+        folded = [
+            fold_state(e, self.env, protect=cutpoints, keep_registers=True)
+            for e in exits
+        ]
+        for state in folded:
+            # Folding may only now have produced the instance whose base
+            # case covers the nullness fact.
+            self._drop_covered_nullness(state)
+        kept: list[AbstractState] = []
+        for state in folded:
+            if any(
+                subsumes(other, state, env=self.env) is not None
+                for other in kept
+            ):
+                continue  # covered by an already-kept disjunct
+            kept = [
+                other
+                for other in kept
+                if subsumes(state, other, env=self.env) is None
+            ]
+            kept.append(state)
+        return kept
+
+    # ------------------------------------------------------------------
+    def _make_exit(
+        self,
+        state: AbstractState,
+        instr: Return,
+        cutpoints: frozenset[HeapName],
+        params: tuple[Register, ...],
+    ) -> AbstractState:
+        """Exit states keep the formal parameters: they anchor the exit
+        heap to the entry names, and constraints discovered on them
+        (e.g. a base case that required the argument to be null) are
+        unified back into the caller at the combine step."""
+        value = (
+            state.eval_operand(instr.value) if instr.value is not None else None
+        )
+        keep = {RET_REGISTER} | set(params)
+        rho = {r: v for r, v in state.rho.items() if r in keep}
+        if value is not None:
+            rho[RET_REGISTER] = state.resolve(value)
+        state.rho = rho
+        normalize_state(
+            state, self.env, live=set(rho), hint="P", protect=cutpoints
+        )
+        self._drop_covered_nullness(state)
+        return state
+
+    @staticmethod
+    def _drop_covered_nullness(state: AbstractState) -> None:
+        """At procedure exits, drop ``x != null`` facts about roots of
+        complete predicate instances: the instance's base case encodes
+        the null possibility, and keeping the path fact would stop a
+        base-case exit from collapsing into the general disjunct (the
+        caller re-learns nullness from its own branches)."""
+        for atom in state.pure.atoms():
+            if atom.op != "ne":
+                continue
+            sides = [atom.lhs, atom.rhs]
+            if not any(isinstance(side, NullVal) for side in sides):
+                continue
+            other = sides[0] if isinstance(sides[1], NullVal) else sides[1]
+            if isinstance(other, (NullVal, Opaque, OffsetVal)):
+                continue
+            instance = state.spatial.instance_rooted_at(other)
+            if instance is not None and not instance.truncs:
+                state.pure.discard(atom)
+
+    def _branch(
+        self,
+        name: str,
+        index: int,
+        instr: Branch,
+        state: AbstractState,
+        sampler: _Sampler | None,
+        follow_edge,
+        proc,
+    ) -> None:
+        taken_index = proc.labels[instr.target]
+        fall_index = index + 1
+        outcomes = []
+        taken_state = filter_condition(state.copy(), instr.cond, take=True)
+        if taken_state is not None:
+            outcomes.append((taken_index, taken_state))
+        fall_state = filter_condition(state, instr.cond, take=False)
+        if fall_state is not None:
+            outcomes.append((fall_index, fall_state))
+        if sampler is not None and name in sampler.scc and len(outcomes) == 2:
+            outcomes = [self._select_sample_branch(name, sampler, outcomes)]
+        for target, outcome in outcomes:
+            follow_edge(index, target, outcome)
+
+    def _select_sample_branch(
+        self,
+        name: str,
+        sampler: _Sampler,
+        outcomes: list[tuple[int, AbstractState]],
+    ) -> tuple[int, AbstractState]:
+        """The paper's sample-path branch selection: head toward
+        recursive calls until every SCC member has been entered twice,
+        then away from them."""
+        reach = self._reaches_recursion(name, sampler.scc)
+        toward = [o for o in outcomes if o[0] in reach]
+        away = [o for o in outcomes if o[0] not in reach]
+        if sampler.head_toward_recursion():
+            preferred = toward or away
+        else:
+            preferred = away or toward
+        return preferred[0]
+
+    def _reaches_recursion(self, name: str, scc: frozenset[str]) -> set[int]:
+        cached = self._reach_rec.get(name)
+        if cached is not None:
+            return cached
+        proc = self.program.proc(name)
+        cfg = self.cfgs[name]
+        seeds = {
+            i
+            for i, instr in enumerate(proc.instrs)
+            if isinstance(instr, Call) and instr.func in scc
+        }
+        preds = cfg.preds
+        reach = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            node = frontier.pop()
+            for p in preds[node]:
+                if p not in reach:
+                    reach.add(p)
+                    frontier.append(p)
+        self._reach_rec[name] = reach
+        return reach
+
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        caller: str,
+        state: AbstractState,
+        instr: Call,
+        sampler: _Sampler | None,
+        contracts: dict[str, Summary] | None,
+        live_after: set[Register] | None = None,
+    ) -> list[AbstractState]:
+        callee = self.program.proc(instr.func)
+        arg_values = [state.eval_operand(a) for a in instr.args]
+        entry_rho: dict[Register, SymVal] = {
+            formal: state.resolve(actual)
+            for formal, actual in zip(callee.params, arg_values)
+        }
+        if live_after is not None:
+            # Dead caller registers must not manufacture cutpoints (a
+            # cutpoint pins its location explicit inside the callee).
+            state.rho = {
+                r: v for r, v in state.rho.items() if r in live_after
+            }
+        split = extract_local_heap(state, arg_values, entry_rho)
+        exits = self.run_procedure(
+            instr.func, split.entry, split.cutpoints, sampler, contracts
+        )
+        results = []
+        for exit_state in exits:
+            merged = combine(state, split.frame, exit_state, instr.dst, RET_REGISTER)
+            feasible = True
+            for formal, actual in zip(callee.params, arg_values):
+                exit_value = exit_state.rho.get(formal)
+                if exit_value is None:
+                    continue
+                if not unify_values(merged, exit_value, merged.resolve(actual)):
+                    feasible = False  # e.g. a null-entry exit for a non-null arg
+                    break
+            if feasible:
+                results.append(merged)
+        return results
+
+    # ------------------------------------------------------------------
+    # Loop protocol
+    # ------------------------------------------------------------------
+    def _back_edge(
+        self,
+        name: str,
+        header: int,
+        state: AbstractState,
+        header_invariants: dict[int, list[AbstractState]],
+        back_arrivals: dict[int, int],
+        cutpoints: frozenset[HeapName],
+        liveness: Liveness,
+        push,
+    ) -> None:
+        live = liveness.live_before(header)
+        state.rho = {r: v for r, v in state.rho.items() if r in live}
+        arrivals = back_arrivals.get(header, 0) + 1
+        back_arrivals[header] = arrivals
+        invariants = header_invariants.setdefault(header, [])
+        folded = fold_state(
+            state.copy(), self.env, protect=cutpoints, keep_registers=True
+        )
+        for invariant in invariants:
+            if subsumes(invariant, folded, live=live, env=self.env) is not None:
+                return  # converged: derivable from the invariant (WEAKEN)
+        if arrivals < self.max_unroll:
+            push(header, state)
+            return
+        if arrivals > self.max_back_arrivals:
+            raise AnalysisFailure(
+                f"loop at {name}@{header} did not converge; the "
+                f"synthesized invariant does not derive itself"
+            )
+        if len(invariants) >= self.max_invariants_per_header:
+            raise AnalysisFailure(
+                f"too many invariant candidates at {name}@{header}; "
+                f"recursion synthesis failed to generalize the loop"
+            )
+        invariant = normalize_state(
+            state.copy(), self.env, live=live, hint="P", protect=cutpoints
+        )
+        # A new, more general invariant supersedes older candidates.
+        invariants[:] = [
+            old
+            for old in invariants
+            if subsumes(invariant, old, live=live, env=self.env) is None
+        ]
+        invariants.append(invariant)
+        self.loop_invariants.setdefault((name, header), []).append(
+            invariant.copy()
+        )
+        self.stats.invariants += 1
+        push(header, invariant.copy())
+
+
+# ----------------------------------------------------------------------
+# Summary transplantation
+# ----------------------------------------------------------------------
+
+
+def transplant_state(recorded: AbstractState, witness: Mapping) -> AbstractState:
+    """Rename a recorded exit state into the caller's name space.
+
+    *witness* maps the names of the recorded entry onto the caller's
+    values; names created inside the callee (absent from the witness)
+    are re-rooted at fresh variables so repeated reuse never collides.
+    """
+    binding = dict(witness.binding)
+    fresh_roots: dict[HeapName, HeapName] = {}
+
+    def map_name(namev: HeapName) -> SymVal:
+        prefixes: list[HeapName] = [namev]
+        node = namev
+        while isinstance(node, FieldPath):
+            node = node.base
+            prefixes.append(node)
+        for prefix in prefixes:  # longest first
+            image = binding.get(prefix)
+            if image is None:
+                continue
+            suffix = path_of(namev)[len(path_of(prefix)):]
+            if isinstance(image, (NullVal, Opaque)):
+                return image if not suffix else Opaque(f"lost:{namev}")
+            if isinstance(image, OffsetVal):
+                image = image.base
+            result: HeapName = image
+            for fieldname in suffix:
+                result = FieldPath(result, fieldname)
+            return result
+        root = root_of(namev)
+        if isinstance(root, GlobalLoc):
+            return namev
+        replacement = fresh_roots.get(root)
+        if replacement is None:
+            replacement = fresh_var()
+            fresh_roots[root] = replacement
+        result = replacement
+        for fieldname in path_of(namev):
+            result = FieldPath(result, fieldname)
+        return result
+
+    def map_value(value: SymVal) -> SymVal:
+        if isinstance(value, (NullVal, Opaque)):
+            return value
+        if isinstance(value, OffsetVal):
+            base = map_name(value.base)
+            if isinstance(base, (NullVal, Opaque)):
+                return Opaque(f"lost:{value}")
+            return OffsetVal(base, value.delta)
+        return map_name(value)
+
+    result = AbstractState()
+    result.rho = {r: map_value(v) for r, v in recorded.rho.items()}
+    result.spatial = _map_spatial(recorded.spatial, map_value, map_name)
+    result.pure = _map_pure(recorded.pure, map_value, map_name)
+    return result
+
+
+def _map_spatial(spatial: SpatialFormula, map_value, map_name) -> SpatialFormula:
+    from repro.logic.assertions import PointsTo, PredInstance, Raw, Region
+
+    out = SpatialFormula()
+    for atom in spatial:
+        if isinstance(atom, PointsTo):
+            src = map_name(atom.src)
+            if isinstance(src, (NullVal, Opaque)):
+                continue
+            out.add(PointsTo(src, atom.field, map_value(atom.target)))
+        elif isinstance(atom, PredInstance):
+            args = tuple(map_value(a) for a in atom.args)
+            truncs = []
+            for t in atom.truncs:
+                image = map_name(t)
+                if not isinstance(image, (NullVal, Opaque)):
+                    truncs.append(image)
+            out.add(PredInstance(atom.pred, args, tuple(truncs)))
+        elif isinstance(atom, Raw):
+            loc = map_name(atom.loc)
+            if not isinstance(loc, (NullVal, Opaque)):
+                out.add(Raw(loc, atom.written))
+        elif isinstance(atom, Region):
+            base = map_name(atom.base)
+            if not isinstance(base, (NullVal, Opaque)):
+                out.add(Region(base, atom.carved))
+    return out
+
+
+def _map_pure(pure: PureFormula, map_value, map_name) -> PureFormula:
+    out = PureFormula()
+    for offset_val, alias in pure.aliases().items():
+        base = map_name(offset_val.base)
+        image = map_name(alias)
+        if not isinstance(base, (NullVal, Opaque)) and not isinstance(
+            image, (NullVal, Opaque)
+        ):
+            out.record_alias(OffsetVal(base, offset_val.delta), image)
+    for atom in pure.atoms():
+        out.assume(atom.op, map_value(atom.lhs), map_value(atom.rhs))
+    return out

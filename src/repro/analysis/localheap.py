@@ -1,0 +1,205 @@
+"""Local heaps, frames and cutpoints (paper, §1, §5.2).
+
+At each procedure call the heap is split into the *local heap* -- the
+region reachable from the actual parameters and the globals -- which is
+sent to the callee, and a *frame* the callee never sees.  On return the
+updated local heap is re-incorporated using the Frame rule.  *Cutpoints*
+are the locations of the local heap that the frame (or a caller
+register) still references; they are preserved -- told to ``foldT`` not
+to fold them away -- so the callee's effects propagate correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.values import Register
+from repro.logic.assertions import (
+    HeapAssertion,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Region,
+)
+from repro.logic.formula import PureFormula, SpatialFormula
+from repro.logic.heapnames import GlobalLoc, HeapName, root_of
+from repro.logic.state import AbstractState
+from repro.logic.symvals import NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = ["SplitHeap", "extract_local_heap", "combine"]
+
+
+@dataclass
+class SplitHeap:
+    """The result of splitting a caller state at a call site."""
+
+    entry: AbstractState
+    frame: list[HeapAssertion]
+    cutpoints: frozenset[HeapName]
+
+
+def _anchor(atom: HeapAssertion) -> HeapName:
+    if isinstance(atom, PointsTo):
+        return atom.src
+    if isinstance(atom, PredInstance):
+        root = atom.root
+        if isinstance(root, (NullVal, OffsetVal, Opaque)):
+            raise ValueError(f"instance rooted at non-location {root}")
+        return root
+    if isinstance(atom, Raw):
+        return atom.loc
+    return atom.base  # Region
+
+
+def _mentioned(atom: HeapAssertion) -> set[HeapName]:
+    names: set[HeapName] = set()
+    if isinstance(atom, PointsTo):
+        names.add(atom.src)
+        names |= _names_of_value(atom.target)
+    elif isinstance(atom, PredInstance):
+        for arg in atom.args:
+            names |= _names_of_value(arg)
+        names.update(atom.truncs)
+    elif isinstance(atom, Raw):
+        names.add(atom.loc)
+    elif isinstance(atom, Region):
+        names.add(atom.base)
+    return names
+
+
+def _names_of_value(value: SymVal) -> set[HeapName]:
+    if isinstance(value, (NullVal, Opaque)):
+        return set()
+    if isinstance(value, OffsetVal):
+        return {value.base}
+    return {value}
+
+
+def _traversal_targets(atom: HeapAssertion) -> set[HeapName]:
+    """Names reachability *traverses into* from an included atom.
+
+    Like :func:`_mentioned`, except that a predicate instance's backward
+    arguments (``args[1:]``) are not followed: they point at the
+    *surrounding* structure (ancestors), which the callee typically only
+    names, never dereferences.  Leaving those cells in the frame keeps
+    entry local heaps small and uniform; it is sound (the paper: "any
+    other splitting is sound") -- a callee that does dereference an
+    ancestor gets stuck and the analysis reports failure rather than
+    approximating.
+    """
+    if isinstance(atom, PredInstance):
+        names: set[HeapName] = set(atom.truncs)
+        names |= _names_of_value(atom.root)
+        return names
+    return _mentioned(atom)
+
+
+def extract_local_heap(
+    state: AbstractState,
+    roots: list[SymVal],
+    entry_rho: dict[Register, SymVal],
+) -> SplitHeap:
+    """Split *state* into the heap reachable from *roots* and a frame.
+
+    Globals are always part of the local heap (any callee may use
+    them), matching the paper's splitting; any other splitting is also
+    sound.  The entry state's pure formula is restricted to facts over
+    local names so that summaries stay context-independent.
+    """
+    atoms = list(state.spatial)
+    anchored: dict[HeapName, list[HeapAssertion]] = {}
+    for atom in atoms:
+        anchored.setdefault(_anchor(atom), []).append(atom)
+
+    reachable: set[HeapName] = set()
+    worklist: list[HeapName] = []
+    for value in roots:
+        for name in _names_of_value(state.resolve(value)):
+            worklist.append(name)
+    for atom in atoms:
+        anchor = _anchor(atom)
+        if isinstance(root_of(anchor), GlobalLoc):
+            worklist.append(anchor)
+
+    local_atoms: list[HeapAssertion] = []
+    taken: set[int] = set()
+    while worklist:
+        name = worklist.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        for atom in anchored.get(name, ()):
+            if id(atom) in taken:
+                continue
+            taken.add(id(atom))
+            local_atoms.append(atom)
+            for mentioned in _traversal_targets(atom):
+                if mentioned not in reachable:
+                    worklist.append(mentioned)
+        # Region slots alias through the pure formula: reaching a region
+        # base reaches its carved cells and vice versa.
+        for offset_val, alias in state.pure.aliases().items():
+            if offset_val.base == name and alias not in reachable:
+                worklist.append(alias)
+
+    frame = [atom for atom in atoms if id(atom) not in taken]
+
+    # Cutpoints: local locations the frame or a caller register still
+    # references (other than through the passed parameters).
+    frame_refs: set[HeapName] = set()
+    for atom in frame:
+        frame_refs |= _mentioned(atom)
+    register_refs: set[HeapName] = set()
+    root_names = {n for v in roots for n in _names_of_value(state.resolve(v))}
+    for value in state.rho.values():
+        register_refs |= _names_of_value(state.resolve(value))
+    cutpoints = frozenset(
+        (frame_refs | register_refs) & reachable - root_names
+    )
+
+    entry_pure = _restrict_pure(state.pure, reachable)
+    anchors = frozenset(root_names) | frozenset(
+        a for a in reachable if isinstance(root_of(a), GlobalLoc)
+    )
+    entry = AbstractState(
+        dict(entry_rho), SpatialFormula(local_atoms), entry_pure, anchors
+    )
+    return SplitHeap(entry, frame, cutpoints)
+
+
+def _restrict_pure(pure: PureFormula, names: set[HeapName]) -> PureFormula:
+    restricted = PureFormula()
+    for offset_val, alias in pure.aliases().items():
+        if offset_val.base in names and alias in names:
+            restricted.record_alias(offset_val, alias)
+    for atom in pure.atoms():
+        mentioned = _names_of_value(atom.lhs) | _names_of_value(atom.rhs)
+        if mentioned <= names:
+            restricted.assume(atom.op, atom.lhs, atom.rhs)
+    return restricted
+
+
+def combine(
+    caller: AbstractState,
+    frame: list[HeapAssertion],
+    exit_state: AbstractState,
+    dst: Register | None,
+    ret_register: Register,
+) -> AbstractState:
+    """Frame rule: conjoin the callee's updated local heap with the
+    frame, propagate the return value, keep caller registers."""
+    result = AbstractState(
+        dict(caller.rho), SpatialFormula(), caller.pure.copy(), caller.anchors
+    )
+    for atom in frame:
+        result.spatial.add(atom)
+    for atom in exit_state.spatial:
+        result.spatial.add(atom)
+    for offset_val, alias in exit_state.pure.aliases().items():
+        result.pure.record_alias(offset_val, alias)
+    for atom in exit_state.pure.atoms():
+        result.pure.assume(atom.op, atom.lhs, atom.rhs)
+    if dst is not None:
+        value = exit_state.rho.get(ret_register)
+        result.rho[dst] = value if value is not None else Opaque("ret")
+    return result

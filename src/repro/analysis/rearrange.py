@@ -1,0 +1,81 @@
+"""``rearrange_names`` (paper, Figure 2).
+
+Invoked by the MUTATE rule to encode access-path information in heap
+names; the recursion-synthesis algorithm relies on this to identify the
+basic structure of a recursion.  Given that the current heap satisfies
+``h1.n |-> h2`` and that *v* is about to be written to ``h1.n``:
+
+* if *v* is a simple logic variable, its new name is ``h1.n`` (the
+  location inherits the access path of the first location it is linked
+  to -- the heuristic that reveals the acyclic backbone, since such a
+  link is usually created when adding a new expansion to a recursive
+  data structure); if the old content claimed that name, the old
+  content is renamed to a fresh variable first;
+* if *v* is pointer arithmetic ``h + n``, it most likely addresses an
+  array element: the name ``h1.n`` is assigned and the alias
+  ``h + n == h1.n`` is recorded in the pure formula so later visits via
+  arithmetic resolve to the same cell;
+* otherwise *v* already carries an access path ("has already been
+  linked to a parent") and nothing happens -- the new link is a
+  backward or cross link.
+
+One refinement the prose of the paper implies but Figure 2 leaves
+implicit: a variable is never renamed to an access path it is itself a
+prefix of (``a`` must not become ``a.child.parent``); such a store is by
+construction a backward link to an ancestor, and the target keeps its
+name.
+"""
+
+from __future__ import annotations
+
+from repro.logic.heapnames import FieldPath, GlobalLoc, HeapName, Var, fresh_var, is_prefix
+from repro.logic.state import AbstractState
+from repro.logic.symvals import NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = ["rearrange_names"]
+
+
+def rearrange_names(
+    state: AbstractState,
+    h1: HeapName,
+    field: str,
+    old_target: SymVal | None,
+    value: SymVal,
+) -> SymVal:
+    """Choose (and install) the name for *value* stored into ``h1.field``.
+
+    Mutates *state* (renamings, alias recording) and returns the
+    symbolic value the points-to fact should carry.
+    """
+    value = state.resolve(value)
+    if isinstance(value, (NullVal, Opaque)):
+        return value
+
+    new_name = FieldPath(h1, field)
+
+    if isinstance(value, OffsetVal):
+        _evict_old_claimant(state, old_target, new_name)
+        state.pure.record_alias(value, new_name)
+        return new_name
+
+    if (
+        isinstance(value, Var)
+        and value not in state.anchors
+        and not is_prefix(value, new_name)
+    ):
+        _evict_old_claimant(state, old_target, new_name)
+        state.rename(value, new_name)
+        return new_name
+
+    # GlobalLoc, FieldPath (already linked), or a prefix of the source's
+    # access path (a backward link): keep the existing name.
+    return value
+
+
+def _evict_old_claimant(
+    state: AbstractState, old_target: SymVal | None, name: HeapName
+) -> None:
+    """If the overwritten content holds the name we are about to assign,
+    rename it to a fresh variable everywhere first."""
+    if old_target == name:
+        state.rename(name, fresh_var())

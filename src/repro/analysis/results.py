@@ -1,0 +1,92 @@
+"""Analysis results: inferred data types, timing breakdown, statistics.
+
+This is the information Table 4 of the paper reports per benchmark:
+the recursive data type the analysis inferred, the instruction count,
+and the time split between the pointer-analysis pre-pass, slicing, and
+the shape phase proper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.predicates import PredicateDef, PredicateEnv
+from repro.logic.state import AbstractState
+
+__all__ = ["AnalysisResult"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything a run of the full pipeline produces."""
+
+    benchmark: str
+    instruction_count: int
+    pointer_seconds: float
+    slicing_seconds: float
+    shape_seconds: float
+    env: PredicateEnv
+    exit_states: list[AbstractState]
+    kept_instructions: int = 0
+    pruned_instructions: int = 0
+    failure: str | None = None
+    stats: dict[str, int] = field(default_factory=dict)
+    #: verified loop invariants: (procedure, header index) -> states
+    loop_invariants: dict[tuple[str, int], list[AbstractState]] = field(
+        default_factory=dict
+    )
+    #: procedure summaries: name -> list of (entry state, exit states)
+    summaries: dict[str, list[tuple[AbstractState, list[AbstractState]]]] = (
+        field(default_factory=dict)
+    )
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failure is None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pointer_seconds + self.slicing_seconds + self.shape_seconds
+
+    def predicates(self) -> list[PredicateDef]:
+        return list(self.env)
+
+    def recursive_predicates(self) -> list[PredicateDef]:
+        """Predicates with at least one recursive call (the inferred
+        data types of Table 4's second column)."""
+        return [d for d in self.env if d.rec_calls]
+
+    def describe_invariants(self) -> str:
+        """Human-readable dump of the inferred loop invariants and
+        procedure summaries (everything the paper says the analysis
+        infers from scratch)."""
+        lines = []
+        for (proc, header), states in sorted(
+            self.loop_invariants.items(), key=lambda kv: kv[0]
+        ):
+            lines.append(f"loop {proc}@{header}:")
+            for state in states:
+                lines.append(f"    {state}")
+        for name, entries in sorted(self.summaries.items()):
+            for entry, exits in entries:
+                lines.append(f"proc {name}:")
+                lines.append(f"    requires  {entry}")
+                for exit_state in exits:
+                    lines.append(f"    ensures   {exit_state}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        lines = [f"benchmark: {self.benchmark}"]
+        lines.append(f"#insts:    {self.instruction_count}")
+        lines.append(
+            "time (s):  pointer={:.4f} slicing={:.4f} shape={:.4f}".format(
+                self.pointer_seconds, self.slicing_seconds, self.shape_seconds
+            )
+        )
+        if self.failure is not None:
+            lines.append(f"FAILED: {self.failure}")
+        else:
+            lines.append("inferred data types:")
+            for definition in self.recursive_predicates():
+                lines.append(f"  {definition}")
+        return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Abstract operational semantics of the IR (paper, Table 2).
+
+Each transformer takes an abstract state and returns the list of
+successor states (unfolding a predicate to reveal a points-to fact may
+require case analysis, so loads and stores can split states).  Strong
+updates are performed throughout -- flow-sensitivity is what the
+slicing pre-pass buys back for realistic programs.
+
+Branches are handled by :func:`filter_condition` (the paper's
+``filter(c)``): the state is refined with the taken condition, or
+dropped when the pure formula refutes it.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    ArithOp,
+    Assign,
+    Cond,
+    Free,
+    Instruction,
+    Load,
+    Malloc,
+    Store,
+)
+from repro.ir.values import IntConst
+from repro.logic.assertions import PointsTo, Raw, Region
+from repro.logic.heapnames import fresh_var
+from repro.logic.predicates import PredicateEnv
+from repro.logic.state import AbstractState, AnalysisStuck
+from repro.logic.symvals import NULL_VAL, NullVal, Opaque, OffsetVal, offset
+from repro.analysis.rearrange import rearrange_names
+from repro.analysis.unfold import expose
+
+__all__ = [
+    "apply_instruction",
+    "filter_condition",
+]
+
+_opaque_counter = [0]
+
+
+def _fresh_opaque(hint: str) -> Opaque:
+    _opaque_counter[0] += 1
+    return Opaque(f"{hint}.{_opaque_counter[0]}")
+
+
+def apply_instruction(
+    state: AbstractState, instr: Instruction, env: PredicateEnv
+) -> list[AbstractState]:
+    """Successor states of one non-control-flow instruction."""
+    if isinstance(instr, Assign):
+        state.rho[instr.dst] = state.eval_operand(instr.src)
+        return [state]
+    if isinstance(instr, ArithOp):
+        return _apply_arith(state, instr)
+    if isinstance(instr, Malloc):
+        return _apply_malloc(state, instr)
+    if isinstance(instr, Free):
+        return _apply_free(state, instr, env)
+    if isinstance(instr, Load):
+        return _apply_load(state, instr, env)
+    if isinstance(instr, Store):
+        return _apply_store(state, instr, env)
+    raise AnalysisStuck(f"no transformer for {instr}")
+
+
+def _apply_arith(state: AbstractState, instr: ArithOp) -> list[AbstractState]:
+    if instr.op in ("add", "sub") and isinstance(instr.rhs, IntConst):
+        base = state.eval_operand(instr.lhs)
+        if not isinstance(base, (NullVal, Opaque)):
+            delta = instr.rhs.value if instr.op == "add" else -instr.rhs.value
+            state.rho[instr.dst] = offset(base, delta)
+            return [state]
+    # Integer arithmetic (or symbolically indexed pointer arithmetic,
+    # which collapses array elements): outside the shape domain.
+    state.rho[instr.dst] = _fresh_opaque(instr.op)
+    return [state]
+
+
+def _apply_malloc(state: AbstractState, instr: Malloc) -> list[AbstractState]:
+    cell = fresh_var()
+    if instr.is_array:
+        state.spatial.add(Region(cell))
+        state.spatial.add(Raw(cell))
+    else:
+        state.spatial.add(Raw(cell))
+    state.rho[instr.dst] = cell
+    state.pure.assume("ne", cell, NULL_VAL)
+    return [state]
+
+
+def _apply_free(
+    state: AbstractState, instr: Free, env: PredicateEnv
+) -> list[AbstractState]:
+    location = state.eval_to_location(instr.ptr)
+    results = []
+    for st in expose(state, location, env):
+        for atom in st.spatial.points_to_from(location):
+            st.spatial.remove(atom)
+        raw = st.spatial.raw_at(location)
+        if raw is not None:
+            st.spatial.remove(raw)
+        region = st.spatial.region_at(location)
+        if region is not None:
+            st.spatial.remove(region)
+        results.append(st)
+    return results
+
+
+def _apply_load(
+    state: AbstractState, instr: Load, env: PredicateEnv
+) -> list[AbstractState]:
+    location = state.eval_to_location(instr.addr)
+    results = []
+    for st in expose(state, location, env):
+        atom = st.spatial.points_to(location, instr.field)
+        if atom is not None:
+            st.rho[instr.dst] = st.resolve(atom.target)
+        else:
+            # Reading a field the shape domain does not track (or an
+            # uninitialized field of a fresh cell): an opaque value.
+            st.rho[instr.dst] = _fresh_opaque(f"load.{instr.field}")
+        results.append(st)
+    return results
+
+
+def _apply_store(
+    state: AbstractState, instr: Store, env: PredicateEnv
+) -> list[AbstractState]:
+    location = state.eval_to_location(instr.addr)
+    value = state.eval_operand(instr.src)
+    results = []
+    for st in expose(state, location, env):
+        atom = st.spatial.points_to(location, instr.field)
+        old_target = atom.target if atom is not None else None
+        new_target = rearrange_names(st, location, instr.field, old_target, value)
+        if atom is not None:
+            # The atom may have been renamed by rearrange_names; find it
+            # again before the strong update.
+            current = st.spatial.points_to(location, instr.field)
+            st.spatial.replace(
+                current, PointsTo(location, instr.field, new_target)
+            )
+        else:
+            st.spatial.add(PointsTo(location, instr.field, new_target))
+            raw = st.spatial.raw_at(location)
+            if raw is not None:
+                st.spatial.replace(raw, raw.with_field(instr.field))
+        results.append(st)
+    return results
+
+
+def filter_condition(
+    state: AbstractState, cond: Cond, take: bool
+) -> AbstractState | None:
+    """The paper's ``filter``: refine *state* with the branch outcome.
+
+    Returns None when the refined state is infeasible.  Comparisons
+    other than equality carry no shape information and pass through.
+    """
+    op = cond.op if take else cond.negated().op
+    if op not in ("eq", "ne"):
+        return state
+    lhs = state.resolve(state.eval_operand(cond.lhs))
+    rhs = state.resolve(state.eval_operand(cond.rhs))
+    if isinstance(lhs, Opaque) and isinstance(rhs, Opaque):
+        return state  # untracked data; no information either way
+    if op == "eq":
+        return state if state.assume_eq(lhs, rhs) else None
+    return state if state.assume_ne(lhs, rhs) else None

@@ -1,0 +1,485 @@
+"""Unfolding recursive predicates: ``unfoldT`` (paper, §4, Figure 6).
+
+``expose(state, h, env)`` returns the set of states in which the heap
+location *h* carries explicit points-to assertions, unrolling whatever
+predicate instance currently describes it.  Three situations arise:
+
+1. *h* already has explicit cells (or is a fresh/array cell): nothing
+   to do.
+2. *h* roots a predicate instance ``A(h, args; truncs)``: peel the
+   structure from the top by instantiating the definition.  When the
+   instance carries truncation points their positions relative to the
+   newly exposed sub-structures are unknown, so the unfold enumerates
+   every consistent placement: each truncation point is either exactly
+   the root of one sub-structure (the sub-instance is then *not*
+   emitted -- that piece of heap already sits elsewhere in the formula
+   -- and the piece's arguments are unified with the arguments the
+   definition dictates for that position) or strictly below one
+   sub-structure (it becomes a truncation point of that sub-instance).
+   Truncation points are mutually disjoint, so at most one may sit
+   exactly at each sub-structure.
+3. *h* is an interior node of a truncated instance, reached through the
+   backward links of a piece that was cut out earlier ("unrolling from
+   the bottom up").  *h*'s cells are carved out of the instance: *h*
+   becomes a new truncation point, its body is instantiated with fresh
+   backward-link targets, and every cut-out piece that references *h*
+   is placed relative to *h* with the same exact/below case analysis --
+   pruned, as in the paper's Figure 6, by where the definition's
+   parameter substitutions can possibly place a node whose backward
+   link targets *h* (we compute the paper's one-step check as a
+   fixpoint over the definition's parameter flow, removing the
+   "neighbours are one pointer traversal away" assumption).
+
+Infeasible placements are discarded when argument unification
+contradicts the state; the surviving states exhaustively cover the
+concrete possibilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.logic.assertions import PointsTo, PredInstance, Raw
+from repro.logic.heapnames import FieldPath, HeapName, Var, fresh_var
+from repro.logic.predicates import NullArg, ParamArg, PredicateDef, PredicateEnv, RecTarget
+from repro.logic.state import AbstractState, AnalysisStuck
+from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = ["expose", "unfold_root", "unfold_interior", "unify_values", "params_holding_root"]
+
+
+def expose(state: AbstractState, h: HeapName, env: PredicateEnv) -> list[AbstractState]:
+    """States in which *h* carries explicit cell assertions."""
+    if state.spatial.points_to_from(h) or state.spatial.raw_at(h):
+        return [state]
+    instance = state.spatial.instance_rooted_at(h)
+    if instance is not None:
+        return unfold_root(state, instance, env)
+    if not state.spatial.instances_truncated_at(h):
+        # h is not a truncation point; it may be an interior node of a
+        # truncated instance, reached via a backward link.
+        host = _interior_host(state, h)
+        if host is not None:
+            return unfold_interior(state, host, h, env)
+    # A truncation point without its own piece (or any other bare
+    # location) only has cells if it is an unmaterialized array slot.
+    if state.spatial.region_at(h) is not None:
+        state.spatial.add(Raw(h))
+        return [state]
+    state.materialize_cell(h)
+    if state.spatial.raw_at(h):
+        return [state]
+    raise AnalysisStuck(f"no heap assertion covers location {h}")
+
+
+def _interior_host(state: AbstractState, h: HeapName) -> PredInstance | None:
+    """The truncated instance whose interior *h* must be, if unique."""
+    truncated = [i for i in state.spatial.pred_instances() if i.truncs]
+    if len(truncated) == 1:
+        return truncated[0]
+    if not truncated:
+        return None
+    # Disambiguate via the pieces that reference h: a piece cut out of T
+    # (a truncation point of T) whose backward link targets h places h
+    # inside T.
+    hosts = []
+    for instance in truncated:
+        for trunc in instance.truncs:
+            if _references(state, trunc, h):
+                hosts.append(instance)
+                break
+    if len(hosts) == 1:
+        return hosts[0]
+    return None
+
+
+def _references(state: AbstractState, piece: HeapName, h: HeapName) -> bool:
+    for atom in state.spatial.points_to_from(piece):
+        if atom.target == h:
+            return True
+    instance = state.spatial.instance_rooted_at(piece)
+    return instance is not None and h in instance.args[1:]
+
+
+# ----------------------------------------------------------------------
+# Argument unification
+# ----------------------------------------------------------------------
+
+
+def unify_values(state: AbstractState, a: SymVal, b: SymVal) -> bool:
+    """Make two symbolic values equal in *state*, or report impossibility.
+
+    Dangling logic variables (no spatial footprint) are renamed; a
+    contradiction (two distinct allocated cells, or null against an
+    allocated cell) returns False and leaves the state unusable.
+    """
+    a, b = state.resolve(a), state.resolve(b)
+    if a == b:
+        return True
+    if state.pure.entails_ne(a, b):
+        return False
+    for x, y in ((a, b), (b, a)):
+        if isinstance(x, Var) and not state.spatial.is_allocated(x) and not (
+            state.spatial.instances_truncated_at(x)
+        ):
+            if isinstance(y, (NullVal, OffsetVal, Opaque)):
+                state.substitute_value(x, y)
+            else:
+                state.rename(x, y)
+            return True
+    if isinstance(a, NullVal) or isinstance(b, NullVal):
+        value = b if isinstance(a, NullVal) else a
+        if isinstance(value, (OffsetVal, Opaque)):
+            return False
+        return state.assume_eq(NULL_VAL, value)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Case 2: unfolding from the root
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """One truncation point's position: exactly at sub-structure
+    ``call_index`` or strictly below it."""
+
+    trunc: HeapName
+    call_index: int
+    exact: bool
+
+
+def unfold_root(
+    state: AbstractState, instance: PredInstance, env: PredicateEnv
+) -> list[AbstractState]:
+    """Peel ``instance`` from the top; enumerate truncation placements."""
+    if instance.pred not in env:
+        raise AnalysisStuck(f"unknown predicate {instance.pred}")
+    definition = env[instance.pred]
+    root = instance.root
+    if isinstance(root, (NullVal, OffsetVal, Opaque)):
+        raise AnalysisStuck(f"cannot unfold a structure rooted at {root}")
+
+    if not instance.truncs:
+        result = state.copy()
+        result.spatial.remove(instance)
+        points_to, subs, bound = definition.unfold_body(instance.args)
+        points_to, subs = _path_name_bounds(
+            result, definition, root, points_to, subs, bound, skip=set()
+        )
+        for atom in points_to:
+            result.spatial.add(atom)
+        for sub in subs:
+            result.spatial.add(sub)
+        result.pure.assume("ne", root, NULL_VAL)
+        return [result]
+
+    results: list[AbstractState] = []
+    for combo in _placement_combos(state, definition, instance.truncs, anchor=root):
+        st = state.copy()
+        st.spatial.remove(_find(st, instance))
+        points_to, subs, bound = definition.unfold_body(instance.args)
+        if _apply_placements(
+            st, definition, combo, points_to, subs, bound, root=root
+        ):
+            st.pure.assume("ne", root, NULL_VAL)
+            results.append(st)
+    if not results:
+        raise AnalysisStuck(
+            f"no consistent truncation placement unfolding {instance}"
+        )
+    return results
+
+
+def _find(state: AbstractState, instance: PredInstance) -> PredInstance:
+    for atom in state.spatial:
+        if atom == instance:
+            return atom
+    raise AssertionError("instance vanished from the copied state")
+
+
+def _placement_combos(
+    state: AbstractState,
+    definition: PredicateDef,
+    truncs: tuple[HeapName, ...],
+    anchor: SymVal | None,
+) -> list[tuple[_Placement, ...]]:
+    """All consistent assignments of truncation points to positions."""
+    per_trunc: list[list[_Placement]] = []
+    for trunc in truncs:
+        options = []
+        constraints = (
+            _piece_constraints(state, definition, trunc, anchor)
+            if isinstance(anchor, HeapName)
+            else []
+        )
+        for i in range(len(definition.rec_calls)):
+            if _exact_consistent(definition, i, constraints):
+                options.append(_Placement(trunc, i, exact=True))
+            if _below_consistent(definition, i, constraints):
+                options.append(_Placement(trunc, i, exact=False))
+        per_trunc.append(options)
+    combos = []
+    for combo in product(*per_trunc):
+        exact_calls = [p.call_index for p in combo if p.exact]
+        if len(exact_calls) == len(set(exact_calls)):
+            combos.append(combo)
+    return combos
+
+
+def _exact_consistent(
+    definition: PredicateDef, call_index: int, constraints: list[int]
+) -> bool:
+    """Figure 6: exact placement requires the call to substitute x1 for
+    every backward parameter that targets the unfolded node."""
+    call = definition.rec_calls[call_index]
+    for j in constraints:
+        if j - 1 >= len(call.args) or call.args[j - 1] != ParamArg(0):
+            return False
+    return True
+
+
+def _below_consistent(
+    definition: PredicateDef, call_index: int, constraints: list[int]
+) -> bool:
+    """Figure 6 (generalized): a node strictly below sub-structure
+    ``call_index`` can have parameter ``xj`` equal to the unfolded node
+    only if the parameter-flow fixpoint says so."""
+    if not constraints:
+        return True
+    deep = params_holding_root(definition, call_index)
+    return all(j in deep for j in constraints)
+
+
+def params_holding_root(definition: PredicateDef, call_index: int) -> set[int]:
+    """Parameter indices that can equal the unfolded node at depth >= 2
+    inside sub-structure ``call_index``.
+
+    Depth 1 (the sub-structure's root) receives ``xj == h`` exactly when
+    the call's argument is ``x1``; deeper nodes receive it through
+    chains of parameter-to-parameter substitutions.  This is the
+    transitive closure of the paper's one-step check.
+    """
+    def level_after(call, current: set[int]) -> set[int]:
+        nxt = set()
+        for j, arg in enumerate(call.args, start=1):
+            if isinstance(arg, ParamArg) and arg.index in current:
+                nxt.add(j)
+        return nxt
+
+    first = {
+        j
+        for j, arg in enumerate(definition.rec_calls[call_index].args, start=1)
+        if arg == ParamArg(0)
+    }
+    deep: set[int] = set()
+    seen: set[frozenset[int]] = set()
+    frontier = [first]
+    while frontier:
+        current = frontier.pop()
+        key = frozenset(current)
+        if key in seen or not current:
+            continue
+        seen.add(key)
+        for call in definition.rec_calls:
+            if call.pred != definition.name:
+                continue  # parameters do not flow into foreign predicates
+            nxt = level_after(call, current)
+            deep |= nxt
+            frontier.append(nxt)
+    return deep
+
+
+def _path_name_bounds(
+    state: AbstractState,
+    definition: PredicateDef,
+    root: SymVal,
+    points_to: list[PointsTo],
+    subs: list[PredInstance],
+    bound: list[Var],
+    skip: set[int],
+) -> tuple[list[PointsTo], list[PredInstance]]:
+    """Rename the fresh sub-structure roots to access-path names.
+
+    ``rearrange_names`` gives stored locations backbone-revealing names;
+    unfolding plays the same game so that recursion synthesis can read
+    traversal traces (``list(a)`` unfolds to ``a.next |-> a.next *
+    list(a.next)`` rather than to an anonymous variable).  A name that
+    is already taken in the state stays fresh.
+    """
+    if not isinstance(root, HeapName):
+        return points_to, subs
+    taken = state.heap_names()
+    for i, var in enumerate(bound):
+        if i in skip:
+            continue
+        path = FieldPath(root, definition.field_of_rec_call(i))
+        if path in taken:
+            continue
+        state.rename(var, path)
+        points_to = [p.rename(var, path) for p in points_to]
+        subs = [s.rename(var, path) for s in subs]
+        bound[i] = path  # type: ignore[call-overload]
+    return points_to, subs
+
+
+def _apply_placements(
+    state: AbstractState,
+    definition: PredicateDef,
+    combo: tuple[_Placement, ...],
+    points_to: list[PointsTo],
+    subs: list[PredInstance],
+    bound: list[Var],
+    root: SymVal | None = None,
+) -> bool:
+    """Install the unfolded body under one placement assignment."""
+    exact_at: dict[int, HeapName] = {}
+    below_at: dict[int, list[HeapName]] = {}
+    for placement in combo:
+        if placement.exact:
+            exact_at[placement.call_index] = placement.trunc
+        else:
+            below_at.setdefault(placement.call_index, []).append(placement.trunc)
+
+    # Splice the exact truncation points in place of the bound vars.
+    for i, trunc in exact_at.items():
+        state.rename(bound[i], trunc)
+        points_to = [p.rename(bound[i], trunc) for p in points_to]
+        subs = [s.rename(bound[i], trunc) for s in subs]
+    if root is not None:
+        points_to, subs = _path_name_bounds(
+            state, definition, root, points_to, subs, bound, skip=set(exact_at)
+        )
+
+    for atom in points_to:
+        state.spatial.add(atom)
+    for i, sub in enumerate(subs):
+        if i in exact_at:
+            trunc = exact_at[i]
+            piece = state.spatial.instance_rooted_at(trunc)
+            if piece is not None:
+                if piece.pred != sub.pred or len(piece.args) != len(sub.args):
+                    return False
+                for computed, actual in zip(sub.args[1:], piece.args[1:]):
+                    if not unify_values(state, computed, actual):
+                        return False
+            else:
+                # The piece has explicit cells (or none yet): unify the
+                # dictated backward links with the observed ones.
+                if not _unify_with_cells(state, definition, sub, trunc):
+                    return False
+            continue
+        state.spatial.add(sub.with_truncs(tuple(below_at.get(i, ()))))
+    return True
+
+
+def _unify_with_cells(
+    state: AbstractState,
+    definition: PredicateDef,
+    sub: PredInstance,
+    piece: HeapName,
+) -> bool:
+    # Map the piece's backward-link fields to its observed targets and
+    # unify with the arguments the definition dictates for the position.
+    for j, computed in enumerate(sub.args[1:], start=1):
+        field = _backward_field(definition, sub.pred, j)
+        if field is None:
+            continue
+        observed = state.spatial.points_to(piece, field)
+        if observed is None:
+            continue  # piece not expanded here; nothing to check
+        if not unify_values(state, computed, observed.target):
+            return False
+    return True
+
+
+def _backward_field(
+    definition: PredicateDef, pred: str, j: int
+) -> str | None:
+    if pred != definition.name:
+        return None
+    for spec in definition.fields:
+        if spec.target == ParamArg(j):
+            return spec.field
+    return None
+
+
+# ----------------------------------------------------------------------
+# Case 3: unfolding an interior node from the bottom up
+# ----------------------------------------------------------------------
+
+
+def unfold_interior(
+    state: AbstractState,
+    host: PredInstance,
+    h: HeapName,
+    env: PredicateEnv,
+) -> list[AbstractState]:
+    """Expose the cells of *h*, an interior node of the truncated *host*."""
+    definition = env[host.pred]
+    pieces = [t for t in host.truncs if _references(state, t, h)]
+
+    per_piece: list[list[_Placement]] = []
+    for piece in pieces:
+        options = []
+        constraints = _piece_constraints(state, definition, piece, h)
+        for i in range(len(definition.rec_calls)):
+            if constraints and _exact_consistent(definition, i, constraints):
+                options.append(_Placement(piece, i, exact=True))
+            if _below_consistent(definition, i, constraints):
+                options.append(_Placement(piece, i, exact=False))
+        if not options:
+            raise AnalysisStuck(
+                f"piece {piece} cannot be placed relative to {h}"
+            )
+        per_piece.append(options)
+
+    results: list[AbstractState] = []
+    for combo in product(*per_piece):
+        exact_calls = [p.call_index for p in combo if p.exact]
+        if len(exact_calls) != len(set(exact_calls)):
+            continue
+        st = state.copy()
+        fresh_args = tuple(fresh_var("g") for _ in range(definition.arity - 1))
+        points_to, subs, bound = definition.unfold_body((h,) + fresh_args)
+        if not _apply_placements(
+            st, definition, combo, points_to, subs, bound, root=h
+        ):
+            continue
+        # h becomes a truncation point of the host; moved pieces leave.
+        moved = {p.trunc for p in combo}
+        host_atom = st.spatial.instance_rooted_at(host.root)
+        if host_atom is None:
+            continue
+        new_truncs = tuple(t for t in host_atom.truncs if t not in moved) + (h,)
+        st.spatial.replace(host_atom, host_atom.with_truncs(new_truncs))
+        st.pure.assume("ne", h, NULL_VAL)
+        results.append(st)
+    if not results:
+        raise AnalysisStuck(f"no consistent interior unfolding for {h}")
+    return results
+
+
+def _piece_constraints(
+    state: AbstractState,
+    definition: PredicateDef,
+    piece: HeapName,
+    h: HeapName,
+) -> list[int]:
+    """Backward parameters through which *piece* references *h*, whether
+    the piece is folded (an instance) or expanded (explicit cells)."""
+    constraints: list[int] = []
+    instance = state.spatial.instance_rooted_at(piece)
+    if instance is not None:
+        for j, arg in enumerate(instance.args[1:], start=1):
+            if state.resolve(arg) == h:
+                constraints.append(j)
+        return constraints
+    for atom in state.spatial.points_to_from(piece):
+        if state.resolve(atom.target) == h:
+            j = definition.backward_param_for_field(atom.field)
+            if j is not None:
+                constraints.append(j)
+    return constraints

@@ -1,0 +1,38 @@
+"""The benchmark programs of the paper's Table 4 (plus list staples):
+181.mcf kernels and the Olden benchmarks treeadd, bisort, perimeter
+and power, written in the textual IR."""
+
+from repro.benchsuite import (
+    bisort,
+    csources,
+    extensions,
+    listprogs,
+    mcf,
+    perimeter,
+    power,
+    treeadd,
+)
+from repro.ir import Program
+
+__all__ = [
+    "TABLE4_PROGRAMS",
+    "bisort",
+    "csources",
+    "extensions",
+    "listprogs",
+    "mcf",
+    "perimeter",
+    "power",
+    "treeadd",
+]
+
+
+def TABLE4_PROGRAMS() -> dict[str, Program]:
+    """Fresh copies of the five Table 4 benchmark programs."""
+    return {
+        "181.mcf": mcf.full_program(),
+        "treeadd": treeadd.program(),
+        "bisort": bisort.program(),
+        "perimeter": perimeter.program(),
+        "power": power.program(),
+    }

@@ -1,0 +1,55 @@
+"""Olden *bisort*: binary tree with in-place child swaps (Table 4).
+
+Bitonic sort builds a balanced binary tree and then repeatedly swaps
+left/right subtrees while sorting -- the shape-relevant skeleton is the
+recursive build plus a recursive walk that detaches both subtrees,
+conditionally swaps them, and re-attaches.  The swap is the local
+update that exercises unfold (to detach) and fold (to restore the tree
+invariant on return).
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = ["SRC", "program"]
+
+SRC = """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    [%t.val] = %n
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    return %t
+
+proc bimerge(%t, %dir):
+    if %t != null goto rec
+    return null
+rec:
+    %l = [%t.left]
+    %r = [%t.right]
+    if %dir == 0 goto noswap
+    [%t.left] = %r
+    [%t.right] = %l
+noswap:
+    %l = [%t.left]
+    %x = call bimerge(%l, %dir)
+    %r = [%t.right]
+    %y = call bimerge(%r, %dir)
+    return %t
+
+proc main():
+    %root = call build(10)
+    %sorted = call bimerge(%root, 1)
+    return %sorted
+"""
+
+
+def program() -> Program:
+    return parse_program(SRC)

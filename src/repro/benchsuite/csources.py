@@ -1,0 +1,206 @@
+"""Mini-C source for the benchmark kernels.
+
+The same workloads as the textual-IR modules, written in the C subset
+and lowered through :mod:`repro.frontend` -- exercising the frontend
+path end to end, the way the paper's analysis consumes output of its
+C compiler.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import compile_c
+from repro.ir import Program
+
+__all__ = [
+    "MCF_C",
+    "TREEADD_C",
+    "PERIMETER_C",
+    "POWER_C",
+    "mcf_c_program",
+    "treeadd_c_program",
+    "perimeter_c_program",
+    "power_c_program",
+]
+
+MCF_C = """
+struct node {
+    struct node *child;
+    struct node *parent;
+    struct node *sib;
+    struct node *sib_prev;
+    int potential;
+};
+
+struct node *build() {
+    struct node *nodes = malloc(500 * sizeof(struct node));
+    struct node *root = nodes;
+    struct node *node = nodes + 1;
+    root->parent = NULL;
+    root->child = node;
+    root->sib = NULL;
+    root->sib_prev = NULL;
+    int i = 1;
+    while (i < 499) {
+        node->parent = root;
+        node->child = NULL;
+        node->sib = node + 1;
+        node->sib_prev = node - 1;
+        node->potential = i * 30;
+        node = node + 1;
+        i = i + 1;
+    }
+    node->parent = root;
+    node->child = NULL;
+    node->sib = NULL;
+    node->sib_prev = node - 1;
+    return root;
+}
+
+int main() {
+    struct node *root = build();
+    struct node *c = root->child;
+    while (c != NULL) {
+        c = c->sib;
+    }
+    return 0;
+}
+"""
+
+TREEADD_C = """
+struct tree { struct tree *left; struct tree *right; int val; };
+
+struct tree *build(int n) {
+    if (n <= 0) {
+        return NULL;
+    }
+    struct tree *t = malloc(sizeof(struct tree));
+    t->val = n;
+    t->left = build(n - 1);
+    t->right = build(n - 1);
+    return t;
+}
+
+int treeadd(struct tree *t) {
+    if (t == NULL) {
+        return 0;
+    }
+    int a = treeadd(t->left);
+    int b = treeadd(t->right);
+    return a + b + t->val;
+}
+
+int main() {
+    struct tree *root = build(10);
+    int total = treeadd(root);
+    return total;
+}
+"""
+
+PERIMETER_C = """
+struct quad {
+    struct quad *nw;
+    struct quad *ne;
+    struct quad *sw;
+    struct quad *se;
+    struct quad *parent;
+    int color;
+};
+
+struct quad *build(int n, struct quad *parent) {
+    if (n <= 0) {
+        return NULL;
+    }
+    struct quad *t = malloc(sizeof(struct quad));
+    t->color = 0;
+    struct quad *c1 = build(n - 1, t);
+    struct quad *c2 = build(n - 1, t);
+    struct quad *c3 = build(n - 1, t);
+    struct quad *c4 = build(n - 1, t);
+    t->nw = c1;
+    t->ne = c2;
+    t->sw = c3;
+    t->se = c4;
+    t->parent = parent;
+    return t;
+}
+
+int perimeter(struct quad *t) {
+    if (t == NULL) {
+        return 0;
+    }
+    int s = perimeter(t->nw) + perimeter(t->ne)
+          + perimeter(t->sw) + perimeter(t->se);
+    return s + 1;
+}
+
+int main() {
+    struct quad *root = build(4, NULL);
+    int p = perimeter(root);
+    return p;
+}
+"""
+
+POWER_C = """
+struct branch { struct branch *next; int demand; };
+struct lateral { struct lateral *next; struct branch *branches; };
+
+struct branch *build_branches(int n) {
+    struct branch *h = NULL;
+    while (n > 0) {
+        struct branch *b = malloc(sizeof(struct branch));
+        b->next = h;
+        b->demand = 1;
+        h = b;
+        n = n - 1;
+    }
+    return h;
+}
+
+struct lateral *build_laterals(int n) {
+    struct lateral *h = NULL;
+    while (n > 0) {
+        struct lateral *l = malloc(sizeof(struct lateral));
+        l->next = h;
+        l->branches = build_branches(5);
+        h = l;
+        n = n - 1;
+    }
+    return h;
+}
+
+int compute_branch(struct branch *b) {
+    if (b == NULL) {
+        return 0;
+    }
+    return compute_branch(b->next) + b->demand;
+}
+
+int compute_lateral(struct lateral *l) {
+    if (l == NULL) {
+        return 0;
+    }
+    return compute_lateral(l->next) + compute_branch(l->branches);
+}
+
+int main() {
+    struct lateral *root = build_laterals(10);
+    int total = compute_lateral(root);
+    return total;
+}
+"""
+
+
+def mcf_c_program() -> Program:
+    return compile_c(MCF_C)
+
+
+def treeadd_c_program() -> Program:
+    return compile_c(TREEADD_C)
+
+
+def perimeter_c_program() -> Program:
+    return compile_c(PERIMETER_C)
+
+
+def power_c_program() -> Program:
+    return compile_c(POWER_C)

@@ -1,0 +1,162 @@
+"""Extension workloads beyond the paper's Table 4.
+
+The paper evaluated 181.mcf and four Olden benchmarks; Olden has more.
+These kernels probe the analysis past the published envelope:
+
+* :func:`health_program` -- Olden *health*: a 4-ary tree of villages,
+  each holding a patient waiting list; nested structures two levels
+  deep (tree of lists), exactly the §3.2 "nested recursion" claim.
+* :func:`em3d_program` -- Olden *em3d*: two node lists (E and H) where
+  every node also points at a node of the *other* list.  The cross
+  pointers are data-dependent, which puts the structure outside the
+  tree-backbone class; the analysis must degrade to a *reported*
+  failure or a sound result, never a wrong predicate.
+* :func:`tsp_program` -- Olden *tsp* builds a cyclic doubly-linked
+  tour.  A cyclic *backbone* (as opposed to backward links into an
+  acyclic backbone) is outside the paper's descriptive class (§1: "any
+  data type with a tree-like backbone"); again the required behaviour
+  is a clean failure.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = [
+    "HEALTH_SRC",
+    "EM3D_SRC",
+    "TSP_SRC",
+    "health_program",
+    "em3d_program",
+    "tsp_program",
+]
+
+HEALTH_SRC = """
+proc mkpatients(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %h
+    [%p.time] = 0
+    %h = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc mkvillage(%level, %parent):
+    if %level > 0 goto rec
+    return null
+rec:
+    %v = malloc()
+    %m = sub %level, 1
+    %c1 = call mkvillage(%m, %v)
+    %c2 = call mkvillage(%m, %v)
+    %c3 = call mkvillage(%m, %v)
+    %c4 = call mkvillage(%m, %v)
+    [%v.forward] = %c1
+    [%v.back] = %c2
+    [%v.left] = %c3
+    [%v.right] = %c4
+    [%v.parent] = %parent
+    %ps = call mkpatients(3)
+    [%v.waiting] = %ps
+    return %v
+
+proc countwait(%v):
+    if %v != null goto rec
+    return 0
+rec:
+    %a = [%v.forward]
+    %c1 = call countwait(%a)
+    %b = [%v.back]
+    %c2 = call countwait(%b)
+    %c = [%v.left]
+    %c3 = call countwait(%c)
+    %d = [%v.right]
+    %c4 = call countwait(%d)
+    %p = [%v.waiting]
+    %n = 0
+W:
+    if %p == null goto out
+    %n = add %n, 1
+    %p = [%p.next]
+    goto W
+out:
+    %s = add %c1, %c2
+    %s = add %s, %c3
+    %s = add %s, %c4
+    %s = add %s, %n
+    return %s
+
+proc main():
+    %root = call mkvillage(3, null)
+    %total = call countwait(%root)
+    return %root
+"""
+
+EM3D_SRC = """
+proc mknodes(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %h
+    %h = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc crosslink(%from, %to):
+F:
+    if %from == null goto done
+    [%from.dep] = %to
+    %from = [%from.next]
+    if %to == null goto F
+    %to = [%to.next]
+    goto F
+done:
+    return null
+
+proc main():
+    %e = call mknodes(8)
+    %h = call mknodes(8)
+    %x = call crosslink(%e, %h)
+    %y = call crosslink(%h, %e)
+    return %e
+"""
+
+TSP_SRC = """
+proc main():
+    %n = 8
+    %first = malloc()
+    [%first.prev] = %first
+    [%first.nxt] = %first
+    %cur = %first
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.nxt] = %first
+    [%p.prev] = %cur
+    [%cur.nxt] = %p
+    [%first.prev] = %p
+    %cur = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %first
+"""
+
+
+def health_program() -> Program:
+    return parse_program(HEALTH_SRC)
+
+
+def em3d_program() -> Program:
+    return parse_program(EM3D_SRC)
+
+
+def tsp_program() -> Program:
+    return parse_program(TSP_SRC)

@@ -1,0 +1,161 @@
+"""List-processing micro-programs.
+
+The staples of the separation-logic shape-analysis literature
+(Distefano/O'Hearn/Yang's and Magill et al.'s list analyses, which the
+paper generalizes): build, traverse, append-build via an array, insert,
+delete, reverse, and a doubly-linked variant.  These exercise the
+synthesized ``list`` predicate, truncated instances as traversal
+cursors, and the unfold/fold rules on the simplest structure.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = [
+    "BUILD_SRC",
+    "TRAVERSE_SRC",
+    "REVERSE_SRC",
+    "DELETE_SRC",
+    "DOUBLY_SRC",
+    "build_program",
+    "traverse_program",
+    "reverse_program",
+    "delete_program",
+    "doubly_program",
+]
+
+#: Push-front list builder.
+BUILD_SRC = """
+proc main():
+    %n = 10
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+#: Build then walk to the end.
+TRAVERSE_SRC = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+
+proc main():
+    %head = call build(10)
+    %c = %head
+T:
+    if %c == null goto out
+    %c = [%c.next]
+    goto T
+out:
+    return %head
+"""
+
+#: In-place reversal (the classic strong-update workout).
+REVERSE_SRC = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+
+proc main():
+    %head = call build(10)
+    %prev = null
+R:
+    if %head == null goto out
+    %next = [%head.next]
+    [%head.next] = %prev
+    %prev = %head
+    %head = %next
+    goto R
+out:
+    return %prev
+"""
+
+#: Delete the node after the head (unfold two cells, fold back).
+DELETE_SRC = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+
+proc main():
+    %head = call build(10)
+    if %head == null goto out
+    %victim = [%head.next]
+    if %victim == null goto out
+    %rest = [%victim.next]
+    [%head.next] = %rest
+    free(%victim)
+out:
+    return %head
+"""
+
+#: Doubly-linked list built front-to-back (backward ``prev`` links).
+DOUBLY_SRC = """
+proc main():
+    %n = 10
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    [%p.prev] = null
+    if %head == null goto skip
+    [%head.prev] = %p
+skip:
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+
+def build_program() -> Program:
+    return parse_program(BUILD_SRC)
+
+
+def traverse_program() -> Program:
+    return parse_program(TRAVERSE_SRC)
+
+
+def reverse_program() -> Program:
+    return parse_program(REVERSE_SRC)
+
+
+def delete_program() -> Program:
+    return parse_program(DELETE_SRC)
+
+
+def doubly_program() -> Program:
+    return parse_program(DOUBLY_SRC)

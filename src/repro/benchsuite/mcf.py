@@ -1,0 +1,189 @@
+"""181.mcf kernels (paper, Figures 1, 4 and 7).
+
+The SPEC2000 benchmark 181.mcf builds a left-child right-sibling tree
+with two kinds of backward links -- a ``parent`` link and a
+``sib_prev`` link -- over an array of nodes it manages itself
+(``nodes = malloc(MAX_NODES)``, new tree nodes requested by pointer
+arithmetic).  We reproduce the three shape-relevant kernels:
+
+* :func:`build_program` -- the Figure 4(a) loop: array allocation,
+  root initialization, and the iterative builder whose trace drives
+  the synthesis of ``mcf_tree``;
+* :func:`update_program` -- the Figure 7 fragment: cut the subtree
+  rooted at ``t`` out from under its parent ``p`` and re-graft it as
+  the first child of ``q`` (the unfold/fold exercise of Table 3);
+* :func:`full_program` -- build, then traverse child/sibling chains,
+  mirroring how mcf walks the basis tree.
+
+The kernels also carry representative *non-shape* computation (cost
+and flow arithmetic on the nodes) so that the slicing pre-pass has
+something real to prune, as in the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = [
+    "BUILD_SRC",
+    "UPDATE_SRC",
+    "FULL_SRC",
+    "build_program",
+    "update_program",
+    "full_program",
+]
+
+#: Figure 4(a): the loop in 181.mcf that builds its tree.  ``potential``
+#: and ``flow`` are non-pointer fields standing in for mcf's arc-cost
+#: bookkeeping; the slicing pre-pass removes them.
+BUILD_SRC = """
+proc main():
+    %nodes = malloc(500)
+    %root = %nodes
+    %node = add %nodes, 1
+    [%root.parent] = null
+    [%root.child] = %node
+    [%root.sib] = null
+    [%root.sib_prev] = null
+    [%root.potential] = 0
+    %i = 1
+loop:
+    if %i >= 499 goto last
+    [%node.parent] = %root
+    [%node.child] = null
+    %next = add %node, 1
+    [%node.sib] = %next
+    %prev = sub %node, 1
+    [%node.sib_prev] = %prev
+    %cost = mul %i, 30
+    [%node.potential] = %cost
+    [%node.flow] = 0
+    %node = add %node, 1
+    %i = add %i, 1
+    goto loop
+last:
+    [%node.parent] = %root
+    [%node.child] = null
+    [%node.sib] = null
+    %prev = sub %node, 1
+    [%node.sib_prev] = %prev
+    return %root
+"""
+
+#: Figure 7: local modification to the tree.  The caller materializes a
+#: small concrete tree so that registers q, t, p address real interior
+#: nodes, then runs the l0..l5 fragment: remove the subtree rooted at t
+#: from under p, shift t's right sibling left, and graft t as the new
+#: first child of q.
+UPDATE_SRC = """
+proc graft(%q, %t):
+    %p = [%t.parent]
+    %tsib = [%t.sib]
+    if %tsib == null goto l1
+    %tprev = [%t.sib_prev]
+    [%tsib.sib_prev] = %tprev
+l1:
+    %tprev = [%t.sib_prev]
+    if %tprev == null goto l1else
+    %tsib = [%t.sib]
+    [%tprev.sib] = %tsib
+    goto l2
+l1else:
+    %tsib = [%t.sib]
+    [%p.child] = %tsib
+l2:
+    [%t.parent] = %q
+    %qchild = [%q.child]
+    [%t.sib] = %qchild
+    %tsib = [%t.sib]
+    if %tsib == null goto l4
+    [%tsib.sib_prev] = %t
+l4:
+    [%q.child] = %t
+    [%t.sib_prev] = null
+    return %t
+
+proc main():
+    %r = malloc()
+    %q = malloc()
+    %p = malloc()
+    %t = malloc()
+    %u = malloc()
+    [%r.parent] = null
+    [%r.sib] = null
+    [%r.sib_prev] = null
+    [%r.child] = %q
+    [%q.parent] = %r
+    [%q.sib] = %p
+    [%q.sib_prev] = null
+    [%q.child] = null
+    [%p.parent] = %r
+    [%p.sib] = null
+    [%p.sib_prev] = %q
+    [%p.child] = %t
+    [%t.parent] = %p
+    [%t.sib] = %u
+    [%t.sib_prev] = null
+    [%t.child] = null
+    [%u.parent] = %p
+    [%u.sib] = null
+    [%u.sib_prev] = %t
+    [%u.child] = null
+    %g = call graft(%q, %t)
+    return %r
+"""
+
+#: Build, then traverse the first-child chain and each sibling chain --
+#: the access pattern of mcf's tree walks.
+FULL_SRC = """
+proc main():
+    %nodes = malloc(500)
+    %root = %nodes
+    %node = add %nodes, 1
+    [%root.parent] = null
+    [%root.child] = %node
+    [%root.sib] = null
+    [%root.sib_prev] = null
+    %i = 1
+loop:
+    if %i >= 499 goto last
+    [%node.parent] = %root
+    [%node.child] = null
+    %next = add %node, 1
+    [%node.sib] = %next
+    %prev = sub %node, 1
+    [%node.sib_prev] = %prev
+    %cost = mul %i, 30
+    [%node.potential] = %cost
+    %node = add %node, 1
+    %i = add %i, 1
+    goto loop
+last:
+    [%node.parent] = %root
+    [%node.child] = null
+    [%node.sib] = null
+    %prev = sub %node, 1
+    [%node.sib_prev] = %prev
+    %c = [%root.child]
+walk:
+    if %c == null goto out
+    %c = [%c.sib]
+    goto walk
+out:
+    return %root
+"""
+
+
+def build_program() -> Program:
+    """The Figure 4(a) builder."""
+    return parse_program(BUILD_SRC)
+
+
+def update_program() -> Program:
+    """The Figure 7 local-update fragment (with a concrete driver)."""
+    return parse_program(UPDATE_SRC)
+
+
+def full_program() -> Program:
+    """Build + traversal (Table 4's 181.mcf row)."""
+    return parse_program(FULL_SRC)

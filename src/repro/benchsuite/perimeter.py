@@ -1,0 +1,61 @@
+"""Olden *perimeter*: quaternary tree with parent links (Table 4).
+
+The quadtree builder allocates a node, recursively builds the four
+quadrant subtrees, attaches them, and sets each node's ``parent``
+backward link -- "quaternary tree w/ parent links" in the paper's
+table.  The recursive ``perimeter`` walk reads children and the parent
+link (neighbour finding in the original uses parent chains).
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = ["SRC", "program"]
+
+SRC = """
+proc build(%n, %parent):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    [%t.color] = 0
+    %m = sub %n, 1
+    %c1 = call build(%m, %t)
+    %c2 = call build(%m, %t)
+    %c3 = call build(%m, %t)
+    %c4 = call build(%m, %t)
+    [%t.nw] = %c1
+    [%t.ne] = %c2
+    [%t.sw] = %c3
+    [%t.se] = %c4
+    [%t.parent] = %parent
+    return %t
+
+proc perimeter(%t):
+    if %t != null goto rec
+    return 0
+rec:
+    %a = [%t.nw]
+    %p1 = call perimeter(%a)
+    %b = [%t.ne]
+    %p2 = call perimeter(%b)
+    %c = [%t.sw]
+    %p3 = call perimeter(%c)
+    %d = [%t.se]
+    %p4 = call perimeter(%d)
+    %up = [%t.parent]
+    %s = add %p1, %p2
+    %s = add %s, %p3
+    %s = add %s, %p4
+    return %s
+
+proc main():
+    %root = call build(4, null)
+    %total = call perimeter(%root)
+    return %root
+"""
+
+
+def program() -> Program:
+    return parse_program(SRC)

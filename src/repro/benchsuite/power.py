@@ -1,0 +1,73 @@
+"""Olden *power*: hierarchy of linked lists (Table 4).
+
+The power-system optimizer's data structure is a root holding a list
+of laterals, each lateral holding a list of branches with per-node
+demand payload -- "lists" in the paper's table.  The shape-relevant
+skeleton is nested list construction through procedure calls plus
+traversals that accumulate demand.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = ["SRC", "program"]
+
+SRC = """
+proc build_branches(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %b = malloc()
+    [%b.next] = %h
+    [%b.demand] = 1
+    %h = %b
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc build_laterals(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %l = malloc()
+    [%l.next] = %h
+    %bs = call build_branches(5)
+    [%l.branches] = %bs
+    %h = %l
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc compute_branch(%b):
+    if %b != null goto rec
+    return 0
+rec:
+    %n = [%b.next]
+    %s = call compute_branch(%n)
+    %d = [%b.demand]
+    %s = add %s, %d
+    return %s
+
+proc compute_lateral(%l):
+    if %l != null goto rec
+    return 0
+rec:
+    %n = [%l.next]
+    %s = call compute_lateral(%n)
+    %bs = [%l.branches]
+    %d = call compute_branch(%bs)
+    %s = add %s, %d
+    return %s
+
+proc main():
+    %root = call build_laterals(10)
+    %total = call compute_lateral(%root)
+    return %root
+"""
+
+
+def program() -> Program:
+    return parse_program(SRC)

@@ -1,0 +1,50 @@
+"""Olden *treeadd*: recursive binary-tree build and sum (Table 4).
+
+The kernel allocates a balanced binary tree recursively and then sums
+the node values with a recursive walk -- the simplest of the paper's
+Olden rows ("binary tree", 162 instructions in their compiler's IR).
+The ``val`` arithmetic is non-shape payload for the slicer.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = ["SRC", "program"]
+
+SRC = """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    [%t.val] = %n
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    return %t
+
+proc treeadd(%t):
+    if %t != null goto rec
+    return 0
+rec:
+    %l = [%t.left]
+    %a = call treeadd(%l)
+    %r = [%t.right]
+    %b = call treeadd(%r)
+    %v = [%t.val]
+    %s = add %a, %b
+    %s = add %s, %v
+    return %s
+
+proc main():
+    %root = call build(10)
+    %total = call treeadd(%root)
+    return %root
+"""
+
+
+def program() -> Program:
+    return parse_program(SRC)

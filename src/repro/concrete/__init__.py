@@ -1,0 +1,13 @@
+"""Concrete reference interpreter: runs the same IR the analysis sees;
+the oracle for validating synthesized predicates against real heaps."""
+
+from repro.concrete.heap import ConcreteHeap, MemoryError_
+from repro.concrete.interp import ExecutionResult, Interpreter, InterpreterError
+
+__all__ = [
+    "ConcreteHeap",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "MemoryError_",
+]

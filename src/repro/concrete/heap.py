@@ -1,0 +1,80 @@
+"""Concrete heap model for the reference interpreter.
+
+Addresses are positive integers; address 0 is null.  A cell is a
+mapping from field names to values (integers double as both data and
+addresses, exactly like the untyped IR).  Array allocations occupy a
+contiguous range of addresses so that element-level pointer arithmetic
+(``p + k``) works the way 181.mcf expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConcreteHeap", "MemoryError_"]
+
+
+class MemoryError_(Exception):
+    """Null dereference, use-after-free, or out-of-region arithmetic."""
+
+
+@dataclass
+class ConcreteHeap:
+    """A growable heap of field-addressed cells."""
+
+    cells: dict[int, dict[str, int]] = field(default_factory=dict)
+    _next: int = 1
+    #: base address -> element count, for allocated arrays
+    regions: dict[int, int] = field(default_factory=dict)
+
+    def malloc(self, count: int = 1) -> int:
+        """Allocate *count* contiguous cells; returns the base address."""
+        if count < 1:
+            raise MemoryError_(f"allocation of {count} cells")
+        base = self._next
+        for i in range(count):
+            self.cells[base + i] = {}
+        self._next += count
+        if count > 1:
+            self.regions[base] = count
+        return base
+
+    def free(self, address: int) -> None:
+        if address not in self.cells:
+            raise MemoryError_(f"free of unallocated address {address}")
+        count = self.regions.pop(address, 1)
+        for i in range(count):
+            self.cells.pop(address + i, None)
+
+    def load(self, address: int, field_name: str) -> int:
+        cell = self.cells.get(address)
+        if cell is None:
+            raise MemoryError_(f"load from unallocated address {address}")
+        return cell.get(field_name, 0)
+
+    def store(self, address: int, field_name: str, value: int) -> None:
+        cell = self.cells.get(address)
+        if cell is None:
+            raise MemoryError_(f"store to unallocated address {address}")
+        cell[field_name] = value
+
+    def is_allocated(self, address: int) -> bool:
+        return address in self.cells
+
+    def reachable_from(self, address: int) -> set[int]:
+        """Addresses reachable by following all pointer-valued fields."""
+        seen: set[int] = set()
+        stack = [address]
+        while stack:
+            node = stack.pop()
+            if node in seen or node not in self.cells:
+                continue
+            seen.add(node)
+            for value in self.cells[node].values():
+                if value in self.cells and value not in seen:
+                    stack.append(value)
+        return seen
+
+    def snapshot(self) -> dict[int, dict[str, int]]:
+        """An immutable-ish copy for the model checker."""
+        return {addr: dict(fields) for addr, fields in self.cells.items()}

@@ -1,0 +1,186 @@
+"""Concrete reference interpreter for the IR.
+
+Runs the same programs the shape analysis consumes, producing real
+heaps; the test suite checks the analysis' synthesized predicates
+against these heaps through :mod:`repro.logic.model` (the semantic
+oracle).  Execution is deterministic; a fuel limit guards against
+non-terminating inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Cond,
+    Free,
+    Goto,
+    Load,
+    Malloc,
+    Nop,
+    Return,
+    Store,
+)
+from repro.ir.program import Program
+from repro.ir.values import Global, IntConst, Null, Operand, Register
+from repro.concrete.heap import ConcreteHeap, MemoryError_
+
+__all__ = ["Interpreter", "ExecutionResult", "InterpreterError"]
+
+
+class InterpreterError(Exception):
+    """Fuel exhaustion or a dynamic error (bad jump, missing proc...)."""
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of a concrete run."""
+
+    value: int
+    heap: ConcreteHeap
+    steps: int
+    globals: dict[str, int] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Direct interpreter over :class:`~repro.ir.program.Program`."""
+
+    def __init__(self, program: Program, fuel: int = 1_000_000):
+        program.validate()
+        self.program = program
+        self.fuel = fuel
+        self.heap = ConcreteHeap()
+        self.global_cells: dict[str, int] = {
+            name: self.heap.malloc() for name in program.globals
+        }
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    def run(self, *args: int) -> ExecutionResult:
+        """Execute the entry procedure with integer arguments."""
+        value = self.call(self.program.entry, list(args))
+        return ExecutionResult(
+            value, self.heap, self._steps, dict(self.global_cells)
+        )
+
+    def call(self, name: str, args: list[int]) -> int:
+        proc = self.program.proc(name)
+        if len(args) != len(proc.params):
+            raise InterpreterError(
+                f"{name} expects {len(proc.params)} args, got {len(args)}"
+            )
+        registers: dict[Register, int] = dict(zip(proc.params, args))
+        index = 0
+        while True:
+            self._steps += 1
+            if self._steps > self.fuel:
+                raise InterpreterError("fuel exhausted")
+            if index >= len(proc.instrs):
+                return 0
+            instr = proc.instrs[index]
+            if isinstance(instr, Nop):
+                index += 1
+            elif isinstance(instr, Assign):
+                registers[instr.dst] = self._operand(registers, instr.src)
+                index += 1
+            elif isinstance(instr, ArithOp):
+                registers[instr.dst] = self._arith(registers, instr)
+                index += 1
+            elif isinstance(instr, Malloc):
+                count = (
+                    self._operand(registers, instr.count)
+                    if instr.count is not None
+                    else 1
+                )
+                registers[instr.dst] = self.heap.malloc(max(count, 1))
+                index += 1
+            elif isinstance(instr, Free):
+                self.heap.free(registers.get(instr.ptr, 0))
+                index += 1
+            elif isinstance(instr, Load):
+                address = registers.get(instr.addr, 0)
+                if address == 0:
+                    raise MemoryError_("null dereference")
+                registers[instr.dst] = self.heap.load(address, instr.field)
+                index += 1
+            elif isinstance(instr, Store):
+                address = registers.get(instr.addr, 0)
+                if address == 0:
+                    raise MemoryError_("null dereference")
+                self.heap.store(
+                    address, instr.field, self._operand(registers, instr.src)
+                )
+                index += 1
+            elif isinstance(instr, Call):
+                result = self.call(
+                    instr.func,
+                    [self._operand(registers, a) for a in instr.args],
+                )
+                if instr.dst is not None:
+                    registers[instr.dst] = result
+                index += 1
+            elif isinstance(instr, Return):
+                if instr.value is None:
+                    return 0
+                return self._operand(registers, instr.value)
+            elif isinstance(instr, Goto):
+                index = proc.labels[instr.target]
+            elif isinstance(instr, Branch):
+                if self._condition(registers, instr.cond):
+                    index = proc.labels[instr.target]
+                else:
+                    index += 1
+            else:
+                raise InterpreterError(f"cannot execute {instr}")
+
+    # ------------------------------------------------------------------
+    def _operand(self, registers: dict[Register, int], operand: Operand) -> int:
+        if isinstance(operand, Null):
+            return 0
+        if isinstance(operand, IntConst):
+            return operand.value
+        if isinstance(operand, Global):
+            return self.global_cells[operand.name]
+        return registers.get(operand, 0)
+
+    def _arith(self, registers: dict[Register, int], instr: ArithOp) -> int:
+        lhs = self._operand(registers, instr.lhs)
+        rhs = self._operand(registers, instr.rhs)
+        op = instr.op
+        if op == "add":
+            return lhs + rhs
+        if op == "sub":
+            return lhs - rhs
+        if op == "mul":
+            return lhs * rhs
+        if op == "div":
+            return lhs // rhs if rhs else 0
+        if op == "mod":
+            return lhs % rhs if rhs else 0
+        if op == "and":
+            return lhs & rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "shl":
+            return lhs << (rhs & 63)
+        if op == "shr":
+            return lhs >> (rhs & 63)
+        raise InterpreterError(f"unknown op {op}")
+
+    def _condition(self, registers: dict[Register, int], cond: Cond) -> bool:
+        lhs = self._operand(registers, cond.lhs)
+        rhs = self._operand(registers, cond.rhs)
+        return {
+            "eq": lhs == rhs,
+            "ne": lhs != rhs,
+            "lt": lhs < rhs,
+            "le": lhs <= rhs,
+            "gt": lhs > rhs,
+            "ge": lhs >= rhs,
+        }[cond.op]

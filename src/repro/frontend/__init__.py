@@ -1,0 +1,23 @@
+"""Mini-C frontend: lexer, parser and lowering to the low-level IR --
+the role the paper's optimizing C compiler plays upstream of the
+analysis."""
+
+from repro.frontend.cast import TranslationUnit
+from repro.frontend.cparser import ParseError, parse
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lower import LowerError, compile_c, lower
+from repro.frontend.typecheck import TypeError_, check_unit
+
+__all__ = [
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "TypeError_",
+    "check_unit",
+    "Token",
+    "TranslationUnit",
+    "compile_c",
+    "lower",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,224 @@
+"""AST for the mini-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CType",
+    "IntType",
+    "PtrType",
+    "StructDecl",
+    "VarDecl",
+    "FuncDecl",
+    "TranslationUnit",
+    # expressions
+    "Expr",
+    "NumberExpr",
+    "NullExpr",
+    "VarExpr",
+    "FieldExpr",
+    "BinaryExpr",
+    "UnaryExpr",
+    "CallExpr",
+    "MallocExpr",
+    "SizeofExpr",
+    # statements
+    "Stmt",
+    "DeclStmt",
+    "ExprStmt",
+    "AssignStmt",
+    "IfStmt",
+    "WhileStmt",
+    "ForStmt",
+    "ReturnStmt",
+    "FreeStmt",
+    "BlockStmt",
+]
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntType:
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class PtrType:
+    struct: str  # name of the struct pointed to ("" for void*/unknown)
+
+    def __str__(self) -> str:
+        return f"struct {self.struct}*"
+
+
+CType = IntType | PtrType
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: list[tuple[str, CType]]
+
+    def field_type(self, name: str) -> CType | None:
+        for field_name, ctype in self.fields:
+            if field_name == name:
+                return ctype
+        return None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumberExpr(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class NullExpr(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class FieldExpr(Expr):
+    """``base->field``."""
+
+    base: Expr
+    field: str
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: str  # + - * / % == != < <= > >= && ||
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: str  # - !
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class MallocExpr(Expr):
+    """``malloc(sizeof(struct s))`` or ``malloc(n * sizeof(struct s))``."""
+
+    struct: str
+    count: Expr | None = None  # None => one element
+
+
+@dataclass(frozen=True)
+class SizeofExpr(Expr):
+    struct: str
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str
+    ctype: CType
+    init: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr  # VarExpr or FieldExpr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then: "BlockStmt"
+    otherwise: "BlockStmt | None"
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: "BlockStmt"
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: "BlockStmt"
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class FreeStmt(Stmt):
+    target: Expr
+
+
+@dataclass
+class BlockStmt(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    return_type: CType | None  # None for void
+    params: list[VarDecl]
+    body: BlockStmt
+
+
+@dataclass
+class TranslationUnit:
+    structs: dict[str, StructDecl] = field(default_factory=dict)
+    functions: dict[str, FuncDecl] = field(default_factory=dict)
+    globals: list[VarDecl] = field(default_factory=list)

@@ -1,0 +1,390 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Grammar (simplified)::
+
+    unit      := (struct_decl | func_decl | global_decl)*
+    struct    := 'struct' ident '{' (type ident ';')* '}' ';'
+    func      := type ident '(' params ')' block
+    type      := ('int' | 'struct' ident '*'* | 'void')
+    block     := '{' stmt* '}'
+    stmt      := decl | assign | if | while | for | return | free | call ';'
+    assign    := lvalue '=' expr ';'
+    lvalue    := ident | expr '->' ident
+    expr      := precedence-climbing over || && == != < <= > >= + - * / %
+
+Only the constructs the analysis models are accepted; anything else is
+a :class:`ParseError` with a line number.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.cast import (
+    AssignStmt,
+    BinaryExpr,
+    BlockStmt,
+    CallExpr,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FreeStmt,
+    FuncDecl,
+    IfStmt,
+    IntType,
+    MallocExpr,
+    NullExpr,
+    NumberExpr,
+    PtrType,
+    ReturnStmt,
+    SizeofExpr,
+    StructDecl,
+    TranslationUnit,
+    UnaryExpr,
+    VarDecl,
+    VarExpr,
+    WhileStmt,
+)
+from repro.frontend.lexer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class ParseError(Exception):
+    def __init__(self, token: Token, message: str):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(token, f"expected {want!r}")
+        return self._advance()
+
+    def _at(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> bool:
+        if self._at(kind, text):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while not self._at("eof"):
+            if self._at("keyword", "struct") and self._peek(2).text == "{":
+                struct = self._parse_struct()
+                unit.structs[struct.name] = struct
+                continue
+            ctype = self._parse_type(allow_void=True)
+            name = self._expect("ident").text
+            if self._at("("):
+                unit.functions[name] = self._parse_function(ctype, name)
+            else:
+                self._expect(";")
+                if ctype is None:
+                    raise ParseError(self._peek(), "void global")
+                unit.globals.append(VarDecl(name, ctype))
+        return unit
+
+    def _parse_struct(self) -> StructDecl:
+        self._expect("keyword", "struct")
+        name = self._expect("ident").text
+        self._expect("{")
+        fields: list[tuple[str, CType]] = []
+        while not self._accept("}"):
+            ctype = self._parse_type()
+            assert ctype is not None
+            field_name = self._expect("ident").text
+            self._expect(";")
+            fields.append((field_name, ctype))
+        self._expect(";")
+        return StructDecl(name, fields)
+
+    def _parse_type(self, allow_void: bool = False) -> CType | None:
+        if self._accept("keyword", "void"):
+            stars = 0
+            while self._accept("*"):
+                stars += 1
+            if stars:
+                return PtrType("")
+            if not allow_void:
+                raise ParseError(self._peek(), "void is only a return type")
+            return None
+        if self._accept("keyword", "int"):
+            stars = 0
+            while self._accept("*"):
+                stars += 1
+            return PtrType("") if stars else IntType()
+        if self._accept("keyword", "struct"):
+            name = self._expect("ident").text
+            stars = 0
+            while self._accept("*"):
+                stars += 1
+            if stars == 0:
+                raise ParseError(
+                    self._peek(), "struct values are not supported; use a pointer"
+                )
+            return PtrType(name)
+        raise ParseError(self._peek(), "expected a type")
+
+    def _parse_function(self, return_type: CType | None, name: str) -> FuncDecl:
+        self._expect("(")
+        params: list[VarDecl] = []
+        if not self._at(")"):
+            if self._at("keyword", "void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    ctype = self._parse_type()
+                    assert ctype is not None
+                    pname = self._expect("ident").text
+                    params.append(VarDecl(pname, ctype))
+                    if not self._accept(","):
+                        break
+        self._expect(")")
+        body = self._parse_block()
+        return FuncDecl(name, return_type, params, body)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> BlockStmt:
+        self._expect("{")
+        block = BlockStmt()
+        while not self._accept("}"):
+            block.statements.append(self._parse_statement())
+        return block
+
+    def _parse_statement(self) -> "Stmt":
+        if self._at("{"):
+            return self._parse_block()
+        if self._at("keyword", "if"):
+            return self._parse_if()
+        if self._at("keyword", "while"):
+            return self._parse_while()
+        if self._at("keyword", "for"):
+            return self._parse_for()
+        if self._at("keyword", "return"):
+            self._advance()
+            value = None if self._at(";") else self._parse_expr()
+            self._expect(";")
+            return ReturnStmt(value)
+        if self._at("keyword", "free"):
+            self._advance()
+            self._expect("(")
+            target = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return FreeStmt(target)
+        if self._at("keyword", "int") or self._at("keyword", "struct"):
+            return self._parse_decl()
+        return self._parse_simple_statement(expect_semi=True)
+
+    def _parse_decl(self) -> DeclStmt:
+        ctype = self._parse_type()
+        assert ctype is not None
+        name = self._expect("ident").text
+        init = None
+        if self._accept("="):
+            init = self._parse_expr()
+        self._expect(";")
+        return DeclStmt(name, ctype, init)
+
+    def _parse_simple_statement(self, expect_semi: bool) -> "Stmt":
+        """Assignment, increment, or expression statement (no keyword)."""
+        expr = self._parse_expr()
+        if self._accept("="):
+            value = self._parse_expr()
+            if expect_semi:
+                self._expect(";")
+            if not isinstance(expr, (VarExpr, FieldExpr)):
+                raise ParseError(self._peek(), "bad assignment target")
+            return AssignStmt(expr, value)
+        if self._at("++") or self._at("--"):
+            op = self._advance().text
+            if expect_semi:
+                self._expect(";")
+            if not isinstance(expr, VarExpr):
+                raise ParseError(self._peek(), "++/-- needs a variable")
+            delta = BinaryExpr("+" if op == "++" else "-", expr, NumberExpr(1))
+            return AssignStmt(expr, delta)
+        if expect_semi:
+            self._expect(";")
+        return ExprStmt(expr)
+
+    def _parse_if(self) -> IfStmt:
+        self._expect("keyword", "if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then = self._parse_statement_as_block()
+        otherwise = None
+        if self._accept("keyword", "else"):
+            otherwise = self._parse_statement_as_block()
+        return IfStmt(cond, then, otherwise)
+
+    def _parse_while(self) -> WhileStmt:
+        self._expect("keyword", "while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        return WhileStmt(cond, self._parse_statement_as_block())
+
+    def _parse_for(self) -> ForStmt:
+        self._expect("keyword", "for")
+        self._expect("(")
+        init = None
+        if not self._at(";"):
+            if self._at("keyword", "int") or self._at("keyword", "struct"):
+                init = self._parse_decl()
+            else:
+                init = self._parse_simple_statement(expect_semi=True)
+        else:
+            self._expect(";")
+        cond = None if self._at(";") else self._parse_expr()
+        self._expect(";")
+        step = None
+        if not self._at(")"):
+            step = self._parse_simple_statement(expect_semi=False)
+        self._expect(")")
+        return ForStmt(init, cond, step, self._parse_statement_as_block())
+
+    def _parse_statement_as_block(self) -> BlockStmt:
+        statement = self._parse_statement()
+        if isinstance(statement, BlockStmt):
+            return statement
+        return BlockStmt([statement])
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self, min_precedence: int = 1) -> Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._advance()
+            rhs = self._parse_expr(precedence + 1)
+            lhs = BinaryExpr(token.text, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("-"):
+            return UnaryExpr("-", self._parse_unary())
+        if self._accept("!"):
+            return UnaryExpr("!", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._accept("->"):
+            field_name = self._expect("ident").text
+            expr = FieldExpr(expr, field_name)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return NumberExpr(int(token.text))
+        if self._accept("keyword", "NULL"):
+            return NullExpr()
+        if self._at("keyword", "malloc"):
+            return self._parse_malloc()
+        if self._at("keyword", "sizeof"):
+            return SizeofExpr(self._parse_sizeof())
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("("):
+                args = []
+                if not self._at(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return CallExpr(token.text, tuple(args))
+            return VarExpr(token.text)
+        if self._accept("("):
+            # A cast "(struct s *) e" is accepted and ignored.
+            if self._at("keyword", "struct") or self._at("keyword", "int"):
+                self._parse_type()
+                self._expect(")")
+                return self._parse_unary()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        raise ParseError(token, "expected an expression")
+
+    def _parse_sizeof(self) -> str:
+        self._expect("keyword", "sizeof")
+        self._expect("(")
+        self._expect("keyword", "struct")
+        name = self._expect("ident").text
+        while self._accept("*"):
+            pass
+        self._expect(")")
+        return name
+
+    def _parse_malloc(self) -> MallocExpr:
+        self._expect("keyword", "malloc")
+        self._expect("(")
+        argument = self._parse_expr()
+        self._expect(")")
+        if isinstance(argument, SizeofExpr):
+            return MallocExpr(argument.struct, None)
+        if isinstance(argument, BinaryExpr) and argument.op == "*":
+            if isinstance(argument.rhs, SizeofExpr):
+                return MallocExpr(argument.rhs.struct, argument.lhs)
+            if isinstance(argument.lhs, SizeofExpr):
+                return MallocExpr(argument.lhs.struct, argument.rhs)
+        raise ParseError(
+            self._peek(), "malloc argument must be [n *] sizeof(struct s)"
+        )
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse mini-C source into a :class:`TranslationUnit`."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,129 @@
+"""Lexer for the mini-C subset.
+
+The frontend accepts the C fragment the benchmark kernels need:
+struct declarations with pointer and integer members, functions,
+pointers, ``->`` field access, ``malloc``/``free``, ``while``/``for``/
+``if``/``else``/``return``, integer arithmetic and comparisons, and
+element-level pointer arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "struct",
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "sizeof",
+    "malloc",
+    "free",
+    "NULL",
+}
+
+_PUNCT = [
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    "*",
+    "+",
+    "-",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    ".",
+    "&",
+]
+
+
+class LexError(Exception):
+    """Malformed input, with a line number."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'ident', 'number', 'keyword', or the punctuation itself
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; raises :class:`LexError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(line, "unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(Token(punct, punct, line))
+                i += len(punct)
+                break
+        else:
+            raise LexError(line, f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

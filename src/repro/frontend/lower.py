@@ -1,0 +1,288 @@
+"""Lowering mini-C to the low-level IR.
+
+Mirrors what the paper's optimizing C compiler does before the shape
+analysis runs: expressions flatten into three-address instructions over
+virtual registers, ``->`` accesses become explicit loads/stores,
+structured control flow becomes labels and branches, and
+``p + k`` / ``p - k`` on struct pointers stays element-granular.
+
+Short-circuit ``&&``/``||`` lower to branches; comparisons used as
+values materialize 0/1 through a small diamond.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.cast import (
+    AssignStmt,
+    BinaryExpr,
+    BlockStmt,
+    CallExpr,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FreeStmt,
+    FuncDecl,
+    IfStmt,
+    IntType,
+    MallocExpr,
+    NullExpr,
+    NumberExpr,
+    PtrType,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    TranslationUnit,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.frontend.cparser import parse
+from repro.ir import (
+    NULL,
+    Cond,
+    IntConst,
+    Operand,
+    ProcBuilder,
+    Program,
+    ProgramBuilder,
+    Register,
+)
+
+__all__ = ["lower", "compile_c", "LowerError"]
+
+_COMPARISONS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod"}
+
+
+class LowerError(Exception):
+    """A construct the IR cannot express (should be rare: the parser
+    already restricts the language)."""
+
+
+class _FunctionLowerer:
+    def __init__(self, unit: TranslationUnit, func: FuncDecl):
+        self.unit = unit
+        self.func = func
+        self.b = ProcBuilder(func.name, [p.name for p in func.params])
+
+    def lower(self):
+        self._block(self.func.body)
+        return self.b.build()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(self, block: BlockStmt) -> None:
+        for statement in block.statements:
+            self._statement(statement)
+
+    def _statement(self, statement: Stmt) -> None:
+        if isinstance(statement, BlockStmt):
+            self._block(statement)
+        elif isinstance(statement, DeclStmt):
+            value = (
+                self._rvalue(statement.init)
+                if statement.init is not None
+                else (NULL if isinstance(statement.ctype, PtrType) else IntConst(0))
+            )
+            self.b.assign(statement.name, value)
+        elif isinstance(statement, AssignStmt):
+            self._assign(statement)
+        elif isinstance(statement, ExprStmt):
+            self._rvalue(statement.expr)
+        elif isinstance(statement, IfStmt):
+            self._if(statement)
+        elif isinstance(statement, WhileStmt):
+            self._while(statement)
+        elif isinstance(statement, ForStmt):
+            self._for(statement)
+        elif isinstance(statement, ReturnStmt):
+            value = (
+                self._rvalue(statement.value)
+                if statement.value is not None
+                else None
+            )
+            self.b.ret(value)
+        elif isinstance(statement, FreeStmt):
+            self.b.free(self._as_register(self._rvalue(statement.target)))
+        else:
+            raise LowerError(f"cannot lower {statement}")
+
+    def _assign(self, statement: AssignStmt) -> None:
+        if isinstance(statement.target, VarExpr):
+            self.b.assign(statement.target.name, self._rvalue(statement.value))
+            return
+        target = statement.target
+        base = self._as_register(self._rvalue(target.base))
+        self.b.store(base, target.field, self._rvalue(statement.value))
+
+    def _if(self, statement: IfStmt) -> None:
+        if statement.otherwise is None:
+            end = self.b.fresh_label("endif")
+            self._branch_if_false(statement.cond, end)
+            self._block(statement.then)
+            self.b._labels[end] = len(self.b._instrs)
+            return
+        else_label = self.b.fresh_label("else")
+        end = self.b.fresh_label("endif")
+        self._branch_if_false(statement.cond, else_label)
+        self._block(statement.then)
+        self.b.goto(end)
+        self.b._labels[else_label] = len(self.b._instrs)
+        self._block(statement.otherwise)
+        self.b._labels[end] = len(self.b._instrs)
+
+    def _while(self, statement: WhileStmt) -> None:
+        header = self.b.label()
+        exit_label = self.b.fresh_label("endwhile")
+        self._branch_if_false(statement.cond, exit_label)
+        self._block(statement.body)
+        self.b.goto(header)
+        self.b._labels[exit_label] = len(self.b._instrs)
+
+    def _for(self, statement: ForStmt) -> None:
+        if statement.init is not None:
+            self._statement(statement.init)
+        header = self.b.label()
+        exit_label = self.b.fresh_label("endfor")
+        if statement.cond is not None:
+            self._branch_if_false(statement.cond, exit_label)
+        self._block(statement.body)
+        if statement.step is not None:
+            self._statement(statement.step)
+        self.b.goto(header)
+        self.b._labels[exit_label] = len(self.b._instrs)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _branch_if_false(self, cond: Expr, target: str) -> None:
+        """Branch to *target* when *cond* is false (short-circuiting)."""
+        if isinstance(cond, BinaryExpr) and cond.op in _COMPARISONS:
+            lhs = self._rvalue(cond.lhs)
+            rhs = self._rvalue(cond.rhs)
+            negated = Cond(_COMPARISONS[cond.op], lhs, rhs).negated()
+            self.b.emit_branch(negated, target)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op == "&&":
+            self._branch_if_false(cond.lhs, target)
+            self._branch_if_false(cond.rhs, target)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op == "||":
+            take = self.b.fresh_label("or")
+            self._branch_if_true(cond.lhs, take)
+            self._branch_if_false(cond.rhs, target)
+            self.b._labels[take] = len(self.b._instrs)
+            return
+        if isinstance(cond, UnaryExpr) and cond.op == "!":
+            self._branch_if_true(cond.operand, target)
+            return
+        # Truthiness: false iff equal to null/zero.
+        value = self._rvalue(cond)
+        self.b.emit_branch(Cond("eq", value, _zero_of(cond, self)), target)
+
+    def _branch_if_true(self, cond: Expr, target: str) -> None:
+        if isinstance(cond, BinaryExpr) and cond.op in _COMPARISONS:
+            lhs = self._rvalue(cond.lhs)
+            rhs = self._rvalue(cond.rhs)
+            self.b.emit_branch(Cond(_COMPARISONS[cond.op], lhs, rhs), target)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op == "&&":
+            skip = self.b.fresh_label("and")
+            self._branch_if_false(cond.lhs, skip)
+            self._branch_if_true(cond.rhs, target)
+            self.b._labels[skip] = len(self.b._instrs)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op == "||":
+            self._branch_if_true(cond.lhs, target)
+            self._branch_if_true(cond.rhs, target)
+            return
+        if isinstance(cond, UnaryExpr) and cond.op == "!":
+            self._branch_if_false(cond.operand, target)
+            return
+        value = self._rvalue(cond)
+        self.b.emit_branch(Cond("ne", value, _zero_of(cond, self)), target)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _rvalue(self, expr: Expr) -> Operand:
+        if isinstance(expr, NumberExpr):
+            return IntConst(expr.value)
+        if isinstance(expr, NullExpr):
+            return NULL
+        if isinstance(expr, SizeofExpr):
+            return IntConst(1)  # element-granular model
+        if isinstance(expr, VarExpr):
+            return Register(expr.name)
+        if isinstance(expr, FieldExpr):
+            base = self._as_register(self._rvalue(expr.base))
+            return self.b.load(self.b.fresh_reg("t"), base, expr.field)
+        if isinstance(expr, MallocExpr):
+            count = (
+                self._rvalue(expr.count) if expr.count is not None else None
+            )
+            return self.b.malloc(self.b.fresh_reg("m"), count)
+        if isinstance(expr, CallExpr):
+            args = [self._rvalue(a) for a in expr.args]
+            return self.b.call(self.b.fresh_reg("r"), expr.func, list(args))
+        if isinstance(expr, UnaryExpr) and expr.op == "-":
+            value = self._rvalue(expr.operand)
+            return self.b.arith(self.b.fresh_reg("t"), "sub", IntConst(0), value)
+        if isinstance(expr, BinaryExpr) and expr.op in _ARITH:
+            lhs = self._rvalue(expr.lhs)
+            rhs = self._rvalue(expr.rhs)
+            return self.b.arith(self.b.fresh_reg("t"), _ARITH[expr.op], lhs, rhs)
+        if isinstance(expr, BinaryExpr) and expr.op in _COMPARISONS or (
+            isinstance(expr, (BinaryExpr, UnaryExpr))
+        ):
+            # Comparison/boolean used as a value: materialize 0/1.
+            result = self.b.fresh_reg("b")
+            true_label = self.b.fresh_label("btrue")
+            end = self.b.fresh_label("bend")
+            self._branch_if_true(expr, true_label)
+            self.b.assign(result, IntConst(0))
+            self.b.goto(end)
+            self.b._labels[true_label] = len(self.b._instrs)
+            self.b.assign(result, IntConst(1))
+            self.b._labels[end] = len(self.b._instrs)
+            return result
+        raise LowerError(f"cannot lower expression {expr}")
+
+    def _as_register(self, operand: Operand) -> Register:
+        if isinstance(operand, Register):
+            return operand
+        reg = self.b.fresh_reg("t")
+        self.b.assign(reg, operand)
+        return reg
+
+
+def _zero_of(expr: Expr, lowerer: _FunctionLowerer) -> Operand:
+    """Null for pointers, 0 for ints; the IR's filter treats an integer
+    comparison as opaque anyway, so when in doubt use null."""
+    return NULL
+
+
+def lower(unit: TranslationUnit) -> Program:
+    """Lower a parsed translation unit to an IR program."""
+    builder = ProgramBuilder(
+        entry="main", globals=tuple(g.name for g in unit.globals)
+    )
+    for func in unit.functions.values():
+        builder.add(_FunctionLowerer(unit, func).lower())
+    return builder.build()
+
+
+def compile_c(source: str, typecheck: bool = True) -> Program:
+    """Front door: mini-C source text to an IR program.
+
+    ``typecheck=False`` skips the static checks (useful for feeding the
+    analysis deliberately odd inputs in tests)."""
+    unit = parse(source)
+    if typecheck:
+        from repro.frontend.typecheck import check_unit
+
+        check_unit(unit)
+    return lower(unit)

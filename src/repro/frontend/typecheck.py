@@ -1,0 +1,271 @@
+"""Static checks over the mini-C AST before lowering.
+
+The lowering itself is untyped (the IR is untyped, like the paper's
+target language), but a real frontend rejects obviously broken programs
+instead of producing IR that gets stuck at analysis time.  Checked:
+
+* every ``struct`` named in a type or ``sizeof`` is declared;
+* every ``->`` access names a declared field of the pointee's struct
+  (when the pointee struct is statically known);
+* variables are declared before use; functions are declared before
+  call, with matching arity;
+* assignment targets are lvalues (already enforced by the parser) and
+  pointer/integer kinds are not blatantly confused (pointer + pointer,
+  returning a pointer from an ``int`` function, ...).
+
+The checker is deliberately permissive where C is (null literals as
+``0``, unknown pointee structs through ``void*``), and every diagnostic
+carries the offending construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.cast import (
+    AssignStmt,
+    BinaryExpr,
+    BlockStmt,
+    CallExpr,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FreeStmt,
+    FuncDecl,
+    IfStmt,
+    IntType,
+    MallocExpr,
+    NullExpr,
+    NumberExpr,
+    PtrType,
+    ReturnStmt,
+    SizeofExpr,
+    Stmt,
+    TranslationUnit,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+
+__all__ = ["TypeError_", "check_unit"]
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_LOGICAL = {"&&", "||"}
+
+
+class TypeError_(Exception):
+    """A mini-C type error, with a human-readable description."""
+
+
+@dataclass
+class _Scope:
+    variables: dict[str, CType]
+    parent: "._Scope | None" = None
+
+    def lookup(self, name: str) -> CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.variables:
+                return scope.variables[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, ctype: CType) -> None:
+        if name in self.variables:
+            raise TypeError_(f"redeclaration of {name!r}")
+        self.variables[name] = ctype
+
+
+class _Checker:
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        for struct in self.unit.structs.values():
+            seen = set()
+            for field_name, ctype in struct.fields:
+                if field_name in seen:
+                    raise TypeError_(
+                        f"struct {struct.name}: duplicate field {field_name!r}"
+                    )
+                seen.add(field_name)
+                self._check_type(ctype, f"struct {struct.name}.{field_name}")
+        for func in self.unit.functions.values():
+            self._check_function(func)
+
+    def _check_type(self, ctype: CType, where: str) -> None:
+        if isinstance(ctype, PtrType) and ctype.struct:
+            if ctype.struct not in self.unit.structs:
+                raise TypeError_(f"{where}: unknown struct {ctype.struct!r}")
+
+    def _check_function(self, func: FuncDecl) -> None:
+        if func.return_type is not None:
+            self._check_type(func.return_type, f"{func.name} return type")
+        scope = _Scope({g.name: g.ctype for g in self.unit.globals})
+        body_scope = _Scope({}, scope)
+        for param in func.params:
+            self._check_type(param.ctype, f"{func.name} parameter {param.name}")
+            body_scope.declare(param.name, param.ctype)
+        self._check_block(func, func.body, body_scope)
+
+    # ------------------------------------------------------------------
+    def _check_block(self, func: FuncDecl, block: BlockStmt, scope: _Scope) -> None:
+        inner = _Scope({}, scope)
+        for statement in block.statements:
+            self._check_statement(func, statement, inner)
+
+    def _check_statement(self, func: FuncDecl, statement: Stmt, scope: _Scope) -> None:
+        if isinstance(statement, BlockStmt):
+            self._check_block(func, statement, scope)
+        elif isinstance(statement, DeclStmt):
+            self._check_type(statement.ctype, f"declaration of {statement.name}")
+            if statement.init is not None:
+                init_type = self._type_of(statement.init, scope)
+                self._require_assignable(
+                    statement.ctype, init_type, f"initializer of {statement.name}"
+                )
+            scope.declare(statement.name, statement.ctype)
+        elif isinstance(statement, AssignStmt):
+            target_type = self._type_of(statement.target, scope)
+            value_type = self._type_of(statement.value, scope)
+            self._require_assignable(target_type, value_type, "assignment")
+        elif isinstance(statement, ExprStmt):
+            self._type_of(statement.expr, scope)
+        elif isinstance(statement, IfStmt):
+            self._type_of(statement.cond, scope)
+            self._check_block(func, statement.then, scope)
+            if statement.otherwise is not None:
+                self._check_block(func, statement.otherwise, scope)
+        elif isinstance(statement, WhileStmt):
+            self._type_of(statement.cond, scope)
+            self._check_block(func, statement.body, scope)
+        elif isinstance(statement, ForStmt):
+            inner = _Scope({}, scope)
+            if statement.init is not None:
+                self._check_statement(func, statement.init, inner)
+            if statement.cond is not None:
+                self._type_of(statement.cond, inner)
+            if statement.step is not None:
+                self._check_statement(func, statement.step, inner)
+            self._check_block(func, statement.body, inner)
+        elif isinstance(statement, ReturnStmt):
+            if statement.value is None:
+                if func.return_type is not None:
+                    raise TypeError_(f"{func.name}: missing return value")
+            else:
+                value_type = self._type_of(statement.value, scope)
+                if func.return_type is None:
+                    raise TypeError_(f"{func.name}: void function returns a value")
+                self._require_assignable(
+                    func.return_type, value_type, f"return in {func.name}"
+                )
+        elif isinstance(statement, FreeStmt):
+            freed = self._type_of(statement.target, scope)
+            if not isinstance(freed, PtrType):
+                raise TypeError_("free of a non-pointer")
+        else:
+            raise TypeError_(f"unknown statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    def _type_of(self, expr: Expr, scope: _Scope) -> CType:
+        if isinstance(expr, NumberExpr):
+            return IntType()
+        if isinstance(expr, (NullExpr,)):
+            return PtrType("")
+        if isinstance(expr, SizeofExpr):
+            if expr.struct not in self.unit.structs:
+                raise TypeError_(f"sizeof unknown struct {expr.struct!r}")
+            return IntType()
+        if isinstance(expr, VarExpr):
+            found = scope.lookup(expr.name)
+            if found is None:
+                raise TypeError_(f"use of undeclared variable {expr.name!r}")
+            return found
+        if isinstance(expr, FieldExpr):
+            base_type = self._type_of(expr.base, scope)
+            if not isinstance(base_type, PtrType):
+                raise TypeError_(f"-> applied to non-pointer ({expr.field})")
+            if not base_type.struct:
+                return PtrType("")  # through void*: unknown field types
+            struct = self.unit.structs.get(base_type.struct)
+            if struct is None:
+                raise TypeError_(f"unknown struct {base_type.struct!r}")
+            field_type = struct.field_type(expr.field)
+            if field_type is None:
+                raise TypeError_(
+                    f"struct {struct.name} has no field {expr.field!r}"
+                )
+            return field_type
+        if isinstance(expr, MallocExpr):
+            if expr.struct not in self.unit.structs:
+                raise TypeError_(f"malloc of unknown struct {expr.struct!r}")
+            if expr.count is not None:
+                self._type_of(expr.count, scope)
+            return PtrType(expr.struct)
+        if isinstance(expr, CallExpr):
+            func = self.unit.functions.get(expr.func)
+            if func is None:
+                raise TypeError_(f"call to undeclared function {expr.func!r}")
+            if len(func.params) != len(expr.args):
+                raise TypeError_(
+                    f"{expr.func} expects {len(func.params)} arguments, "
+                    f"got {len(expr.args)}"
+                )
+            for param, arg in zip(func.params, expr.args):
+                self._require_assignable(
+                    param.ctype,
+                    self._type_of(arg, scope),
+                    f"argument {param.name} of {expr.func}",
+                )
+            return func.return_type if func.return_type is not None else IntType()
+        if isinstance(expr, UnaryExpr):
+            operand = self._type_of(expr.operand, scope)
+            if expr.op == "-" and isinstance(operand, PtrType):
+                raise TypeError_("unary minus on a pointer")
+            return IntType()
+        if isinstance(expr, BinaryExpr):
+            lhs = self._type_of(expr.lhs, scope)
+            rhs = self._type_of(expr.rhs, scope)
+            if expr.op in _COMPARISONS or expr.op in _LOGICAL:
+                return IntType()
+            if expr.op in {"+", "-"}:
+                if isinstance(lhs, PtrType) and isinstance(rhs, PtrType):
+                    raise TypeError_(f"pointer {expr.op} pointer")
+                if isinstance(lhs, PtrType):
+                    return lhs
+                if isinstance(rhs, PtrType):
+                    if expr.op == "-":
+                        raise TypeError_("int - pointer")
+                    return rhs
+                return IntType()
+            if isinstance(lhs, PtrType) or isinstance(rhs, PtrType):
+                raise TypeError_(f"pointer operand to {expr.op!r}")
+            return IntType()
+        raise TypeError_(f"unknown expression {expr!r}")
+
+    def _require_assignable(self, target: CType, value: CType, where: str) -> None:
+        if isinstance(target, IntType) and isinstance(value, PtrType):
+            raise TypeError_(f"{where}: pointer assigned to int")
+        if isinstance(target, PtrType) and isinstance(value, IntType):
+            raise TypeError_(f"{where}: int assigned to pointer")
+        if (
+            isinstance(target, PtrType)
+            and isinstance(value, PtrType)
+            and target.struct
+            and value.struct
+            and target.struct != value.struct
+        ):
+            raise TypeError_(
+                f"{where}: struct {value.struct}* assigned to "
+                f"struct {target.struct}*"
+            )
+
+
+def check_unit(unit: TranslationUnit) -> TranslationUnit:
+    """Type-check *unit*; returns it unchanged on success."""
+    _Checker(unit).check()
+    return unit

@@ -1,0 +1,248 @@
+"""Fluent construction API for IR procedures.
+
+Writing flat instruction lists with explicit labels by hand is
+error-prone; the builder keeps a cursor, auto-generates fresh labels and
+registers, and offers structured helpers (``while_``, ``if_``) that
+lower to the unstructured gotos the analysis consumes.
+
+Example::
+
+    b = ProcBuilder("length", params=["list"])
+    n = b.assign_const("n", 0)
+    cur = b.assign("cur", b.reg("list"))
+    with b.while_("ne", cur, NULL):
+        b.arith(n, "add", n, IntConst(1))
+        b.load(cur, cur, "next")
+    b.ret(n)
+    proc = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+from repro.ir.instructions import (
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Cond,
+    Free,
+    Goto,
+    Instruction,
+    Load,
+    Malloc,
+    Return,
+    Store,
+)
+from repro.ir.program import Procedure, Program
+from repro.ir.values import NULL, Global, IntConst, Null, Operand, Register
+
+__all__ = ["ProcBuilder", "ProgramBuilder"]
+
+
+def _as_operand(value: Operand | int | None) -> Operand:
+    if value is None:
+        return NULL
+    if isinstance(value, int):
+        return IntConst(value)
+    return value
+
+
+class ProcBuilder:
+    """Accumulates instructions for one procedure."""
+
+    def __init__(self, name: str, params: list[str] | None = None):
+        self.name = name
+        self.params = tuple(Register(p) for p in (params or []))
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+    def reg(self, name: str) -> Register:
+        return Register(name)
+
+    def fresh_reg(self, hint: str = "t") -> Register:
+        self._fresh += 1
+        return Register(f"{hint}.{self._fresh}")
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._fresh += 1
+        return f"{hint}.{self._fresh}"
+
+    # ------------------------------------------------------------------
+    # Raw emission
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> None:
+        self._instrs.append(instr)
+
+    def label(self, name: str | None = None) -> str:
+        """Attach a (possibly fresh) label to the next instruction."""
+        name = name or self.fresh_label()
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return name
+
+    # ------------------------------------------------------------------
+    # Instruction helpers
+    # ------------------------------------------------------------------
+    def assign(self, dst: Register | str, src: Operand | int | None) -> Register:
+        dst = Register(dst) if isinstance(dst, str) else dst
+        self.emit(Assign(dst, _as_operand(src)))
+        return dst
+
+    def assign_const(self, dst: Register | str, value: int) -> Register:
+        return self.assign(dst, IntConst(value))
+
+    def arith(
+        self,
+        dst: Register | str,
+        op: str,
+        lhs: Operand | int,
+        rhs: Operand | int,
+    ) -> Register:
+        dst = Register(dst) if isinstance(dst, str) else dst
+        self.emit(ArithOp(dst, op, _as_operand(lhs), _as_operand(rhs)))
+        return dst
+
+    def malloc(self, dst: Register | str, count: Operand | int | None = None) -> Register:
+        dst = Register(dst) if isinstance(dst, str) else dst
+        count_op = None if count is None else _as_operand(count)
+        self.emit(Malloc(dst, count_op))
+        return dst
+
+    def free(self, ptr: Register) -> None:
+        self.emit(Free(ptr))
+
+    def load(self, dst: Register | str, addr: Register, field: str) -> Register:
+        dst = Register(dst) if isinstance(dst, str) else dst
+        self.emit(Load(dst, addr, field))
+        return dst
+
+    def store(self, addr: Register, field: str, src: Operand | int | None) -> None:
+        self.emit(Store(addr, field, _as_operand(src)))
+
+    def call(
+        self,
+        dst: Register | str | None,
+        func: str,
+        args: list[Operand | int | None] | None = None,
+    ) -> Register | None:
+        if isinstance(dst, str):
+            dst = Register(dst)
+        operands = tuple(_as_operand(a) for a in (args or []))
+        self.emit(Call(dst, func, operands))
+        return dst
+
+    def ret(self, value: Operand | int | None = None) -> None:
+        self.emit(Return(None if value is None else _as_operand(value)))
+
+    def goto(self, target: str) -> None:
+        self.emit(Goto(target))
+
+    def branch(
+        self, op: str, lhs: Operand | int, rhs: Operand | int | None, target: str
+    ) -> None:
+        self.emit(Branch(Cond(op, _as_operand(lhs), _as_operand(rhs)), target))
+
+    def emit_branch(self, cond: Cond, target: str) -> None:
+        self.emit(Branch(cond, target))
+
+    # ------------------------------------------------------------------
+    # Structured control flow (lowered to labels + branches)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def while_(
+        self, op: str, lhs: Operand | int, rhs: Operand | int | None
+    ) -> Iterator[str]:
+        """``while (lhs op rhs) { body }``; yields the header label."""
+        header = self.label()
+        exit_label = self.fresh_label("exit")
+        cond = Cond(op, _as_operand(lhs), _as_operand(rhs))
+        self.emit(Branch(cond.negated(), exit_label))
+        yield header
+        self.goto(header)
+        self._labels[exit_label] = len(self._instrs)
+        return
+
+    @contextlib.contextmanager
+    def if_(
+        self, op: str, lhs: Operand | int, rhs: Operand | int | None
+    ) -> Iterator[None]:
+        """``if (lhs op rhs) { body }`` (no else)."""
+        skip = self.fresh_label("skip")
+        cond = Cond(op, _as_operand(lhs), _as_operand(rhs))
+        self.emit(Branch(cond.negated(), skip))
+        yield
+        self._labels[skip] = len(self._instrs)
+
+    def if_else(
+        self, op: str, lhs: Operand | int, rhs: Operand | int | None
+    ) -> "_IfElse":
+        """``if (lhs op rhs) {...} else {...}``; see :class:`_IfElse`."""
+        return _IfElse(self, Cond(op, _as_operand(lhs), _as_operand(rhs)))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Procedure:
+        proc = Procedure(self.name, self.params, list(self._instrs), dict(self._labels))
+        proc.validate()
+        return proc
+
+
+class _IfElse:
+    """Helper for two-armed conditionals::
+
+        ie = b.if_else("eq", x, NULL)
+        with ie.then():
+            ...
+        with ie.otherwise():
+            ...
+        ie.end()
+    """
+
+    def __init__(self, builder: ProcBuilder, cond: Cond):
+        self._b = builder
+        self._cond = cond
+        self._else_label = builder.fresh_label("else")
+        self._end_label = builder.fresh_label("end")
+
+    @contextlib.contextmanager
+    def then(self) -> Iterator[None]:
+        self._b.emit(Branch(self._cond.negated(), self._else_label))
+        yield
+        self._b.goto(self._end_label)
+
+    @contextlib.contextmanager
+    def otherwise(self) -> Iterator[None]:
+        self._b._labels[self._else_label] = len(self._b._instrs)
+        yield
+
+    def end(self) -> None:
+        self._b._labels[self._end_label] = len(self._b._instrs)
+
+
+class ProgramBuilder:
+    """Collects procedures into a validated :class:`Program`."""
+
+    def __init__(self, entry: str = "main", globals: tuple[str, ...] = ()):
+        self._program = Program(entry=entry, globals=globals)
+
+    def proc(self, name: str, params: list[str] | None = None) -> ProcBuilder:
+        return ProcBuilder(name, params)
+
+    def add(self, builder_or_proc: ProcBuilder | Procedure) -> None:
+        proc = (
+            builder_or_proc.build()
+            if isinstance(builder_or_proc, ProcBuilder)
+            else builder_or_proc
+        )
+        self._program.add(proc)
+
+    def build(self) -> Program:
+        self._program.validate()
+        return self._program

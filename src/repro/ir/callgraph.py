@@ -1,0 +1,89 @@
+"""Call graph with Tarjan SCCs.
+
+Recursive procedures are recognized as non-trivial SCCs (or self-loops)
+of the call graph; the interprocedural analysis treats every procedure
+in such an SCC with the sample-path + recursion-synthesis protocol of
+Section 5.2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.program import Program
+
+__all__ = ["CallGraph"]
+
+
+@dataclass
+class CallGraph:
+    program: Program
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.edges = {
+            name: {c for c in proc.callees() if c in self.program.procedures}
+            for name, proc in self.program.procedures.items()
+        }
+        self._sccs = self._tarjan()
+        self._scc_of: dict[str, frozenset[str]] = {}
+        for scc in self._sccs:
+            for name in scc:
+                self._scc_of[name] = scc
+
+    def _tarjan(self) -> list[frozenset[str]]:
+        index_counter = 0
+        indices: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        result: list[frozenset[str]] = []
+
+        def strongconnect(v: str) -> None:
+            nonlocal index_counter
+            indices[v] = lowlink[v] = index_counter
+            index_counter += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in self.edges[v]:
+                if w not in indices:
+                    strongconnect(w)
+                    lowlink[v] = min(lowlink[v], lowlink[w])
+                elif w in on_stack:
+                    lowlink[v] = min(lowlink[v], indices[w])
+            if lowlink[v] == indices[v]:
+                component = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == v:
+                        break
+                result.append(frozenset(component))
+
+        for v in self.edges:
+            if v not in indices:
+                strongconnect(v)
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def sccs(self) -> list[frozenset[str]]:
+        return list(self._sccs)
+
+    def scc_of(self, name: str) -> frozenset[str]:
+        return self._scc_of[name]
+
+    def is_recursive(self, name: str) -> bool:
+        """Is *name* part of a recursion (mutual or self)?"""
+        scc = self._scc_of[name]
+        if len(scc) > 1:
+            return True
+        return name in self.edges[name]
+
+    def same_scc(self, a: str, b: str) -> bool:
+        return self._scc_of[a] is self._scc_of[b]
+
+    def topological_order(self) -> list[frozenset[str]]:
+        """SCCs ordered callees-first (Tarjan emits reverse topological)."""
+        return list(self._sccs)

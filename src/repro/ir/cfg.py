@@ -1,0 +1,163 @@
+"""Control-flow graph utilities: dominators, back edges, natural loops.
+
+The interprocedural algorithm (paper, Figure 8) needs to recognize when
+a propagated edge is "a back edge of loop l" so it can count iterations
+and trigger recursion synthesis.  We compute dominators at instruction
+granularity (procedures are small after slicing) and derive natural
+loops from back edges ``tail -> header`` where the header dominates the
+tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.program import Procedure
+
+__all__ = ["Loop", "CFG"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop: its header index and the set of body indices."""
+
+    header: int
+    body: frozenset[int]
+    back_edges: frozenset[tuple[int, int]]
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.body
+
+
+@dataclass
+class CFG:
+    """Instruction-granularity CFG of one procedure."""
+
+    proc: Procedure
+    succs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.proc.instrs)
+        self.preds = {i: [] for i in range(n)}
+        for i in range(n):
+            targets = self.proc.successors(i)
+            self.succs[i] = targets
+            for t in targets:
+                self.preds[t].append(i)
+        self._idom = self._compute_idoms()
+        self._back_edges = self._compute_back_edges()
+        self._loops = self._compute_loops()
+
+    # ------------------------------------------------------------------
+    def reachable(self) -> list[int]:
+        """Instruction indices reachable from the entry, in RPO."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(i: int) -> None:
+            if i in seen:
+                return
+            seen.add(i)
+            for s in self.succs[i]:
+                visit(s)
+            order.append(i)
+
+        if self.proc.instrs:
+            visit(0)
+        order.reverse()
+        return order
+
+    def _compute_idoms(self) -> dict[int, int]:
+        """Cooper-Harvey-Kennedy iterative dominator algorithm."""
+        order = self.reachable()
+        if not order:
+            return {}
+        position = {node: i for i, node in enumerate(order)}
+        idom: dict[int, int] = {order[0]: order[0]}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]
+                while position[b] > position[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in order[1:]:
+                candidates = [p for p in self.preds[node] if p in idom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for p in candidates[1:]:
+                    new = intersect(new, p)
+                if idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        return idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does instruction *a* dominate instruction *b*?"""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self._idom.get(node)
+            if parent is None or parent == node:
+                return node == a
+            node = parent
+
+    def _compute_back_edges(self) -> list[tuple[int, int]]:
+        edges = []
+        for tail, targets in self.succs.items():
+            if tail not in self._idom and tail != 0:
+                continue  # unreachable
+            for head in targets:
+                if self.dominates(head, tail):
+                    edges.append((tail, head))
+        return edges
+
+    def _compute_loops(self) -> dict[int, Loop]:
+        """Natural loops keyed by header (back edges sharing a header merge)."""
+        bodies: dict[int, set[int]] = {}
+        edges: dict[int, set[tuple[int, int]]] = {}
+        for tail, header in self._back_edges:
+            body = bodies.setdefault(header, {header})
+            edges.setdefault(header, set()).add((tail, header))
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(self.preds[node])
+        return {
+            header: Loop(header, frozenset(body), frozenset(edges[header]))
+            for header, body in bodies.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def back_edges(self) -> list[tuple[int, int]]:
+        return list(self._back_edges)
+
+    @property
+    def loops(self) -> dict[int, Loop]:
+        return dict(self._loops)
+
+    def is_back_edge(self, tail: int, head: int) -> bool:
+        return (tail, head) in self._back_edges
+
+    def loop_of_header(self, header: int) -> Loop | None:
+        return self._loops.get(header)
+
+    def innermost_loop(self, index: int) -> Loop | None:
+        """The smallest loop containing *index*, if any."""
+        best: Loop | None = None
+        for loop in self._loops.values():
+            if index in loop and (best is None or len(loop.body) < len(best.body)):
+                best = loop
+        return best

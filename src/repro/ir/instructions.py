@@ -1,0 +1,282 @@
+"""Instruction set of the low-level IR (paper, Table 1).
+
+The grammar of the paper::
+
+    Insts s ::= r = e | r = malloc() | free(r) | r = f(x..)
+              | [r1] = r2 | r1 = [r2] | goto l | if c goto l
+    Branch Conds c ::= r1 = r2 | r1 != r2
+
+extended, as the paper describes in Section 2, with pointer arithmetic
+(``r1 = r2 + n``, ``r1 = r2 * n``) and, for realistic programs, ordinary
+integer arithmetic and comparisons (which the slicing pre-pass removes
+before shape analysis when they cannot affect recursive pointer fields).
+
+Memory accesses carry a *field* (a string naming the struct member, i.e.
+a symbolic offset):
+
+* ``Load(dst, addr, field)``   --  ``dst = [addr.field]``
+* ``Store(addr, field, src)``  --  ``[addr.field] = src``
+
+Control flow is unstructured: a procedure body is a flat instruction
+list; :class:`Goto` / :class:`Branch` jump to labels which name
+instruction indices (see :mod:`repro.ir.program`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.values import IntConst, Operand, Register
+
+__all__ = [
+    "Instruction",
+    "Nop",
+    "Assign",
+    "ArithOp",
+    "Malloc",
+    "Free",
+    "Load",
+    "Store",
+    "Call",
+    "Return",
+    "Goto",
+    "Branch",
+    "Cond",
+    "COMPARE_OPS",
+    "ARITH_OPS",
+]
+
+#: Comparison operators allowed in branch conditions.
+COMPARE_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Arithmetic operators.  ``add``/``sub`` participate in pointer
+#: arithmetic; the others are integer-only and are always sliced away.
+ARITH_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr")
+
+
+class Instruction:
+    """Base class for all IR instructions."""
+
+    __slots__ = ()
+
+    def defs(self) -> tuple[Register, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def uses(self) -> tuple[Register, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Nop(Instruction):
+    """A no-op; the slicing pre-pass replaces pruned instructions with
+    nops so that labels and instruction indices stay stable."""
+
+    def __str__(self) -> str:
+        return "nop"
+
+
+def _regs(*operands: object) -> tuple[Register, ...]:
+    return tuple(op for op in operands if isinstance(op, Register))
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Instruction):
+    """``dst = src`` where src is a register, global, null or constant."""
+
+    dst: Register
+    src: Operand
+
+    def defs(self) -> tuple[Register, ...]:
+        return (self.dst,)
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(frozen=True, slots=True)
+class ArithOp(Instruction):
+    """``dst = lhs <op> rhs``.
+
+    ``add``/``sub`` with a pointer left operand performs element-level
+    pointer arithmetic (``node + 1`` steps to the next array slot, as in
+    the 181.mcf builder of the paper's Figure 4).
+    """
+
+    dst: Register
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic op {self.op!r}")
+
+    def defs(self) -> tuple[Register, ...]:
+        return (self.dst,)
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass(frozen=True, slots=True)
+class Malloc(Instruction):
+    """``dst = malloc()``.
+
+    ``count`` distinguishes a single-node allocation from an array
+    allocation used for application-level memory management (the
+    ``nodes = malloc(MAX_NODES)`` idiom of 181.mcf).  ``count`` may be a
+    register or constant; the abstract semantics only cares whether the
+    allocation is an array (count given) or a single cell.
+    """
+
+    dst: Register
+    count: Operand | None = None
+
+    def defs(self) -> tuple[Register, ...]:
+        return (self.dst,)
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.count) if self.count is not None else ()
+
+    @property
+    def is_array(self) -> bool:
+        return self.count is not None and not (
+            isinstance(self.count, IntConst) and self.count.value == 1
+        )
+
+    def __str__(self) -> str:
+        arg = str(self.count) if self.count is not None else ""
+        return f"{self.dst} = malloc({arg})"
+
+
+@dataclass(frozen=True, slots=True)
+class Free(Instruction):
+    """``free(r)``."""
+
+    ptr: Register
+
+    def uses(self) -> tuple[Register, ...]:
+        return (self.ptr,)
+
+    def __str__(self) -> str:
+        return f"free({self.ptr})"
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Instruction):
+    """``dst = [addr.field]``."""
+
+    dst: Register
+    addr: Register
+    field: str
+
+    def defs(self) -> tuple[Register, ...]:
+        return (self.dst,)
+
+    def uses(self) -> tuple[Register, ...]:
+        return (self.addr,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = [{self.addr}.{self.field}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Instruction):
+    """``[addr.field] = src``."""
+
+    addr: Register
+    field: str
+    src: Operand
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.addr, self.src)
+
+    def __str__(self) -> str:
+        return f"[{self.addr}.{self.field}] = {self.src}"
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Instruction):
+    """``dst = f(args...)``; ``dst`` may be None for void calls."""
+
+    dst: Register | None
+    func: str
+    args: tuple[Operand, ...] = field(default_factory=tuple)
+
+    def defs(self) -> tuple[Register, ...]:
+        return (self.dst,) if self.dst is not None else ()
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(*self.args)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}call {self.func}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Instruction):
+    """``return [value]``."""
+
+    value: Operand | None = None
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.value) if self.value is not None else ()
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"
+
+
+@dataclass(frozen=True, slots=True)
+class Cond:
+    """A branch condition ``lhs <op> rhs``."""
+
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARE_OPS:
+            raise ValueError(f"unknown comparison op {self.op!r}")
+
+    def negated(self) -> "Cond":
+        """The condition that holds exactly when this one does not."""
+        flip = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "le": "gt", "gt": "le"}
+        return Cond(flip[self.op], self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        sym = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+        return f"{self.lhs} {sym[self.op]} {self.rhs}"
+
+
+@dataclass(frozen=True, slots=True)
+class Goto(Instruction):
+    """``goto label``."""
+
+    target: str
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(Instruction):
+    """``if cond goto label`` (fall through otherwise)."""
+
+    cond: Cond
+    target: str
+
+    def uses(self) -> tuple[Register, ...]:
+        return _regs(self.cond.lhs, self.cond.rhs)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} goto {self.target}"

@@ -1,0 +1,141 @@
+"""Procedure and Program containers for the low-level IR.
+
+A :class:`Procedure` is a flat list of instructions with a label map
+(label name -> instruction index), mirroring the unstructured
+machine-level control flow the paper targets.  A :class:`Program` is a
+collection of procedures plus declared globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Branch, Call, Goto, Instruction, Return
+from repro.ir.values import Register
+
+__all__ = ["Procedure", "Program", "IRError"]
+
+
+class IRError(Exception):
+    """Raised for malformed IR (unknown labels, missing procedures...)."""
+
+
+@dataclass
+class Procedure:
+    """A procedure: parameters, a flat instruction list, and labels.
+
+    ``labels[name]`` is the index of the instruction the label points at;
+    a label may point one past the end (an empty epilogue position is
+    normalized to an implicit ``return`` during validation).
+    """
+
+    name: str
+    params: tuple[Register, ...]
+    instrs: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check label targets and ensure the body ends in control flow."""
+        if not self.instrs or not isinstance(self.instrs[-1], (Return, Goto)):
+            self.instrs.append(Return())
+        if any(i == len(self.instrs) for i in self.labels.values()):
+            # A label pointing one past the end is an implicit epilogue.
+            self.instrs.append(Return())
+        for label, index in self.labels.items():
+            if not 0 <= index < len(self.instrs):
+                raise IRError(
+                    f"{self.name}: label {label!r} points outside the body"
+                )
+        for i, instr in enumerate(self.instrs):
+            if isinstance(instr, (Goto, Branch)) and instr.target not in self.labels:
+                raise IRError(
+                    f"{self.name}@{i}: jump to undefined label {instr.target!r}"
+                )
+
+    def label_of(self, index: int) -> str | None:
+        """Return a label naming *index*, if any (for pretty-printing)."""
+        for label, i in self.labels.items():
+            if i == index:
+                return label
+        return None
+
+    def successors(self, index: int) -> tuple[int, ...]:
+        """Indices of the instructions that may execute after *index*."""
+        instr = self.instrs[index]
+        if isinstance(instr, Return):
+            return ()
+        if isinstance(instr, Goto):
+            return (self.labels[instr.target],)
+        if isinstance(instr, Branch):
+            fallthrough = index + 1
+            taken = self.labels[instr.target]
+            if taken == fallthrough:
+                return (fallthrough,)
+            return (fallthrough, taken)
+        return (index + 1,)
+
+    def callees(self) -> set[str]:
+        """Names of procedures this procedure calls."""
+        return {i.func for i in self.instrs if isinstance(i, Call)}
+
+    def registers(self) -> set[Register]:
+        """All registers referenced in the body or parameter list."""
+        regs: set[Register] = set(self.params)
+        for instr in self.instrs:
+            regs.update(instr.defs())
+            regs.update(instr.uses())
+        return regs
+
+    def __str__(self) -> str:
+        lines = [f"proc {self.name}({', '.join(str(p) for p in self.params)}):"]
+        index_to_labels: dict[int, list[str]] = {}
+        for label, i in self.labels.items():
+            index_to_labels.setdefault(i, []).append(label)
+        for i, instr in enumerate(self.instrs):
+            for label in sorted(index_to_labels.get(i, ())):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Program:
+    """A whole program: procedures by name plus declared globals."""
+
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+    globals: tuple[str, ...] = ()
+    entry: str = "main"
+
+    def add(self, proc: Procedure) -> None:
+        if proc.name in self.procedures:
+            raise IRError(f"duplicate procedure {proc.name!r}")
+        self.procedures[proc.name] = proc
+
+    def proc(self, name: str) -> Procedure:
+        try:
+            return self.procedures[name]
+        except KeyError:
+            raise IRError(f"unknown procedure {name!r}") from None
+
+    def validate(self) -> None:
+        """Validate every procedure and check call targets resolve."""
+        for proc in self.procedures.values():
+            proc.validate()
+        known = set(self.procedures)
+        for proc in self.procedures.values():
+            for callee in proc.callees():
+                if callee not in known:
+                    raise IRError(f"{proc.name} calls unknown procedure {callee!r}")
+        if self.entry not in self.procedures:
+            raise IRError(f"entry procedure {self.entry!r} not defined")
+
+    def instruction_count(self) -> int:
+        """Total number of instructions (the ``#Insts`` column of Table 4)."""
+        return sum(len(p.instrs) for p in self.procedures.values())
+
+    def __str__(self) -> str:
+        parts = []
+        if self.globals:
+            parts.append("globals " + ", ".join(self.globals))
+        parts.extend(str(p) for p in self.procedures.values())
+        return "\n\n".join(parts)

@@ -1,0 +1,224 @@
+"""Textual format for the IR: a line-oriented assembler and printer.
+
+Grammar (one construct per line; ``#`` starts a comment)::
+
+    globals g1, g2
+    proc name(%p1, %p2):
+    label:
+        %r = null | %r2 | @g | 42
+        %r = add %a, %b            # add sub mul div mod and or xor shl shr
+        %r = malloc() | malloc(%n) | malloc(42)
+        free(%r)
+        %r = [%p.field]
+        [%p.field] = %r | null | @g | 42
+        %r = call f(%a, %b)
+        call f(%a)
+        return | return %r
+        goto L
+        if %a == %b goto L         # == != < <= > >=
+
+This gives the benchmark suite and the tests a compact, reviewable way
+to write whole programs, mirroring how the paper's analysis consumes
+compiler-produced assembly rather than C source.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.instructions import (
+    ARITH_OPS,
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Cond,
+    Free,
+    Goto,
+    Load,
+    Malloc,
+    Nop,
+    Return,
+    Store,
+)
+from repro.ir.program import IRError, Procedure, Program
+from repro.ir.values import NULL, Global, IntConst, Operand, Register
+
+__all__ = ["parse_program", "print_program", "ParseError"]
+
+
+class ParseError(IRError):
+    """Raised on malformed textual IR, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_CMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_CMP_PRINT = {v: k for k, v in _CMP.items()}
+
+_REG = r"%[A-Za-z_.][\w.]*"
+_OPERAND = rf"(?:{_REG}|@[A-Za-z_]\w*|null|-?\d+)"
+_LABEL = r"[A-Za-z_.][\w.]*"
+
+_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(rf"({_REG}) = malloc\((({_OPERAND})?)\)$"), "malloc"),
+    (re.compile(rf"free\(({_REG})\)$"), "free"),
+    (re.compile(rf"({_REG}) = \[({_REG})\.(\w+)\]$"), "load"),
+    (re.compile(rf"\[({_REG})\.(\w+)\] = ({_OPERAND})$"), "store"),
+    (re.compile(rf"({_REG}) = call (\w+)\((.*)\)$"), "call"),
+    (re.compile(r"call (\w+)\((.*)\)$"), "call_void"),
+    (re.compile(rf"({_REG}) = (\w+) ({_OPERAND}), ({_OPERAND})$"), "arith"),
+    (re.compile(rf"({_REG}) = ({_OPERAND})$"), "assign"),
+    (re.compile(rf"return ({_OPERAND})$"), "return_val"),
+    (re.compile(r"return$"), "return"),
+    (re.compile(r"nop$"), "nop"),
+    (re.compile(rf"goto ({_LABEL})$"), "goto"),
+    (
+        re.compile(
+            rf"if ({_OPERAND}) (==|!=|<=|>=|<|>) ({_OPERAND}) goto ({_LABEL})$"
+        ),
+        "branch",
+    ),
+]
+
+
+def _operand(text: str) -> Operand:
+    if text == "null":
+        return NULL
+    if text.startswith("%"):
+        return Register(text[1:])
+    if text.startswith("@"):
+        return Global(text[1:])
+    return IntConst(int(text))
+
+
+def _args(text: str) -> tuple[Operand, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(_operand(a.strip()) for a in text.split(","))
+
+
+def parse_program(source: str, entry: str = "main") -> Program:
+    """Parse the textual IR format into a validated :class:`Program`."""
+    program = Program(entry=entry)
+    current: Procedure | None = None
+    pending_labels: list[tuple[str, int]] = []
+
+    def finish(lineno: int) -> None:
+        nonlocal current
+        if current is None:
+            return
+        for label, _ in pending_labels:
+            current.labels[label] = len(current.instrs)
+        pending_labels.clear()
+        try:
+            current.validate()
+        except IRError as exc:
+            raise ParseError(lineno, str(exc)) from exc
+        program.add(current)
+        current = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("globals "):
+            names = tuple(g.strip() for g in line[len("globals "):].split(","))
+            program.globals = program.globals + names
+            continue
+        match = re.fullmatch(rf"proc (\w+)\(((?:{_REG}(?:, {_REG})*)?)\):", line)
+        if match:
+            finish(lineno)
+            params = tuple(
+                Register(p.strip()[1:])
+                for p in match.group(2).split(",")
+                if p.strip()
+            )
+            current = Procedure(match.group(1), params, [], {})
+            continue
+        if current is None:
+            raise ParseError(lineno, f"instruction outside a procedure: {line!r}")
+        label_match = re.fullmatch(rf"({_LABEL}):", line)
+        if label_match:
+            label = label_match.group(1)
+            if label in current.labels:
+                raise ParseError(lineno, f"duplicate label {label!r}")
+            current.labels[label] = len(current.instrs)
+            continue
+        current.instrs.append(_parse_instr(line, lineno))
+
+    finish(len(source.splitlines()))
+    program.validate()
+    return program
+
+
+def _parse_instr(line: str, lineno: int):
+    for pattern, kind in _PATTERNS:
+        match = pattern.fullmatch(line)
+        if not match:
+            continue
+        g = match.groups()
+        if kind == "malloc":
+            count = _operand(g[1]) if g[1] else None
+            return Malloc(Register(g[0][1:]), count)
+        if kind == "free":
+            return Free(Register(g[0][1:]))
+        if kind == "load":
+            return Load(Register(g[0][1:]), Register(g[1][1:]), g[2])
+        if kind == "store":
+            return Store(Register(g[0][1:]), g[1], _operand(g[2]))
+        if kind == "call":
+            return Call(Register(g[0][1:]), g[1], _args(g[2]))
+        if kind == "call_void":
+            return Call(None, g[0], _args(g[1]))
+        if kind == "arith":
+            if g[1] not in ARITH_OPS:
+                raise ParseError(lineno, f"unknown arithmetic op {g[1]!r}")
+            return ArithOp(Register(g[0][1:]), g[1], _operand(g[2]), _operand(g[3]))
+        if kind == "assign":
+            return Assign(Register(g[0][1:]), _operand(g[1]))
+        if kind == "return_val":
+            return Return(_operand(g[0]))
+        if kind == "return":
+            return Return()
+        if kind == "nop":
+            return Nop()
+        if kind == "goto":
+            return Goto(g[0])
+        if kind == "branch":
+            return Branch(Cond(_CMP[g[1]], _operand(g[0]), _operand(g[2])), g[3])
+    raise ParseError(lineno, f"cannot parse instruction: {line!r}")
+
+
+def print_program(program: Program) -> str:
+    """Render *program* back to the textual format (parse round-trips)."""
+    chunks: list[str] = []
+    if program.globals:
+        chunks.append("globals " + ", ".join(program.globals))
+    for proc in program.procedures.values():
+        lines = [f"proc {proc.name}({', '.join(str(p) for p in proc.params)}):"]
+        index_to_labels: dict[int, list[str]] = {}
+        for label, i in proc.labels.items():
+            index_to_labels.setdefault(i, []).append(label)
+        for i, instr in enumerate(proc.instrs):
+            for label in sorted(index_to_labels.get(i, ())):
+                lines.append(f"{label}:")
+            lines.append(f"    {_print_instr(instr)}")
+        for label in sorted(index_to_labels.get(len(proc.instrs), ())):
+            lines.append(f"{label}:")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def _print_instr(instr) -> str:
+    if isinstance(instr, Branch):
+        c = instr.cond
+        return f"if {c.lhs} {_CMP_PRINT[c.op]} {c.rhs} goto {instr.target}"
+    if isinstance(instr, Call):
+        args = ", ".join(str(a) for a in instr.args)
+        head = f"{instr.dst} = call" if instr.dst is not None else "call"
+        return f"{head} {instr.func}({args})"
+    return str(instr)

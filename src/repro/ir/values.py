@@ -1,0 +1,84 @@
+"""Value and operand model for the low-level IR (paper, Table 1).
+
+The target language of the analysis is an assembly-like intermediate
+language.  Its operands are:
+
+* :class:`Register` -- virtual registers ``r``; the analysis maps these to
+  symbolic values.
+* :class:`Global` -- names of heap locations allocated for global
+  variables ``g``.
+* :class:`Null` -- the ``null`` constant.
+* :class:`IntConst` -- integer literals.  These only matter to the shape
+  analysis through pointer arithmetic; everything else involving them is
+  pruned by the slicing pre-pass.
+
+Struct fields are modelled as *named offsets* (plain strings attached to
+loads and stores).  The paper addresses memory as ``h + n`` with numeric
+offsets; named fields carry exactly the per-field distinction the
+analysis needs, while *element-level* pointer arithmetic across array
+slots stays numeric (:class:`~repro.logic.symvals.OffsetVal`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Register",
+    "Global",
+    "Null",
+    "IntConst",
+    "NULL",
+    "Operand",
+    "is_operand",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Register:
+    """A virtual register.  Identity is the name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "%" + self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Global:
+    """The name of the heap location allocated for a global variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "@" + self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """The ``null`` pointer constant."""
+
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True, slots=True)
+class IntConst:
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+NULL = Null()
+
+# An operand of an instruction: anything that can appear as ``e`` in the
+# grammar of Table 1, plus integer literals.
+Operand = Register | Global | Null | IntConst
+
+
+def is_operand(value: object) -> bool:
+    """Return True if *value* is a well-formed IR operand."""
+    return isinstance(value, (Register, Global, Null, IntConst))

@@ -1,0 +1,97 @@
+"""Separation-logic substrate: heap names, symbolic values, formulas,
+abstract states, recursive predicates, subsumption and the concrete
+model relation.
+"""
+
+from repro.logic.assertions import (
+    HeapAssertion,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Region,
+)
+from repro.logic.entailment import Mapping, equivalent, subsumes
+from repro.logic.formula import PureAtom, PureFormula, SpatialFormula
+from repro.logic.heapnames import (
+    FieldPath,
+    GlobalLoc,
+    HeapName,
+    Var,
+    fresh_var,
+    is_prefix,
+    path_of,
+    rename_name,
+    reset_fresh_counter,
+    root_of,
+)
+from repro.logic.model import ModelError, satisfies, satisfies_truncated
+from repro.logic.predicates import (
+    LIST_DEF,
+    TREE_DEF,
+    AnyArg,
+    ArgExpr,
+    FieldSpec,
+    NullArg,
+    ParamArg,
+    PredicateDef,
+    PredicateEnv,
+    RecCallSpec,
+    RecTarget,
+)
+from repro.logic.state import AbstractState, AnalysisStuck
+from repro.logic.symvals import (
+    NULL_VAL,
+    NullVal,
+    OffsetVal,
+    Opaque,
+    SymVal,
+    offset,
+    rename_symval,
+)
+
+__all__ = [
+    "AbstractState",
+    "AnalysisStuck",
+    "AnyArg",
+    "ArgExpr",
+    "FieldPath",
+    "FieldSpec",
+    "GlobalLoc",
+    "HeapAssertion",
+    "HeapName",
+    "LIST_DEF",
+    "Mapping",
+    "ModelError",
+    "NULL_VAL",
+    "NullArg",
+    "NullVal",
+    "OffsetVal",
+    "Opaque",
+    "ParamArg",
+    "PointsTo",
+    "PredInstance",
+    "PredicateDef",
+    "PredicateEnv",
+    "PureAtom",
+    "PureFormula",
+    "Raw",
+    "RecCallSpec",
+    "RecTarget",
+    "Region",
+    "SpatialFormula",
+    "SymVal",
+    "TREE_DEF",
+    "Var",
+    "equivalent",
+    "fresh_var",
+    "is_prefix",
+    "offset",
+    "path_of",
+    "rename_name",
+    "rename_symval",
+    "reset_fresh_counter",
+    "root_of",
+    "satisfies",
+    "satisfies_truncated",
+    "subsumes",
+]

@@ -1,0 +1,134 @@
+"""Atomic heap assertions (paper, Table 1).
+
+``H ::= h1.n |-> h2  |  A(h1, ..., hn[; h'1, ..., h'm])``
+
+plus two bookkeeping assertions needed to model the paper's treatment
+of allocation:
+
+* :class:`Raw` -- ``a.? |-> ?``: a freshly allocated cell whose fields
+  have not been written yet (the MALLOC rule of Table 2 "simply
+  registers a as an allocated heap node whose content is unknown").
+* :class:`Region` -- an array allocation used for application-level
+  memory management (the ``nodes = malloc(MAX_NODES)`` idiom of
+  181.mcf).  Individual slots ``base + k`` materialize as :class:`Raw`
+  cells on first use; aliasing between the pointer arithmetic and the
+  access-path name given by ``rearrange_names`` is recorded in the pure
+  formula.
+
+:class:`PredInstance` carries the optional *truncation points* of
+Section 2.1: ``A(h1..hn; t1..tm)`` denotes the structure rooted at
+``h1`` with the (mutually disjoint) sub-structures rooted at the ``ti``
+cut out -- formally ``(*_i exists b. A(ti, b...)) --* A(h1..hn)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.logic.heapnames import HeapName, rename_name
+from repro.logic.symvals import SymVal, rename_symval
+
+__all__ = ["PointsTo", "PredInstance", "Raw", "Region", "HeapAssertion"]
+
+
+@dataclass(frozen=True, slots=True)
+class PointsTo:
+    """``src.field |-> target``."""
+
+    src: HeapName
+    field: str
+    target: SymVal
+
+    def rename(self, old: HeapName, new: HeapName) -> "PointsTo":
+        return PointsTo(
+            rename_name(self.src, old, new),
+            self.field,
+            rename_symval(self.target, old, new),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.src}.{self.field}|->{self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class PredInstance:
+    """``pred(args...; truncs...)`` -- an instance of a recursive predicate.
+
+    ``args[0]`` is the root of the structure; the remaining args are the
+    targets of the structure's backward links.  ``truncs`` lists the
+    truncation points (may be empty).
+    """
+
+    pred: str
+    args: tuple[SymVal, ...]
+    truncs: tuple[HeapName, ...] = ()
+
+    @property
+    def root(self) -> SymVal:
+        return self.args[0]
+
+    def with_truncs(self, truncs: tuple[HeapName, ...]) -> "PredInstance":
+        return replace(self, truncs=tuple(truncs))
+
+    def rename(self, old: HeapName, new: HeapName) -> "PredInstance":
+        return PredInstance(
+            self.pred,
+            tuple(rename_symval(a, old, new) for a in self.args),
+            tuple(rename_name(t, old, new) for t in self.truncs),
+        )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        if self.truncs:
+            args += "; " + ", ".join(str(t) for t in self.truncs)
+        return f"{self.pred}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class Raw:
+    """``loc.? |-> ?``: allocated, contents unknown.
+
+    ``written`` records which fields have since been given explicit
+    points-to assertions (those fields are no longer covered by the raw
+    cell, keeping the spatial conjunction disjoint).
+    """
+
+    loc: HeapName
+    written: frozenset[str] = frozenset()
+
+    def with_field(self, field: str) -> "Raw":
+        return Raw(self.loc, self.written | {field})
+
+    def rename(self, old: HeapName, new: HeapName) -> "Raw":
+        return Raw(rename_name(self.loc, old, new), self.written)
+
+    def __str__(self) -> str:
+        return f"{self.loc}.?|->?"
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """An array allocation rooted at *base*.
+
+    ``carved`` records the element offsets whose cells have been
+    materialized out of the region (offset 0 is the base cell itself).
+    Symbolically-indexed slots collapse; the paper's low-level pointer
+    analysis treatment ("indistinguishable array elements are collapsed
+    into one element") corresponds to materializing at most one cell per
+    distinguishable offset.
+    """
+
+    base: HeapName
+    carved: frozenset[int] = frozenset()
+
+    def with_carved(self, delta: int) -> "Region":
+        return Region(self.base, self.carved | {delta})
+
+    def rename(self, old: HeapName, new: HeapName) -> "Region":
+        return Region(rename_name(self.base, old, new), self.carved)
+
+    def __str__(self) -> str:
+        return f"region({self.base})"
+
+
+HeapAssertion = PointsTo | PredInstance | Raw | Region

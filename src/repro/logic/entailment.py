@@ -1,0 +1,245 @@
+"""State subsumption: the partial order on abstract states (§2.1).
+
+``subsumes(general, concrete)`` decides whether *concrete* is an
+instance of *general*: it searches for a mapping ``f`` from the heap
+names of *general* to the symbolic values of *concrete* such that
+
+(i)   live registers correspond through ``f`` (null to null);
+(ii)  every spatial atom of *general*, mapped through ``f``, matches a
+      distinct spatial atom of *concrete*, and every spatial atom of
+      *concrete* is matched (the formulas describe the same heap) --
+      with the semantic allowances that a predicate instance whose
+      mapped root is null denotes ``emp`` (the base case) and that a
+      truncation point mapped to null disappears
+      (``emp --* A(..)  ==  A(..)``);
+(iii) every pure *condition* atom of *general* is, mapped through
+      ``f``, entailed by *concrete*'s pure formula.
+
+Pointer-arithmetic aliases in the pure formulas are naming
+infrastructure rather than constraints between states and are not
+required to map (the register correspondence already compares values
+*after* alias resolution).  This is the check the engine uses both for
+loop convergence (state at loop entry subsumed by the invariant) and
+for procedure-summary reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.values import Register
+from repro.logic.implication import pred_implies
+from repro.logic.assertions import (
+    HeapAssertion,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Region,
+)
+from repro.logic.heapnames import HeapName
+from repro.logic.state import AbstractState
+from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = ["subsumes", "equivalent", "Mapping"]
+
+
+@dataclass
+class Mapping:
+    """A partial mapping from *general* names/opaques to *concrete* values."""
+
+    binding: dict[SymVal, SymVal] = field(default_factory=dict)
+
+    def copy(self) -> "Mapping":
+        return Mapping(dict(self.binding))
+
+    def unify(self, general: SymVal, concrete: SymVal) -> bool:
+        """Extend the mapping so f(general) == concrete, if consistent."""
+        if isinstance(general, NullVal):
+            return isinstance(concrete, NullVal)
+        if isinstance(general, OffsetVal):
+            return (
+                isinstance(concrete, OffsetVal)
+                and general.delta == concrete.delta
+                and self.unify(general.base, concrete.base)
+            )
+        # Heap names and opaque values bind atomically.
+        bound = self.binding.get(general)
+        if bound is not None:
+            return bound == concrete
+        self.binding[general] = concrete
+        return True
+
+    def apply(self, general: SymVal) -> SymVal | None:
+        """f(general), or None when unbound."""
+        if isinstance(general, NullVal):
+            return NULL_VAL
+        if isinstance(general, OffsetVal):
+            base = self.apply(general.base)
+            if base is None or isinstance(base, (OffsetVal, NullVal, Opaque)):
+                return None
+            return OffsetVal(base, general.delta)
+        return self.binding.get(general)
+
+
+def subsumes(
+    general: AbstractState,
+    concrete: AbstractState,
+    live: set[Register] | None = None,
+    env=None,
+) -> Mapping | None:
+    """Return a witness mapping if *concrete* <= *general*, else None.
+
+    With a predicate environment, instances of *different* predicates
+    match when the concrete one's definition implies the general one's
+    (see :mod:`repro.logic.implication`)."""
+    mapping = Mapping()
+    registers = set(general.rho) & set(concrete.rho)
+    if live is not None:
+        registers &= live
+    for register in sorted(registers, key=lambda r: r.name):
+        general_val = general.resolve(general.rho[register])
+        concrete_val = concrete.resolve(concrete.rho[register])
+        if isinstance(general_val, Opaque) and isinstance(concrete_val, Opaque):
+            continue  # untracked data; any value matches any value
+        if not mapping.unify(general_val, concrete_val):
+            return None
+    general_atoms = sorted(_spatial_atoms(general), key=_match_priority)
+    concrete_atoms = _spatial_atoms(concrete)
+    result = _match_atoms(general_atoms, concrete_atoms, mapping, concrete, env)
+    if result is None:
+        return None
+    if not _pure_atoms_hold(general, concrete, result):
+        return None
+    return result
+
+
+def equivalent(a: AbstractState, b: AbstractState) -> bool:
+    """Mutual subsumption (used for summary-context equivalence)."""
+    return subsumes(a, b) is not None and subsumes(b, a) is not None
+
+
+def _spatial_atoms(state: AbstractState) -> list[HeapAssertion]:
+    return list(state.spatial)
+
+
+def _match_priority(atom: HeapAssertion) -> int:
+    """Match the most constrained atoms first (points-to before
+    predicate instances before regions)."""
+    if isinstance(atom, PointsTo):
+        return 0
+    if isinstance(atom, Raw):
+        return 1
+    if isinstance(atom, PredInstance):
+        return 2
+    return 3
+
+
+def _match_atoms(
+    general_atoms: list[HeapAssertion],
+    concrete_atoms: list[HeapAssertion],
+    mapping: Mapping,
+    concrete_state: AbstractState,
+    env=None,
+) -> Mapping | None:
+    """Backtracking search for a bijective spatial match."""
+    if not general_atoms:
+        return mapping if not concrete_atoms else None
+    atom, rest = general_atoms[0], general_atoms[1:]
+
+    if isinstance(atom, PredInstance):
+        # Semantic allowance: root mapped to null means the base case,
+        # which is emp and consumes no concrete atom.
+        root_image = mapping.apply(atom.args[0])
+        if isinstance(root_image, NullVal) and not atom.truncs:
+            # The base case constrains nothing beyond the root.
+            result = _match_atoms(
+                rest, concrete_atoms, mapping.copy(), concrete_state, env
+            )
+            if result is not None:
+                return result
+
+    for index, candidate in enumerate(concrete_atoms):
+        trial = mapping.copy()
+        if _unify_atom(atom, candidate, trial, env):
+            remaining = concrete_atoms[:index] + concrete_atoms[index + 1:]
+            result = _match_atoms(rest, remaining, trial, concrete_state, env)
+            if result is not None:
+                return result
+    return None
+
+
+def _unify_atom(
+    general: HeapAssertion, concrete: HeapAssertion, m: Mapping, env=None
+) -> bool:
+    if isinstance(general, PointsTo):
+        return (
+            isinstance(concrete, PointsTo)
+            and general.field == concrete.field
+            and m.unify(general.src, concrete.src)
+            and m.unify(general.target, concrete.target)
+        )
+    if isinstance(general, PredInstance):
+        preds_compatible = isinstance(concrete, PredInstance) and (
+            general.pred == concrete.pred
+            or (
+                env is not None
+                and pred_implies(env, concrete.pred, general.pred)
+            )
+        )
+        if not (
+            preds_compatible
+            and len(general.args) == len(concrete.args)
+        ):
+            return False
+        # Truncation points mapped to null disappear; to keep matching
+        # syntactic we require equal truncation-point counts here and
+        # let callers normalize null truncation points away beforehand.
+        if len(general.truncs) != len(concrete.truncs):
+            return False
+        return all(
+            m.unify(ga, ca) for ga, ca in zip(general.args, concrete.args)
+        ) and all(m.unify(gt, ct) for gt, ct in zip(general.truncs, concrete.truncs))
+    if isinstance(general, Raw):
+        return isinstance(concrete, Raw) and m.unify(general.loc, concrete.loc)
+    if isinstance(general, Region):
+        return isinstance(concrete, Region) and m.unify(general.base, concrete.base)
+    return False
+
+
+def _pure_atoms_hold(
+    general: AbstractState, concrete: AbstractState, mapping: Mapping
+) -> bool:
+    """Condition (iii): mapped eq/ne atoms of *general* must be entailed."""
+    for atom in general.pure.atoms():
+        lhs = mapping.apply(general.resolve(atom.lhs))
+        rhs = mapping.apply(general.resolve(atom.rhs))
+        if lhs is None or rhs is None:
+            continue  # mentions names outside the matched heap; vacuous
+        if isinstance(lhs, Opaque) or isinstance(rhs, Opaque):
+            continue  # untracked data
+        if atom.op == "eq" and not concrete.pure.entails_eq(lhs, rhs):
+            return False
+        if atom.op == "ne":
+            if not concrete.pure.entails_ne(lhs, rhs) and not _structurally_ne(
+                concrete, lhs, rhs
+            ):
+                return False
+    return True
+
+
+def _structurally_ne(state: AbstractState, lhs: SymVal, rhs: SymVal) -> bool:
+    """Disequality implied by the heap: an allocated location is not null,
+    and two separately-asserted locations are distinct."""
+    if isinstance(rhs, NullVal):
+        lhs, rhs = rhs, lhs
+    if isinstance(lhs, NullVal):
+        return not isinstance(rhs, (NullVal, Opaque, OffsetVal)) and (
+            state.spatial.is_allocated(rhs)
+        )
+    if isinstance(lhs, (Opaque, OffsetVal)) or isinstance(rhs, (Opaque, OffsetVal)):
+        return False
+    return (
+        state.spatial.is_allocated(lhs)
+        and state.spatial.is_allocated(rhs)
+        and lhs != rhs
+    )

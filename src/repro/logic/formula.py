@@ -1,0 +1,282 @@
+"""Spatial and pure formulae.
+
+``S`` is a spatial conjunction of atomic heap assertions (Table 1); we
+keep it as an ordered collection with lookup indexes.  ``F`` records
+true branch conditions along the execution path and the aliasing
+between pointer arithmetic and heap names produced by
+``rearrange_names`` (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.assertions import (
+    HeapAssertion,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Region,
+)
+from repro.logic.heapnames import HeapName, rename_name
+from repro.logic.symvals import (
+    NULL_VAL,
+    NullVal,
+    OffsetVal,
+    Opaque,
+    SymVal,
+    rename_symval,
+)
+
+__all__ = ["SpatialFormula", "PureFormula", "PureAtom"]
+
+
+class SpatialFormula:
+    """A finite spatial conjunction of atomic heap assertions."""
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: list[HeapAssertion] | None = None):
+        self._atoms: list[HeapAssertion] = list(atoms or [])
+
+    def copy(self) -> "SpatialFormula":
+        return SpatialFormula(self._atoms)
+
+    def __iter__(self):
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: HeapAssertion) -> bool:
+        return atom in self._atoms
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, atom: HeapAssertion) -> None:
+        self._atoms.append(atom)
+
+    def remove(self, atom: HeapAssertion) -> None:
+        self._atoms.remove(atom)
+
+    def replace(self, old: HeapAssertion, new: HeapAssertion) -> None:
+        self._atoms[self._atoms.index(old)] = new
+
+    def rename(self, old: HeapName, new: HeapName) -> None:
+        """Replace heap name *old* with *new* in every atom."""
+        self._atoms = [atom.rename(old, new) for atom in self._atoms]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def points_to(self, src: HeapName, field_name: str) -> PointsTo | None:
+        for atom in self._atoms:
+            if (
+                isinstance(atom, PointsTo)
+                and atom.src == src
+                and atom.field == field_name
+            ):
+                return atom
+        return None
+
+    def points_to_from(self, src: HeapName) -> list[PointsTo]:
+        return [
+            a for a in self._atoms if isinstance(a, PointsTo) and a.src == src
+        ]
+
+    def points_to_atoms(self) -> list[PointsTo]:
+        return [a for a in self._atoms if isinstance(a, PointsTo)]
+
+    def pred_instances(self, pred: str | None = None) -> list[PredInstance]:
+        return [
+            a
+            for a in self._atoms
+            if isinstance(a, PredInstance) and (pred is None or a.pred == pred)
+        ]
+
+    def instance_rooted_at(self, loc: SymVal) -> PredInstance | None:
+        for atom in self._atoms:
+            if isinstance(atom, PredInstance) and atom.root == loc:
+                return atom
+        return None
+
+    def instances_truncated_at(self, loc: HeapName) -> list[PredInstance]:
+        return [
+            a
+            for a in self._atoms
+            if isinstance(a, PredInstance) and loc in a.truncs
+        ]
+
+    def raw_at(self, loc: HeapName) -> Raw | None:
+        for atom in self._atoms:
+            if isinstance(atom, Raw) and atom.loc == loc:
+                return atom
+        return None
+
+    def region_at(self, base: HeapName) -> Region | None:
+        for atom in self._atoms:
+            if isinstance(atom, Region) and atom.base == base:
+                return atom
+        return None
+
+    def regions(self) -> list[Region]:
+        return [a for a in self._atoms if isinstance(a, Region)]
+
+    def is_allocated(self, loc: HeapName) -> bool:
+        """Does the formula assert cells at *loc* (points-to, raw, or a
+        predicate instance rooted there)?"""
+        for atom in self._atoms:
+            if isinstance(atom, PointsTo) and atom.src == loc:
+                return True
+            if isinstance(atom, Raw) and atom.loc == loc:
+                return True
+            if isinstance(atom, PredInstance) and atom.root == loc:
+                return True
+        return False
+
+    def heap_names(self) -> set[HeapName]:
+        """Every heap name mentioned anywhere in the formula."""
+        names: set[HeapName] = set()
+        for atom in self._atoms:
+            if isinstance(atom, PointsTo):
+                names.add(atom.src)
+                names.update(_names_of(atom.target))
+            elif isinstance(atom, PredInstance):
+                for arg in atom.args:
+                    names.update(_names_of(arg))
+                names.update(atom.truncs)
+            elif isinstance(atom, Raw):
+                names.add(atom.loc)
+            elif isinstance(atom, Region):
+                names.add(atom.base)
+        return names
+
+    def __str__(self) -> str:
+        if not self._atoms:
+            return "emp"
+        return " * ".join(str(a) for a in self._atoms)
+
+
+def _names_of(value: SymVal) -> set[HeapName]:
+    if isinstance(value, (NullVal, Opaque)):
+        return set()
+    if isinstance(value, OffsetVal):
+        return {value.base}
+    return {value}
+
+
+@dataclass(frozen=True, slots=True)
+class PureAtom:
+    """``lhs == rhs`` (op 'eq') or ``lhs != rhs`` (op 'ne')."""
+
+    op: str
+    lhs: SymVal
+    rhs: SymVal
+
+    def rename(self, old: HeapName, new: HeapName) -> "PureAtom":
+        return PureAtom(
+            self.op, rename_symval(self.lhs, old, new), rename_symval(self.rhs, old, new)
+        )
+
+    def normalized(self) -> "PureAtom":
+        if str(self.lhs) > str(self.rhs):
+            return PureAtom(self.op, self.rhs, self.lhs)
+        return self
+
+    def __str__(self) -> str:
+        sym = "==" if self.op == "eq" else "!="
+        return f"{self.lhs}{sym}{self.rhs}"
+
+
+class PureFormula:
+    """Branch conditions plus pointer-arithmetic aliases.
+
+    Aliases map an :class:`OffsetVal` ``h + n`` to the access-path heap
+    name that ``rearrange_names`` chose for the same location; register
+    evaluation (Table 1's semantic bracket) consults them.
+    """
+
+    __slots__ = ("_aliases", "_atoms")
+
+    def __init__(
+        self,
+        aliases: dict[OffsetVal, HeapName] | None = None,
+        atoms: set[PureAtom] | None = None,
+    ):
+        self._aliases: dict[OffsetVal, HeapName] = dict(aliases or {})
+        self._atoms: set[PureAtom] = set(atoms or set())
+
+    def copy(self) -> "PureFormula":
+        return PureFormula(self._aliases, self._atoms)
+
+    # ------------------------------------------------------------------
+    # Aliases
+    # ------------------------------------------------------------------
+    def record_alias(self, offset_val: OffsetVal, name: HeapName) -> None:
+        self._aliases[offset_val] = name
+
+    def alias_of(self, offset_val: OffsetVal) -> HeapName | None:
+        return self._aliases.get(offset_val)
+
+    def aliases(self) -> dict[OffsetVal, HeapName]:
+        return dict(self._aliases)
+
+    def resolve(self, value: SymVal) -> SymVal:
+        """Resolve pointer arithmetic through recorded aliases."""
+        while isinstance(value, OffsetVal):
+            name = self._aliases.get(value)
+            if name is None:
+                return value
+            value = name
+        return value
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def assume(self, op: str, lhs: SymVal, rhs: SymVal) -> None:
+        self._atoms.add(PureAtom(op, lhs, rhs).normalized())
+
+    def atoms(self) -> set[PureAtom]:
+        return set(self._atoms)
+
+    def discard(self, atom: PureAtom) -> None:
+        self._atoms.discard(atom)
+
+    def holds(self, op: str, lhs: SymVal, rhs: SymVal) -> bool:
+        if op == "eq" and lhs == rhs:
+            return True
+        return PureAtom(op, lhs, rhs).normalized() in self._atoms
+
+    def entails_eq(self, lhs: SymVal, rhs: SymVal) -> bool:
+        return lhs == rhs or self.holds("eq", lhs, rhs)
+
+    def entails_ne(self, lhs: SymVal, rhs: SymVal) -> bool:
+        return self.holds("ne", lhs, rhs)
+
+    # ------------------------------------------------------------------
+    def rename(self, old: HeapName, new: HeapName) -> None:
+        self._aliases = {
+            OffsetVal(rename_name(k.base, old, new), k.delta): rename_name(
+                v, old, new
+            )
+            for k, v in self._aliases.items()
+        }
+        self._atoms = {a.rename(old, new).normalized() for a in self._atoms}
+
+    def substitute_value(self, old: SymVal, new: SymVal) -> None:
+        """Replace *old* by *new* in condition atoms (e.g. assuming a
+        dangling variable is null)."""
+
+        def swap(v: SymVal) -> SymVal:
+            return new if v == old else v
+
+        self._atoms = {
+            PureAtom(a.op, swap(a.lhs), swap(a.rhs)).normalized()
+            for a in self._atoms
+        }
+
+    def __str__(self) -> str:
+        parts = [f"{k}=={v}" for k, v in sorted(self._aliases.items(), key=str)]
+        parts.extend(str(a) for a in sorted(self._atoms, key=str))
+        return " /\\ ".join(parts) if parts else "true"

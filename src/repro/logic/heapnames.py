@@ -1,0 +1,126 @@
+"""Heap names: ``h ::= g | a | h.n`` (paper, Table 1).
+
+Heap locations are named by *access paths*: a root (a global ``g`` or a
+logic variable ``a``) followed by a chain of field selections.  The
+paper's central trick (Section 2.2, ``rearrange_names``) is that these
+names are not arbitrary: the analysis renames locations so that the
+access path of each name spells out the acyclic backbone of the
+recursive data structure the location belongs to, and the recursion
+synthesis algorithm (Section 3) reads the recursive pattern straight
+out of the names.
+
+Names are immutable; renaming produces new names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = [
+    "HeapName",
+    "GlobalLoc",
+    "Var",
+    "FieldPath",
+    "fresh_var",
+    "reset_fresh_counter",
+    "root_of",
+    "path_of",
+    "is_prefix",
+    "rename_name",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalLoc:
+    """Heap location allocated for a global variable ``g``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A logic variable ``a`` naming an anonymous heap location."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FieldPath:
+    """An access-path name ``h.n``."""
+
+    base: "HeapName"
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field}"
+
+
+HeapName = GlobalLoc | Var | FieldPath
+
+_counter = itertools.count(1)
+
+
+def fresh_var(hint: str = "a") -> Var:
+    """A globally fresh logic variable.
+
+    Freshness is process-global so that names never collide across
+    states, frames and procedure summaries.
+    """
+    return Var(f"{hint}{next(_counter)}")
+
+
+def reset_fresh_counter() -> None:
+    """Reset the fresh-name counter (tests only, for stable output)."""
+    global _counter
+    _counter = itertools.count(1)
+
+
+def root_of(name: HeapName) -> GlobalLoc | Var:
+    """The root of an access path (``root_of(a.f.g) == a``)."""
+    while isinstance(name, FieldPath):
+        name = name.base
+    return name
+
+
+def path_of(name: HeapName) -> tuple[str, ...]:
+    """The field chain of an access path, outermost last."""
+    fields: list[str] = []
+    while isinstance(name, FieldPath):
+        fields.append(name.field)
+        name = name.base
+    fields.reverse()
+    return tuple(fields)
+
+
+def is_prefix(short: HeapName, long: HeapName) -> bool:
+    """Is *short* a (non-strict) prefix of the access path *long*?
+
+    ``rearrange_names`` uses this to refuse cyclic renamings: a store
+    creating a link whose target is a prefix of the source's access path
+    is a backward link, and the target keeps its existing name.
+    """
+    node: HeapName = long
+    while True:
+        if node == short:
+            return True
+        if not isinstance(node, FieldPath):
+            return False
+        node = node.base
+
+
+def rename_name(name: HeapName, old: HeapName, new: HeapName) -> HeapName:
+    """Replace *old* with *new* everywhere inside *name* (prefix-aware)."""
+    if name == old:
+        return new
+    if isinstance(name, FieldPath):
+        base = rename_name(name.base, old, new)
+        if base is not name.base:
+            return FieldPath(base, name.field)
+    return name

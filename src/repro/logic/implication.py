@@ -1,0 +1,116 @@
+"""Implication between recursive predicate definitions.
+
+``pred_implies(env, a, b)`` decides (soundly, incompletely) whether
+every heap satisfying ``a(v1..vn)`` also satisfies ``b(v1..vn)`` -- the
+coinductive comparison of the two definitions.  The interesting case is
+a *specialized* definition implying a general one: a predicate whose
+``items`` field is always null implies the predicate whose ``items``
+field carries a (possibly empty) sub-structure, because null satisfies
+the sub-structure's base case.
+
+This is what lets the engine's subsumption check recognize that a loop
+lineage which happened to build only degenerate sub-structures is an
+instance of the general invariant synthesized from a richer lineage.
+"""
+
+from __future__ import annotations
+
+from repro.logic.predicates import (
+    AnyArg,
+    ArgExpr,
+    NullArg,
+    ParamArg,
+    PredicateDef,
+    PredicateEnv,
+    RecTarget,
+)
+
+__all__ = ["pred_implies"]
+
+
+def pred_implies(
+    env: PredicateEnv,
+    stronger: str,
+    weaker: str,
+    _assumed: frozenset[tuple[str, str]] = frozenset(),
+) -> bool:
+    """Does ``stronger(args)`` entail ``weaker(args)`` for all args?"""
+    if stronger == weaker:
+        return True
+    if stronger not in env or weaker not in env:
+        return False
+    a, b = env[stronger], env[weaker]
+    if a.arity != b.arity:
+        return False
+    key = (stronger, weaker)
+    if key in _assumed:
+        return True  # coinductive hypothesis
+    assumed = _assumed | {key}
+    a_fields = {spec.field: spec.target for spec in a.fields}
+    b_fields = {spec.field: spec.target for spec in b.fields}
+    if set(a_fields) != set(b_fields):
+        return False
+    # Align recursive calls through their fields.
+    a_call_field = {i: a.field_of_rec_call(i) for i in range(len(a.rec_calls))}
+    b_call_by_field = {
+        b.field_of_rec_call(i): i for i in range(len(b.rec_calls))
+    }
+    for field_name, a_target in a_fields.items():
+        b_target = b_fields[field_name]
+        if not _target_implies(
+            env, a, b, a_target, b_target, a_call_field, b_call_by_field,
+            field_name, assumed,
+        ):
+            return False
+    return True
+
+
+def _target_implies(
+    env: PredicateEnv,
+    a: PredicateDef,
+    b: PredicateDef,
+    a_target: ArgExpr,
+    b_target: ArgExpr,
+    a_call_field: dict[int, str],
+    b_call_by_field: dict[str, int],
+    field_name: str,
+    assumed: frozenset[tuple[str, str]],
+) -> bool:
+    if isinstance(b_target, AnyArg):
+        return True
+    if a_target == b_target and not isinstance(a_target, RecTarget):
+        return True
+    if isinstance(a_target, NullArg) and isinstance(b_target, RecTarget):
+        # null satisfies the base case of any sub-structure, whatever
+        # its arguments.
+        return True
+    if isinstance(a_target, RecTarget) and isinstance(b_target, RecTarget):
+        a_call = a.rec_calls[a_target.index]
+        b_call = b.rec_calls[b_target.index]
+        if len(a_call.args) != len(b_call.args):
+            return False
+        if not pred_implies(env, a_call.pred, b_call.pred, assumed):
+            return False
+        for a_arg, b_arg in zip(a_call.args, b_call.args):
+            if not _arg_corresponds(
+                a_arg, b_arg, a_call_field, b_call_by_field
+            ):
+                return False
+        return True
+    return False
+
+
+def _arg_corresponds(
+    a_arg: ArgExpr,
+    b_arg: ArgExpr,
+    a_call_field: dict[int, str],
+    b_call_by_field: dict[str, int],
+) -> bool:
+    """Same value under both definitions (RecTargets align by field)."""
+    if isinstance(a_arg, RecTarget) and isinstance(b_arg, RecTarget):
+        field_name = a_call_field.get(a_arg.index)
+        return (
+            field_name is not None
+            and b_call_by_field.get(field_name) == b_arg.index
+        )
+    return a_arg == b_arg

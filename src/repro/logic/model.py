@@ -1,0 +1,130 @@
+"""Satisfaction of recursive predicates on *concrete* heaps.
+
+This is the semantic oracle used by the test suite: after the concrete
+interpreter (:mod:`repro.concrete`) runs a program, we check that the
+predicate the analysis synthesized actually holds of the heap the run
+produced.  Because the paper's predicates are *precise* (each
+unambiguously identifies a piece of heap), satisfaction computes the
+exact footprint (set of node addresses) or fails.
+
+A concrete heap is any mapping ``addr -> {field: value}`` with address
+``0`` playing the role of null.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.logic.predicates import (
+    AnyArg,
+    NullArg,
+    ParamArg,
+    PredicateDef,
+    PredicateEnv,
+    RecTarget,
+)
+
+__all__ = ["satisfies", "satisfies_truncated", "ModelError"]
+
+
+class ModelError(Exception):
+    """Raised on malformed checks (unknown predicate, bad arity)."""
+
+
+def satisfies(
+    env: PredicateEnv,
+    pred: str,
+    args: tuple[int, ...],
+    cells: Mapping[int, Mapping[str, int]],
+) -> set[int] | None:
+    """Footprint of ``pred(args)`` on the concrete heap, or None.
+
+    The footprint is the set of node addresses the predicate instance
+    covers; callers typically assert it equals the set of all allocated
+    nodes of the structure under test.
+    """
+    return _check(env, pred, args, cells, truncs=frozenset(), hit=set(), seen=set())
+
+
+def satisfies_truncated(
+    env: PredicateEnv,
+    pred: str,
+    args: tuple[int, ...],
+    truncs: frozenset[int],
+    cells: Mapping[int, Mapping[str, int]],
+) -> set[int] | None:
+    """Footprint of the truncated instance ``pred(args; truncs)``.
+
+    Every truncation point must actually be reached (the sub-structures
+    are cut out, so their nodes are *not* in the footprint), and the
+    sub-structures must be mutually disjoint -- each truncation point is
+    reached exactly once.
+    """
+    hit: set[int] = set()
+    footprint = _check(env, pred, args, cells, truncs=truncs, hit=hit, seen=set())
+    if footprint is None:
+        return None
+    if hit != set(truncs):
+        return None
+    return footprint
+
+
+def _check(
+    env: PredicateEnv,
+    pred: str,
+    args: tuple[int, ...],
+    cells: Mapping[int, Mapping[str, int]],
+    truncs: frozenset[int],
+    hit: set[int],
+    seen: set[int],
+) -> set[int] | None:
+    if pred not in env:
+        raise ModelError(f"unknown predicate {pred!r}")
+    definition: PredicateDef = env[pred]
+    if len(args) != definition.arity:
+        raise ModelError(f"{pred} expects {definition.arity} args, got {len(args)}")
+    root = args[0]
+    if root in truncs:
+        if root in hit:
+            return None  # truncation sub-structures must be disjoint
+        hit.add(root)
+        return set()
+    if root == 0:
+        return set()
+    if root not in cells or root in seen:
+        return None
+    node = cells[root]
+    bound: dict[int, int] = {}
+    for spec in definition.fields:
+        value = node.get(spec.field, 0)
+        target = spec.target
+        if isinstance(target, NullArg):
+            if value != 0:
+                return None
+        elif isinstance(target, ParamArg):
+            if value != args[target.index]:
+                return None
+        elif isinstance(target, RecTarget):
+            bound[target.index] = value
+        elif isinstance(target, AnyArg):
+            pass
+    footprint = {root}
+    seen = seen | {root}
+    for i, call in enumerate(definition.rec_calls):
+        sub_args = [bound[i]]
+        for expr in call.args:
+            if isinstance(expr, NullArg):
+                sub_args.append(0)
+            elif isinstance(expr, ParamArg):
+                sub_args.append(args[expr.index])
+            elif isinstance(expr, RecTarget):
+                sub_args.append(bound[expr.index])
+            else:
+                raise ModelError("AnyArg not allowed in recursive-call arguments")
+        sub = _check(env, call.pred, tuple(sub_args), cells, truncs, hit, seen)
+        if sub is None:
+            return None
+        if sub & footprint:
+            return None  # spatial conjunction demands disjointness
+        footprint |= sub
+    return footprint

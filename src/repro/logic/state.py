@@ -1,0 +1,237 @@
+"""Abstract states ``rho | S | F`` (paper, Section 2.1).
+
+``rho`` maps registers to symbolic values, ``S`` is the spatial formula
+and ``F`` the pure formula.  The semantic bracket ``[.]_{rho,F}``
+evaluating operands to heap names (or null) follows the paper: pointer
+arithmetic resolves through recorded aliases, and an unaliased ``h + n``
+is given a fresh name (materialized out of the array region it indexes,
+when one is present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.values import Global, IntConst, Null, Operand, Register
+from repro.logic.assertions import PointsTo, PredInstance, Raw, Region
+from repro.logic.formula import PureFormula, SpatialFormula
+from repro.logic.heapnames import GlobalLoc, HeapName, Var, fresh_var
+from repro.logic.symvals import (
+    NULL_VAL,
+    NullVal,
+    OffsetVal,
+    Opaque,
+    SymVal,
+    offset,
+    rename_symval,
+)
+
+__all__ = ["AbstractState", "AnalysisStuck"]
+
+
+class AnalysisStuck(Exception):
+    """The abstract execution cannot proceed (e.g. a store through a
+    pointer the heap formula does not cover).  The paper's analysis
+    "gets stuck" in the same situations; the engine reports failure."""
+
+
+@dataclass
+class AbstractState:
+    """One abstract state ``rho | S | F``.
+
+    ``anchors`` marks heap locations that pre-exist the current
+    procedure activation (the roots passed in as parameters, and
+    globals); ``rearrange_names`` treats them as already linked to a
+    parent in the caller's world and never renames them into a local
+    access path.
+    """
+
+    rho: dict[Register, SymVal] = field(default_factory=dict)
+    spatial: SpatialFormula = field(default_factory=SpatialFormula)
+    pure: PureFormula = field(default_factory=PureFormula)
+    anchors: frozenset[HeapName] = frozenset()
+
+    def copy(self) -> "AbstractState":
+        return AbstractState(
+            dict(self.rho), self.spatial.copy(), self.pure.copy(), self.anchors
+        )
+
+    # ------------------------------------------------------------------
+    # Operand evaluation
+    # ------------------------------------------------------------------
+    def eval_operand(self, operand: Operand) -> SymVal:
+        """Symbolic value of an instruction operand."""
+        if isinstance(operand, Null):
+            return NULL_VAL
+        if isinstance(operand, Global):
+            return GlobalLoc(operand.name)
+        if isinstance(operand, IntConst):
+            return Opaque(f"int{operand.value}")
+        value = self.rho.get(operand)
+        if value is None:
+            value = Opaque(f"reg:{operand.name}")
+            self.rho[operand] = value
+        return value
+
+    def resolve(self, value: SymVal) -> SymVal:
+        """Resolve pointer arithmetic through aliases (no materialization)."""
+        return self.pure.resolve(value)
+
+    def eval_to_location(self, operand: Operand) -> HeapName:
+        """The paper's ``[.]_{rho,F}`` restricted to locations.
+
+        Resolves aliases; an unaliased ``h + n`` gets a fresh variable
+        name (recorded as an alias, and carved out of ``h``'s region
+        when one exists).  Raises :class:`AnalysisStuck` on null or
+        opaque values used as addresses.
+        """
+        value = self.resolve(self.eval_operand(operand))
+        if isinstance(value, NullVal):
+            raise AnalysisStuck("null dereference in abstract execution")
+        if isinstance(value, Opaque):
+            raise AnalysisStuck(f"address is not a tracked pointer: {value}")
+        if isinstance(value, OffsetVal):
+            name = fresh_var()
+            self.pure.record_alias(value, name)
+            self._carve_from_region(value.base, name)
+            return name
+        return value
+
+    def _carve_from_region(self, base: HeapName, name: HeapName) -> None:
+        region = self.spatial.region_at(base)
+        if region is not None:
+            self.spatial.add(Raw(name))
+
+    def materialize_cell(self, name: HeapName) -> None:
+        """Ensure a cell exists at *name* if it indexes into a region.
+
+        Used when a store targets a region slot whose name was created
+        earlier (e.g. as the dangling target of a previous store) but
+        whose cell has not been carved yet.
+        """
+        if self.spatial.is_allocated(name):
+            return
+        for offset_val, alias in self.pure.aliases().items():
+            if alias == name and self.spatial.region_at(offset_val.base) is not None:
+                self.spatial.add(Raw(name))
+                return
+
+    # ------------------------------------------------------------------
+    # Assumptions (the paper's filter(c))
+    # ------------------------------------------------------------------
+    def assume_eq(self, lhs: SymVal, rhs: SymVal) -> bool:
+        """Assume ``lhs == rhs``; False means the state is infeasible."""
+        lhs, rhs = self.resolve(lhs), self.resolve(rhs)
+        if lhs == rhs:
+            return True
+        if self.pure.entails_ne(lhs, rhs):
+            return False
+        if isinstance(rhs, NullVal):
+            lhs, rhs = rhs, lhs
+        if isinstance(lhs, NullVal):
+            return self._assume_null(rhs)
+        if isinstance(lhs, Opaque) or isinstance(rhs, Opaque):
+            self.pure.assume("eq", lhs, rhs)
+            return True
+        # Two location values: distinct allocated cells cannot alias.
+        lhs_alloc = not isinstance(lhs, OffsetVal) and self.spatial.is_allocated(lhs)
+        rhs_alloc = not isinstance(rhs, OffsetVal) and self.spatial.is_allocated(rhs)
+        if lhs_alloc and rhs_alloc:
+            return False
+        self.pure.assume("eq", lhs, rhs)
+        return True
+
+    def _assume_null(self, value: SymVal) -> bool:
+        """Assume a location value is null."""
+        if isinstance(value, OffsetVal):
+            # A strictly-interior array pointer is never null.
+            return False
+        if self.pure.entails_ne(value, NULL_VAL):
+            return False
+        if self.spatial.points_to_from(value) or self.spatial.raw_at(value):
+            return False
+        if self.spatial.region_at(value) is not None:
+            return False
+        instance = self.spatial.instance_rooted_at(value)
+        if instance is not None:
+            if instance.truncs:
+                # A truncated structure has at least the cells between the
+                # root and its truncation points; the root is not null.
+                return False
+            self.spatial.remove(instance)
+        # Truncation point equal to null: the cut-out sub-structure is
+        # empty, so the truncation point just disappears
+        # ((emp --* A(..)) == A(..)).
+        for inst in self.spatial.instances_truncated_at(value):
+            remaining = tuple(t for t in inst.truncs if t != value)
+            self.spatial.replace(inst, inst.with_truncs(remaining))
+        self.substitute_value(value, NULL_VAL)
+        return True
+
+    def assume_ne(self, lhs: SymVal, rhs: SymVal) -> bool:
+        """Assume ``lhs != rhs``; False means the state is infeasible."""
+        lhs, rhs = self.resolve(lhs), self.resolve(rhs)
+        if lhs == rhs:
+            return False
+        if self.pure.entails_eq(lhs, rhs):
+            return False
+        self.pure.assume("ne", lhs, rhs)
+        return True
+
+    # ------------------------------------------------------------------
+    # Renaming / substitution
+    # ------------------------------------------------------------------
+    def rename(self, old: HeapName, new: HeapName) -> None:
+        """Replace heap name *old* with *new* throughout the state."""
+        self.rho = {r: rename_symval(v, old, new) for r, v in self.rho.items()}
+        self.spatial.rename(old, new)
+        self.pure.rename(old, new)
+        if old in self.anchors:
+            self.anchors = (self.anchors - {old}) | {new}
+
+    def substitute_value(self, old: SymVal, new: SymVal) -> None:
+        """Replace symbolic value *old* with *new* (used when a dangling
+        variable is discovered to be null)."""
+        self.rho = {r: (new if v == old else v) for r, v in self.rho.items()}
+        if not isinstance(old, (NullVal, Opaque, OffsetVal)) and not isinstance(
+            new, (Opaque, OffsetVal)
+        ):
+            if isinstance(new, NullVal):
+                for atom in list(self.spatial):
+                    if isinstance(atom, PointsTo) and atom.target == old:
+                        self.spatial.replace(
+                            atom, PointsTo(atom.src, atom.field, NULL_VAL)
+                        )
+                    elif isinstance(atom, PredInstance) and old in atom.args:
+                        self.spatial.replace(
+                            atom,
+                            PredInstance(
+                                atom.pred,
+                                tuple(
+                                    NULL_VAL if a == old else a for a in atom.args
+                                ),
+                                atom.truncs,
+                            ),
+                        )
+            else:
+                self.spatial.rename(old, new)
+        self.pure.substitute_value(old, new)
+
+    # ------------------------------------------------------------------
+    def heap_names(self) -> set[HeapName]:
+        names = self.spatial.heap_names()
+        for value in self.rho.values():
+            if isinstance(value, OffsetVal):
+                names.add(value.base)
+            elif not isinstance(value, (NullVal, Opaque)):
+                names.add(value)
+        return names
+
+    def fresh_like(self) -> Var:
+        return fresh_var()
+
+    def __str__(self) -> str:
+        regs = ", ".join(
+            f"{r}={v}" for r, v in sorted(self.rho.items(), key=lambda kv: kv[0].name)
+        )
+        return f"[{regs}] | {self.spatial} | {self.pure}"

@@ -1,0 +1,85 @@
+"""Symbolic values: ``v ::= null | h | h + n`` (paper, Table 1).
+
+A register holds either ``null``, a heap location (by name), a heap
+location plus an element offset (pointer arithmetic into an array), or
+an opaque non-pointer value (integers and other data the shape analysis
+does not track; slicing removes most of them, the rest are ``Opaque``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.heapnames import HeapName, rename_name
+
+__all__ = ["NullVal", "NULL_VAL", "OffsetVal", "Opaque", "SymVal", "rename_symval"]
+
+
+@dataclass(frozen=True, slots=True)
+class NullVal:
+    """The symbolic ``null``."""
+
+    def __str__(self) -> str:
+        return "null"
+
+
+NULL_VAL = NullVal()
+
+
+@dataclass(frozen=True, slots=True)
+class OffsetVal:
+    """``h + n``: *n* array elements past the location named *h*.
+
+    Offsets are element-granular (the paper works at byte granularity
+    through its low-level pointer analysis; element granularity carries
+    the same distinctions for the shape domain).  ``n`` may be negative
+    (``node - 1`` in the 181.mcf builder).  ``OffsetVal(h, 0)`` is
+    normalized to plain ``h`` by :func:`offset`.
+    """
+
+    base: HeapName
+    delta: int
+
+    def __str__(self) -> str:
+        sign = "+" if self.delta >= 0 else "-"
+        return f"{self.base}{sign}{abs(self.delta)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Opaque:
+    """A non-pointer value the analysis does not interpret.
+
+    ``tag`` distinguishes independent opaque values so that equality
+    conditions between them are neither assumed nor refuted.
+    """
+
+    tag: str
+
+    def __str__(self) -> str:
+        return f"?{self.tag}"
+
+
+SymVal = NullVal | HeapName | OffsetVal | Opaque
+
+
+def offset(base_val: SymVal, delta: int) -> SymVal:
+    """Apply element-level pointer arithmetic to a symbolic value."""
+    if isinstance(base_val, OffsetVal):
+        total = base_val.delta + delta
+        return base_val.base if total == 0 else OffsetVal(base_val.base, total)
+    if isinstance(base_val, (NullVal, Opaque)):
+        return Opaque(f"arith({base_val})")
+    return base_val if delta == 0 else OffsetVal(base_val, delta)
+
+
+def rename_symval(value: SymVal, old: HeapName, new: HeapName) -> SymVal:
+    """Replace heap name *old* with *new* inside *value*."""
+    if isinstance(value, (NullVal, Opaque)):
+        return value
+    if isinstance(value, OffsetVal):
+        base = rename_name(value.base, old, new)
+        return value if base is value.base else OffsetVal(base, value.delta)
+    return rename_name(value, old, new)
+
+
+__all__.append("offset")

@@ -1,0 +1,49 @@
+"""Register liveness (backward dataflow).
+
+``foldT`` merges only "locations not pointed to by any live register"
+(paper, §4); the engine consults per-program-point live-out sets to
+build the fold guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Return
+from repro.ir.program import Procedure
+from repro.ir.values import Register
+
+__all__ = ["Liveness"]
+
+
+@dataclass
+class Liveness:
+    """Live-in / live-out register sets per instruction."""
+
+    proc: Procedure
+
+    def __post_init__(self) -> None:
+        cfg = CFG(self.proc)
+        n = len(self.proc.instrs)
+        self.live_in: list[set[Register]] = [set() for _ in range(n)]
+        self.live_out: list[set[Register]] = [set() for _ in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n - 1, -1, -1):
+                instr = self.proc.instrs[i]
+                out = set()
+                for s in cfg.succs[i]:
+                    out |= self.live_in[s]
+                live = (out - set(instr.defs())) | set(instr.uses())
+                if out != self.live_out[i] or live != self.live_in[i]:
+                    self.live_out[i] = out
+                    self.live_in[i] = live
+                    changed = True
+
+    def live_after(self, index: int) -> set[Register]:
+        return set(self.live_out[index])
+
+    def live_before(self, index: int) -> set[Register]:
+        return set(self.live_in[index])

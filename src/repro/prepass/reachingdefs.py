@@ -1,0 +1,79 @@
+"""Reaching definitions over the CFG.
+
+The recursive-type identification of §5.1 detects traversal loads by
+computing strongly-connected components of the *reaching-definition
+graph*: the graph whose nodes are instructions and whose edges connect
+each definition of a register to the uses it reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.ir.program import Procedure
+from repro.ir.values import Register
+
+__all__ = ["ReachingDefinitions", "def_use_graph"]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Per-instruction IN sets of reaching definitions.
+
+    ``reaching_in[i]`` is the set of instruction indices whose
+    definitions may reach the entry of instruction ``i``.
+    """
+
+    proc: Procedure
+
+    def __post_init__(self) -> None:
+        cfg = CFG(self.proc)
+        n = len(self.proc.instrs)
+        defs_of_reg: dict[Register, set[int]] = {}
+        for i, instr in enumerate(self.proc.instrs):
+            for register in instr.defs():
+                defs_of_reg.setdefault(register, set()).add(i)
+        gen: list[set[int]] = [set() for _ in range(n)]
+        kill: list[set[int]] = [set() for _ in range(n)]
+        for i, instr in enumerate(self.proc.instrs):
+            defined = instr.defs()
+            if defined:
+                gen[i] = {i}
+                kill[i] = set().union(
+                    *(defs_of_reg[r] for r in defined)
+                ) - {i}
+        self.reaching_in: list[set[int]] = [set() for _ in range(n)]
+        reaching_out: list[set[int]] = [set() for _ in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                in_set = set()
+                for p in cfg.preds[i]:
+                    in_set |= reaching_out[p]
+                out_set = gen[i] | (in_set - kill[i])
+                if in_set != self.reaching_in[i] or out_set != reaching_out[i]:
+                    self.reaching_in[i] = in_set
+                    reaching_out[i] = out_set
+                    changed = True
+
+    def definitions_reaching(self, index: int, register: Register) -> set[int]:
+        """Definitions of *register* that may reach instruction *index*."""
+        return {
+            d
+            for d in self.reaching_in[index]
+            if register in self.proc.instrs[d].defs()
+        }
+
+
+def def_use_graph(proc: Procedure) -> dict[int, set[int]]:
+    """Edges definition-instruction -> using-instruction (within a
+    procedure), via reaching definitions."""
+    rd = ReachingDefinitions(proc)
+    edges: dict[int, set[int]] = {i: set() for i in range(len(proc.instrs))}
+    for i, instr in enumerate(proc.instrs):
+        for register in instr.uses():
+            for d in rd.definitions_reaching(i, register):
+                edges[d].add(i)
+    return edges

@@ -1,0 +1,158 @@
+"""Identification of recursive data types (paper, §5.1).
+
+"Recursive types are identified as those associated with load
+instructions involved in traversing recursive data structures.  These
+loads share the property that the destination register is used to
+compute the load address, a recurrence that is easily detected by
+computing strongly-connected components of the reaching-definition
+graph."
+
+We build the def-use graph of each procedure, extend it across call
+boundaries (argument -> parameter, return -> call destination) so that
+recursive-procedure traversals (``treeadd(t->left)``) are caught, and
+take the inferred types of loads inside non-trivial SCCs.  Stores to a
+recursive type mark it recursive as well (builders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Call, Load, Return, Store
+from repro.ir.program import Program
+from repro.ir.values import Register
+from repro.prepass.reachingdefs import def_use_graph
+from repro.prepass.steensgaard import InferredType, PointerAnalysis
+
+__all__ = ["recursive_types", "traversal_loads"]
+
+_Node = tuple[str, int]  # (procedure name, instruction index)
+
+
+def _global_def_use(program: Program) -> dict[_Node, set[_Node]]:
+    """Def-use edges across the whole program.
+
+    Interprocedural flow is routed precisely: the *definitions of an
+    argument* feed the uses of the corresponding parameter, and returns
+    feed the call node (which defines the destination register).
+    Routing argument flow through the call node itself would compose it
+    spuriously with the return flow and make every value loaded inside
+    a recursion look like it computes a load address.
+    """
+    from repro.prepass.reachingdefs import ReachingDefinitions
+
+    edges: dict[_Node, set[_Node]] = {}
+    param_uses: dict[tuple[str, Register], set[_Node]] = {}
+    reaching: dict[str, ReachingDefinitions] = {}
+    for name, proc in program.procedures.items():
+        local = def_use_graph(proc)
+        for d, uses in local.items():
+            edges.setdefault((name, d), set()).update((name, u) for u in uses)
+        # Uses of parameters with no local definition reaching them are
+        # fed by call sites.
+        rd = ReachingDefinitions(proc)
+        reaching[name] = rd
+        for i, instr in enumerate(proc.instrs):
+            for register in instr.uses():
+                if register in proc.params and not rd.definitions_reaching(
+                    i, register
+                ):
+                    param_uses.setdefault((name, register), set()).add((name, i))
+    for name, proc in program.procedures.items():
+        rd = reaching[name]
+        for i, instr in enumerate(proc.instrs):
+            if isinstance(instr, Call) and instr.func in program.procedures:
+                callee = program.procedures[instr.func]
+                for formal, actual in zip(callee.params, instr.args):
+                    if isinstance(actual, Register):
+                        targets = param_uses.get((instr.func, formal), set())
+                        if not targets:
+                            continue
+                        arg_defs = rd.definitions_reaching(i, actual)
+                        if not arg_defs and actual in proc.params:
+                            # The argument is itself an incoming
+                            # parameter: chain through its use here.
+                            param_uses.setdefault((name, actual), set()).update(
+                                targets
+                            )
+                            continue
+                        for d in arg_defs:
+                            edges.setdefault((name, d), set()).update(targets)
+                if instr.dst is not None:
+                    for j, cin in enumerate(callee.instrs):
+                        if isinstance(cin, Return) and cin.value is not None:
+                            edges.setdefault((instr.func, j), set()).add((name, i))
+    return edges
+
+
+def _sccs(edges: dict[_Node, set[_Node]]) -> list[set[_Node]]:
+    index: dict[_Node, int] = {}
+    low: dict[_Node, int] = {}
+    on_stack: set[_Node] = set()
+    stack: list[_Node] = []
+    counter = [0]
+    result: list[set[_Node]] = []
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes.update(targets)
+
+    def visit(v: _Node) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in edges.get(v, ()):
+            if w not in index:
+                visit(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component = set()
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.add(w)
+                if w == v:
+                    break
+            result.append(component)
+
+    import sys
+
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, 10000))
+    try:
+        for v in sorted(nodes):
+            if v not in index:
+                visit(v)
+    finally:
+        sys.setrecursionlimit(limit)
+    return result
+
+
+def traversal_loads(program: Program) -> set[_Node]:
+    """Loads whose destination feeds back into a load address."""
+    edges = _global_def_use(program)
+    loads: set[_Node] = set()
+    for component in _sccs(edges):
+        nontrivial = len(component) > 1 or any(
+            v in edges.get(v, ()) for v in component
+        )
+        if not nontrivial:
+            continue
+        for name, i in component:
+            if isinstance(program.procedures[name].instrs[i], Load):
+                loads.add((name, i))
+    return loads
+
+
+def recursive_types(
+    program: Program, pointers: PointerAnalysis
+) -> set[InferredType]:
+    """The inferred types of the program's recursive data structures."""
+    types: set[InferredType] = set()
+    for name, i in traversal_loads(program):
+        instr = program.procedures[name].instrs[i]
+        assert isinstance(instr, Load)
+        types.add(pointers.canonical(pointers.access_type(name, instr)))
+    return types

@@ -1,0 +1,222 @@
+"""Steensgaard-style unification-based pointer analysis (paper, §5.1).
+
+The shape analysis targets low-level code with no type information, so
+a fast flow-insensitive pointer analysis is used to roughly infer the
+high-level type of each pointer.  An *inferred type* is an equivalence
+class of runtime locations (e.g. "the ``next`` field of all nodes of
+one linked list"); each load/store instruction is assigned the inferred
+type it accesses, over-approximating the set of locations it touches.
+
+Implementation: classic union-find over equivalence-class
+representatives (ECRs).  Each register, global and allocation site maps
+to an ECR; each ECR owns a field map whose entries are themselves ECRs.
+Assignments unify value ECRs; loads/stores unify through the field map;
+unifying two ECRs recursively unifies the common fields of their maps
+(Steensgaard's conditional join, simplified to eager join -- same
+precision class, simpler code).  Calls unify arguments with parameters
+and returned values with call destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Free,
+    Load,
+    Malloc,
+    Return,
+    Store,
+)
+from repro.ir.program import Program
+from repro.ir.values import Global, Operand, Register
+
+__all__ = ["PointerAnalysis", "InferredType"]
+
+
+@dataclass(frozen=True, slots=True)
+class InferredType:
+    """The inferred type of a memory access: an ECR id plus a field."""
+
+    ecr: int
+    field: str
+
+    def __str__(self) -> str:
+        return f"t{self.ecr}.{self.field}"
+
+
+class _EcrTable:
+    """Union-find with field maps."""
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._fields: list[dict[str, int]] = []
+        self._is_alloc: list[bool] = []
+
+    def fresh(self, is_alloc: bool = False) -> int:
+        self._parent.append(len(self._parent))
+        self._fields.append({})
+        self._is_alloc.append(is_alloc)
+        return len(self._parent) - 1
+
+    def find(self, e: int) -> int:
+        root = e
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[e] != root:
+            self._parent[e], e = root, self._parent[e]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return a
+        self._parent[b] = a
+        self._is_alloc[a] = self._is_alloc[a] or self._is_alloc[b]
+        b_fields = self._fields[b]
+        self._fields[b] = {}
+        for name, target in b_fields.items():
+            mine = self._fields[a].get(name)
+            if mine is None:
+                self._fields[a][name] = target
+            else:
+                self.union(mine, target)
+        return a
+
+    def field_of(self, e: int, name: str) -> int:
+        e = self.find(e)
+        target = self._fields[e].get(name)
+        if target is None:
+            target = self.fresh()
+            self._fields[e][name] = target
+        return self.find(target)
+
+    def fields(self, e: int) -> dict[str, int]:
+        e = self.find(e)
+        return {n: self.find(t) for n, t in self._fields[e].items()}
+
+    def is_alloc(self, e: int) -> bool:
+        return self._is_alloc[self.find(e)]
+
+
+class PointerAnalysis:
+    """Run the unification analysis over a whole program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._ecrs = _EcrTable()
+        self._of_register: dict[tuple[str, Register], int] = {}
+        self._of_global: dict[str, int] = {}
+        self._of_return: dict[str, int] = {}
+        self._run()
+
+    # ------------------------------------------------------------------
+    def _reg(self, proc: str, register: Register) -> int:
+        key = (proc, register)
+        ecr = self._of_register.get(key)
+        if ecr is None:
+            ecr = self._ecrs.fresh()
+            self._of_register[key] = ecr
+        return self._ecrs.find(ecr)
+
+    def _glob(self, name: str) -> int:
+        ecr = self._of_global.get(name)
+        if ecr is None:
+            ecr = self._ecrs.fresh()
+            self._of_global[name] = ecr
+        return self._ecrs.find(ecr)
+
+    def _ret(self, proc: str) -> int:
+        ecr = self._of_return.get(proc)
+        if ecr is None:
+            ecr = self._ecrs.fresh()
+            self._of_return[proc] = ecr
+        return self._ecrs.find(ecr)
+
+    def _operand(self, proc: str, operand: Operand) -> int | None:
+        if isinstance(operand, Register):
+            return self._reg(proc, operand)
+        if isinstance(operand, Global):
+            return self._glob(operand.name)
+        return None
+
+    def _run(self) -> None:
+        for name, proc in self.program.procedures.items():
+            for instr in proc.instrs:
+                if isinstance(instr, Assign):
+                    src = self._operand(name, instr.src)
+                    if src is not None:
+                        self._ecrs.union(self._reg(name, instr.dst), src)
+                elif isinstance(instr, ArithOp) and instr.op in ("add", "sub"):
+                    # Element-level pointer arithmetic stays in the same
+                    # class; integer arithmetic unifies nothing useful.
+                    lhs = self._operand(name, instr.lhs)
+                    if lhs is not None:
+                        self._ecrs.union(self._reg(name, instr.dst), lhs)
+                elif isinstance(instr, Malloc):
+                    site = self._ecrs.fresh(is_alloc=True)
+                    self._ecrs.union(self._reg(name, instr.dst), site)
+                elif isinstance(instr, Load):
+                    addr = self._reg(name, instr.addr)
+                    cell = self._ecrs.field_of(addr, instr.field)
+                    self._ecrs.union(self._reg(name, instr.dst), cell)
+                elif isinstance(instr, Store):
+                    addr = self._reg(name, instr.addr)
+                    cell = self._ecrs.field_of(addr, instr.field)
+                    src = self._operand(name, instr.src)
+                    if src is not None:
+                        self._ecrs.union(cell, src)
+                elif isinstance(instr, Call):
+                    if instr.func in self.program.procedures:
+                        callee = self.program.procedures[instr.func]
+                        for formal, actual in zip(callee.params, instr.args):
+                            ecr = self._operand(name, actual)
+                            if ecr is not None:
+                                self._ecrs.union(
+                                    self._reg(callee.name, formal), ecr
+                                )
+                        if instr.dst is not None:
+                            self._ecrs.union(
+                                self._reg(name, instr.dst), self._ret(instr.func)
+                            )
+                elif isinstance(instr, Return):
+                    if instr.value is not None:
+                        ecr = self._operand(name, instr.value)
+                        if ecr is not None:
+                            self._ecrs.union(self._ret(name), ecr)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def register_class(self, proc: str, register: Register) -> int:
+        return self._reg(proc, register)
+
+    def access_type(self, proc: str, instr: Load | Store) -> InferredType:
+        """The inferred type a load/store accesses."""
+        addr = self._reg(proc, instr.addr)
+        return InferredType(self._ecrs.find(addr), instr.field)
+
+    def cell_class(self, inferred: InferredType) -> int:
+        """The ECR of the locations an inferred type denotes."""
+        return self._ecrs.field_of(inferred.ecr, inferred.field)
+
+    def is_pointer_class(self, ecr: int) -> bool:
+        """Does the class hold heap addresses (allocation reached it, or
+        it carries fields)?"""
+        return self._ecrs.is_alloc(ecr) or bool(self._ecrs.fields(ecr))
+
+    def is_pointer_register(self, proc: str, register: Register) -> bool:
+        return self.is_pointer_class(self._reg(proc, register))
+
+    def same_class(self, a: InferredType, b: InferredType) -> bool:
+        return (
+            self._ecrs.find(a.ecr) == self._ecrs.find(b.ecr)
+            and a.field == b.field
+        )
+
+    def canonical(self, inferred: InferredType) -> InferredType:
+        return InferredType(self._ecrs.find(inferred.ecr), inferred.field)

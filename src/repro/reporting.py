@@ -1,0 +1,54 @@
+"""ASCII tables and figure-style rendering for the experiment harness.
+
+The benchmark scripts print Table 4 / Figure 4 / Table 3 analogues with
+these helpers so paper-vs-measured comparisons read uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_header", "indent_block"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxed, column-aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def format_row(row: Sequence[str]) -> str:
+        return (
+            "|"
+            + "|".join(f" {cell.ljust(widths[i])} " for i, cell in enumerate(row))
+            + "|"
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line("="))
+    parts.append(format_row(list(headers)))
+    parts.append(line("="))
+    for row in cells:
+        parts.append(format_row(row))
+    parts.append(line())
+    return "\n".join(parts)
+
+
+def render_header(title: str, char: str = "=") -> str:
+    bar = char * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def indent_block(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,76 @@
+"""Inductive recursion synthesis: the paper's core contribution (§3).
+
+Pipeline: heap formula -> term forest (:mod:`translate`) -> segmentation
+search (:mod:`segmentation`) -> anti-unification (:mod:`antiunify`) ->
+parameter substitutions (:mod:`substitution`) -> predicate definition
+(:mod:`synthesize`).
+"""
+
+from repro.synthesis.antiunify import AntiUnification, anti_unify
+from repro.synthesis.segmentation import (
+    Segmentation,
+    find_segmentations,
+    make_skeleton,
+    skeleton_matches,
+)
+from repro.synthesis.substitution import SampleContext, fit_argument
+from repro.synthesis.synthesize import (
+    SynthesisFailure,
+    SynthesizedInstance,
+    synthesize_forest,
+    synthesize_term,
+)
+from repro.synthesis.terms import (
+    HOLE,
+    NULL_TERM,
+    Hole,
+    NameTerm,
+    NullTerm,
+    PredTerm,
+    StarTerm,
+    Term,
+    VarTerm,
+    children,
+    contains_terminal,
+    format_term,
+    is_terminal,
+    name_term,
+    positions,
+    subterm,
+    term_size,
+)
+from repro.synthesis.translate import heap_term_of, translate_heap
+
+__all__ = [
+    "AntiUnification",
+    "HOLE",
+    "Hole",
+    "NULL_TERM",
+    "NameTerm",
+    "NullTerm",
+    "PredTerm",
+    "SampleContext",
+    "Segmentation",
+    "StarTerm",
+    "SynthesisFailure",
+    "SynthesizedInstance",
+    "Term",
+    "VarTerm",
+    "anti_unify",
+    "children",
+    "contains_terminal",
+    "find_segmentations",
+    "fit_argument",
+    "format_term",
+    "heap_term_of",
+    "is_terminal",
+    "make_skeleton",
+    "name_term",
+    "positions",
+    "skeleton_matches",
+    "subterm",
+    "synthesize_forest",
+    "synthesize_term",
+    "term_size",
+    "translate_heap",
+]

@@ -1,0 +1,94 @@
+"""Anti-unification of segments (paper, §3.1.2 step 2).
+
+The body of the recurrence is the maximal overlapping portion of all
+segments, computed by anti-unifying them.  The paper's ``phi`` is a
+one-to-one mapping between tuples of sub-terms and variables which
+guarantees that identical sub-term tuples are replaced by the same
+variable throughout the whole term -- this is what makes two field
+positions that always carry the same value share one parameter.
+
+We anti-unify all segments at once (n-ary) rather than folding the
+binary operator, which is equivalent and keeps ``phi`` keyed on the
+full value tuple.  Entries of a tuple may be ``None`` when a segment
+does not instantiate the position (a nested predicate instance whose
+occurrence in that segment is the base case ``null``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synthesis.terms import (
+    HOLE,
+    Hole,
+    NULL_TERM,
+    NullTerm,
+    PredTerm,
+    StarTerm,
+    Term,
+    VarTerm,
+)
+
+__all__ = ["AntiUnification", "anti_unify"]
+
+
+@dataclass
+class AntiUnification:
+    """The generalized body plus, per variable, its value in each segment."""
+
+    body: Term
+    var_values: dict[int, tuple[Term | None, ...]] = field(default_factory=dict)
+
+    def values_of(self, var: VarTerm) -> tuple[Term | None, ...]:
+        return self.var_values[var.index]
+
+
+def anti_unify(segments: list[Term]) -> AntiUnification:
+    """Anti-unify *segments* (all matching one skeleton) into a body."""
+    if not segments:
+        raise ValueError("need at least one segment")
+    phi: dict[tuple[Term | None, ...], VarTerm] = {}
+    result = AntiUnification(NULL_TERM)
+
+    def make_var(values: tuple[Term | None, ...]) -> VarTerm:
+        var = phi.get(values)
+        if var is None:
+            var = VarTerm(len(phi) + 1)
+            phi[values] = var
+            result.var_values[var.index] = values
+        return var
+
+    def au(nodes: tuple[Term, ...]) -> Term:
+        first = nodes[0]
+        if all(isinstance(n, Hole) for n in nodes):
+            return HOLE
+        if all(isinstance(n, NullTerm) for n in nodes):
+            return NULL_TERM
+        if isinstance(first, StarTerm) and all(
+            isinstance(n, StarTerm) and n.fields == first.fields for n in nodes
+        ):
+            targets = tuple(
+                au(tuple(n.targets[i] for n in nodes))
+                for i in range(len(first.fields))
+            )
+            return StarTerm(first.fields, targets, loc=None)
+        preds = [n for n in nodes if isinstance(n, PredTerm)]
+        if preds and all(isinstance(n, (PredTerm, NullTerm)) for n in nodes):
+            # A nested, already-folded structure; segments where the
+            # field is null are its base case and contribute no values.
+            pred, arity = preds[0].pred, len(preds[0].args)
+            if all(p.pred == pred and len(p.args) == arity for p in preds):
+                args = tuple(
+                    make_var(
+                        tuple(
+                            n.args[i] if isinstance(n, PredTerm) else None
+                            for n in nodes
+                        )
+                    )
+                    for i in range(arity)
+                )
+                return PredTerm(pred, args, loc=None)
+        return make_var(nodes)
+
+    result.body = au(tuple(segments))
+    return result

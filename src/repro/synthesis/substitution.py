@@ -1,0 +1,91 @@
+"""Parameter-substitution inference (paper, §3.1.2 step 3).
+
+Once the recurrence body is known, the sub-terms where the segments
+differ are instantiations of the parameters; the substitution applied
+at each recursion point is recovered by identifying regularities in
+those terms across parent/child segment pairs (the paper's ``sub`` /
+``is_recurrent``).  Because parameter instantiations are *name terms*
+-- access paths chosen by ``rearrange_names`` -- the patterns are
+simple: a child-call argument is either a parent parameter ``xk``, the
+root of one of the parent's sub-structures (``field(x1)``, i.e. a
+:class:`RecTarget`), or null.
+
+With two executed iterations some recursion points contribute a single
+parent/child sample, which can be ambiguous (a value may equal several
+parent parameters).  We resolve ties deterministically -- identity
+substitution first, then lower parameter index, then sub-structure
+roots -- and rely on the invariant-verification step for soundness, as
+the paper does.  :func:`fit_argument` returns all consistent candidates
+in preference order so the synthesizer can backtrack across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.predicates import ArgExpr, NullArg, ParamArg, RecTarget
+from repro.synthesis.terms import NameTerm, NullTerm, Term
+
+__all__ = ["SampleContext", "fit_argument"]
+
+
+@dataclass(frozen=True)
+class SampleContext:
+    """The parameter instantiation of one parent segment.
+
+    ``params[k]`` is the value of parameter ``x(k+1)`` in that segment
+    (``params[0]`` is the node's own name term); ``rec_fields[i]`` is
+    the field whose target roots the i-th sub-structure of the body.
+    """
+
+    params: tuple[Term | None, ...]
+    rec_fields: tuple[str, ...]
+
+
+def fit_argument(
+    samples: list[tuple[SampleContext, Term | None]],
+    prefer_param: int | None = None,
+) -> list[ArgExpr]:
+    """All argument expressions consistent with the samples, best first.
+
+    Each sample pairs a parent context with the observed value of the
+    argument in the corresponding child call.  An empty sample list
+    (a recursion point whose every unfolding was the base case) is
+    explained by any argument; we return ``[NullArg()]`` -- sound
+    because the base case constrains nothing.
+    """
+    if not samples:
+        return [NullArg()]
+    if all(value is None or isinstance(value, NullTerm) for _, value in samples):
+        return [NullArg()]
+
+    candidates: list[ArgExpr] = []
+    param_count = len(samples[0][0].params)
+
+    def consistent_param(k: int) -> bool:
+        return all(
+            value is not None and context.params[k] == value
+            for context, value in samples
+        )
+
+    order = list(range(param_count))
+    if prefer_param is not None and prefer_param in order:
+        order.remove(prefer_param)
+        order.insert(0, prefer_param)
+    for k in order:
+        if consistent_param(k):
+            candidates.append(ParamArg(k))
+
+    rec_field_count = len(samples[0][0].rec_fields)
+    for i in range(rec_field_count):
+        ok = True
+        for context, value in samples:
+            x1 = context.params[0]
+            if not isinstance(x1, NameTerm) or value != x1.extended(
+                context.rec_fields[i]
+            ):
+                ok = False
+                break
+        if ok:
+            candidates.append(RecTarget(i))
+    return candidates

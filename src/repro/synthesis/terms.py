@@ -1,0 +1,242 @@
+"""Term trees for inductive recursion synthesis (paper, §3.1.1).
+
+The recurrence-detection algorithm of Summers/Schmid operates on
+*terms*.  The paper translates each heap location into a term that
+describes the data structure reachable from it:
+
+* a ``*`` node per heap location, with one child per field (the paper
+  writes one ``|->_n`` child per field; we keep the field names on the
+  star node and the source-location name in ``loc``, which carries the
+  same information);
+* *name terms* in prefix form for locations referenced but not expanded
+  along this path (``[h.n] = n([h])``) -- these encode the access paths
+  that ``rearrange_names`` chose and are what parameter-substitution
+  inference pattern-matches on;
+* ``NULL`` leaves; and
+* *un-expanded* nodes (a ``*`` term with no children): locations linked
+  into the structure whose cells carry no assertions yet -- the
+  frontier where symbolic execution of the loop stopped.
+
+Predicate instances already present in the heap (nested structures
+folded earlier, or callee summaries) appear as :class:`PredTerm`
+leaves.
+
+Positions are tuples of child indices; ``subterm(t, pos)`` addresses
+``t|pos`` as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
+
+from repro.logic.heapnames import (
+    FieldPath,
+    GlobalLoc,
+    HeapName,
+    Var,
+    path_of,
+    root_of,
+)
+
+__all__ = [
+    "Term",
+    "NullTerm",
+    "Hole",
+    "VarTerm",
+    "NameTerm",
+    "StarTerm",
+    "PredTerm",
+    "NULL_TERM",
+    "HOLE",
+    "name_term",
+    "children",
+    "subterm",
+    "positions",
+    "contains_terminal",
+    "is_terminal",
+    "term_size",
+    "format_term",
+]
+
+
+class Term:
+    """Base class of all term-tree nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NullTerm(Term):
+    """The ``NULL`` leaf."""
+
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True, slots=True)
+class Hole(Term):
+    """The ``0`` symbol marking recursion points in skeletons/segments."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class VarTerm(Term):
+    """An anti-unification variable."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"X{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class NameTerm(Term):
+    """A name term in prefix form: ``[g.a.b] = b(a(g))``.
+
+    ``origin`` remembers the heap name the term was translated from so
+    that synthesis can map parameter instantiations back to symbolic
+    values; it does not participate in term equality.
+    """
+
+    root: str
+    fields: tuple[str, ...] = ()
+    origin: HeapName | None = dataclasses_field(default=None, compare=False)
+
+    def outer(self) -> "NameTerm | None":
+        """Strip the outermost field application (``b(a(g)) -> a(g)``)."""
+        if not self.fields:
+            return None
+        return NameTerm(self.root, self.fields[:-1])
+
+    def extended(self, field_name: str) -> "NameTerm":
+        """Apply one more field (``[h] -> [h.f]``)."""
+        return NameTerm(self.root, self.fields + (field_name,))
+
+    def __str__(self) -> str:
+        text = self.root
+        for f in self.fields:
+            text = f"{f}({text})"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class StarTerm(Term):
+    """An expanded heap location: one target child per field.
+
+    ``fields`` and ``targets`` are parallel and sorted by field name so
+    that nodes of the same struct type always have the same shape.  An
+    un-expanded node has no fields.
+    """
+
+    fields: tuple[str, ...]
+    targets: tuple[Term, ...]
+    loc: HeapName | None = None
+
+    @property
+    def is_unexpanded(self) -> bool:
+        return not self.fields
+
+    def target_of(self, field_name: str) -> Term:
+        return self.targets[self.fields.index(field_name)]
+
+    def __str__(self) -> str:
+        if self.is_unexpanded:
+            return f"*({self.loc})" if self.loc is not None else "*()"
+        parts = [f"{f}:{t}" for f, t in zip(self.fields, self.targets)]
+        return "*(" + ", ".join(parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class PredTerm(Term):
+    """An already-folded sub-structure: ``A([h1], ..., [hn])``."""
+
+    pred: str
+    args: tuple[Term, ...]
+    loc: HeapName | None = None
+
+    def __str__(self) -> str:
+        return f"{self.pred}(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+NULL_TERM = NullTerm()
+HOLE = Hole()
+
+
+def name_term(name: HeapName) -> NameTerm:
+    """The name term of a heap location (``[h]`` of the paper)."""
+    root = root_of(name)
+    root_text = root.name if isinstance(root, (Var, GlobalLoc)) else str(root)
+    return NameTerm(root_text, path_of(name), origin=name)
+
+
+def children(term: Term) -> tuple[Term, ...]:
+    if isinstance(term, StarTerm):
+        return term.targets
+    if isinstance(term, PredTerm):
+        return term.args
+    if isinstance(term, NameTerm):
+        inner = term.outer()
+        return (inner,) if inner is not None else ()
+    return ()
+
+
+def subterm(term: Term, pos: tuple[int, ...]) -> Term | None:
+    """``term|pos``, or None when the position does not exist."""
+    node = term
+    for index in pos:
+        kids = children(node)
+        if index >= len(kids):
+            return None
+        node = kids[index]
+    return node
+
+
+def positions(term: Term, prefix: tuple[int, ...] = ()) -> list[tuple[int, ...]]:
+    """All positions of *term* in preorder (the root is ``()``)."""
+    result = [prefix]
+    for i, child in enumerate(children(term)):
+        result.extend(positions(child, prefix + (i,)))
+    return result
+
+
+def is_terminal(term: Term) -> bool:
+    """Is *term* a place where an unfolding stops (NULL or un-expanded)?"""
+    return isinstance(term, NullTerm) or (
+        isinstance(term, StarTerm) and term.is_unexpanded
+    )
+
+
+def contains_terminal(term: Term) -> bool:
+    """Does *term* contain a NULL or un-expanded node?  (The ``0 <= t``
+    side condition of the paper's skeleton-matching relation.)"""
+    if is_terminal(term):
+        return True
+    if isinstance(term, NameTerm):
+        return False
+    return any(contains_terminal(c) for c in children(term))
+
+
+def term_size(term: Term) -> int:
+    return 1 + sum(term_size(c) for c in children(term))
+
+
+def format_term(term: Term, indent: int = 0) -> str:
+    """Multi-line rendering mirroring the paper's Figure 4(b)."""
+    pad = "  " * indent
+    if isinstance(term, StarTerm):
+        if term.is_unexpanded:
+            return f"{pad}*  ({term.loc})   <- un-expanded"
+        lines = [f"{pad}*  ({term.loc})"]
+        for f, t in zip(term.fields, term.targets):
+            if isinstance(t, (StarTerm, PredTerm)) and not (
+                isinstance(t, StarTerm) and t.is_unexpanded
+            ):
+                lines.append(f"{pad}  .{f} ->")
+                lines.append(format_term(t, indent + 2))
+            else:
+                lines.append(f"{pad}  .{f} -> {t}")
+        return "\n".join(lines)
+    return f"{pad}{term}"

@@ -1,0 +1,130 @@
+"""Translation of heap formulae into term forests (paper, §3.1.1).
+
+The translation walks the abstract heap depth-first.  Every predicate
+instantiation becomes the heap term of its first parameter; all
+points-to assertions with the same source location are translated
+together into that location's ``*`` term.  The choice between linking a
+target as a sub-tree (continuing the expansion) and cutting the link
+with a *name term* is guided by the access paths that
+``rearrange_names`` encoded into the heap names: the target ``h2`` of
+``h1.n |-> h2`` is expanded in place exactly when ``h2 == h1.n`` -- the
+link that reveals the acyclic backbone.
+
+The result is a forest of top-level term trees; thanks to the naming
+heuristic each tree roughly corresponds to one data structure of the
+program.
+"""
+
+from __future__ import annotations
+
+from repro.logic.assertions import PointsTo, PredInstance
+from repro.logic.formula import SpatialFormula
+from repro.logic.heapnames import FieldPath, HeapName
+from repro.logic.symvals import NullVal, OffsetVal, Opaque, SymVal
+from repro.synthesis.terms import (
+    NULL_TERM,
+    NameTerm,
+    PredTerm,
+    StarTerm,
+    Term,
+    name_term,
+)
+
+__all__ = ["translate_heap", "heap_term_of"]
+
+
+def _expanded_sources(spatial: SpatialFormula) -> dict[HeapName, list[PointsTo]]:
+    sources: dict[HeapName, list[PointsTo]] = {}
+    for atom in spatial.points_to_atoms():
+        sources.setdefault(atom.src, []).append(atom)
+    return sources
+
+
+def _rooted_instances(spatial: SpatialFormula) -> dict[HeapName, PredInstance]:
+    rooted: dict[HeapName, PredInstance] = {}
+    for inst in spatial.pred_instances():
+        root = inst.root
+        if not isinstance(root, (NullVal, OffsetVal, Opaque)):
+            rooted[root] = inst
+    return rooted
+
+
+def translate_heap(spatial: SpatialFormula) -> list[Term]:
+    """Translate *spatial* into its forest of top-level term trees."""
+    sources = _expanded_sources(spatial)
+    rooted = _rooted_instances(spatial)
+
+    # A location is linked (appears as the backbone target of a
+    # points-to fact) when some h1.n |-> h2 has h2 named h1.n.
+    linked: set[HeapName] = set()
+    referenced: set[HeapName] = set()
+    for atoms in sources.values():
+        for atom in atoms:
+            target = atom.target
+            if isinstance(target, (NullVal, OffsetVal, Opaque)):
+                continue
+            referenced.add(target)
+            if target == FieldPath(atom.src, atom.field):
+                linked.add(target)
+
+    tops = [
+        loc
+        for loc in sorted(set(sources) | set(rooted), key=str)
+        if loc not in linked
+    ]
+    # Referenced-but-unexpanded locations that are not backbone-linked
+    # stay as name terms inside other trees; they never become roots.
+    memo: dict[HeapName, Term] = {}
+    return [heap_term_of(loc, sources, rooted, memo) for loc in tops]
+
+
+def heap_term_of(
+    loc: HeapName,
+    sources: dict[HeapName, list[PointsTo]],
+    rooted: dict[HeapName, PredInstance],
+    memo: dict[HeapName, Term],
+) -> Term:
+    """The heap term of one location (memoized; names keep it acyclic)."""
+    cached = memo.get(loc)
+    if cached is not None:
+        return cached
+    instance = rooted.get(loc)
+    if instance is not None:
+        term = PredTerm(
+            instance.pred,
+            tuple(_value_term(a) for a in instance.args),
+            loc=loc,
+        )
+        memo[loc] = term
+        return term
+    atoms = sources.get(loc)
+    if not atoms:
+        term = StarTerm((), (), loc=loc)  # un-expanded node
+        memo[loc] = term
+        return term
+    ordered = sorted(atoms, key=lambda a: a.field)
+    fields = tuple(a.field for a in ordered)
+    targets = []
+    for atom in ordered:
+        target = atom.target
+        if isinstance(target, (NullVal, OffsetVal, Opaque)):
+            targets.append(_value_term(target))
+        elif target == FieldPath(loc, atom.field):
+            targets.append(heap_term_of(target, sources, rooted, memo))
+        else:
+            targets.append(name_term(target))
+    term = StarTerm(fields, tuple(targets), loc=loc)
+    memo[loc] = term
+    return term
+
+
+def _value_term(value: SymVal) -> Term:
+    if isinstance(value, NullVal):
+        return NULL_TERM
+    if isinstance(value, OffsetVal):
+        # Un-aliased pointer arithmetic: name the base; the offset is
+        # outside the shape domain and becomes an opaque name term.
+        return NameTerm(str(value))
+    if isinstance(value, Opaque):
+        return NameTerm(str(value))
+    return name_term(value)

@@ -1,0 +1,137 @@
+"""Tests for the normalize rule: synthesis + fold into invariants."""
+
+from conftest import fp
+
+from repro.analysis import guarded_locations, normalize_state
+from repro.ir import Register
+from repro.logic import (
+    NULL_VAL,
+    AbstractState,
+    OffsetVal,
+    Opaque,
+    PointsTo,
+    PredicateEnv,
+    PredInstance,
+    Raw,
+    Region,
+    Var,
+)
+
+
+def list_trace_state(levels: int = 2) -> AbstractState:
+    state = AbstractState()
+    node = Var("a")
+    for _ in range(levels):
+        target = fp(node, "next")
+        state.spatial.add(PointsTo(node, "next", target))
+        node = target
+    return state
+
+
+class TestGuardedLocations:
+    def test_resolves_through_aliases(self):
+        state = AbstractState()
+        state.rho[Register("p")] = OffsetVal(Var("a"), 2)
+        state.pure.record_alias(OffsetVal(Var("a"), 2), fp("a", "next"))
+        assert guarded_locations(state, None) == frozenset({fp("a", "next")})
+
+    def test_offset_without_alias_guards_base(self):
+        state = AbstractState()
+        state.rho[Register("p")] = OffsetVal(Var("a"), 2)
+        assert guarded_locations(state, None) == frozenset({Var("a")})
+
+    def test_live_restriction(self):
+        state = AbstractState()
+        state.rho[Register("p")] = Var("a")
+        state.rho[Register("q")] = Var("b")
+        assert guarded_locations(state, {Register("p")}) == frozenset({Var("a")})
+
+    def test_null_and_opaque_ignored(self):
+        state = AbstractState()
+        state.rho[Register("p")] = NULL_VAL
+        state.rho[Register("q")] = Opaque("x")
+        assert guarded_locations(state, None) == frozenset()
+
+
+class TestNormalize:
+    def test_builder_trace_becomes_truncated_instance(self):
+        env = PredicateEnv()
+        state = list_trace_state(2)
+        state.rho[Register("head")] = Var("a")
+        normalize_state(state, env, live={Register("head")})
+        instance = state.spatial.instance_rooted_at(Var("a"))
+        assert instance is not None
+        # the frontier (un-expanded a.next.next) is a truncation point
+        assert instance.truncs == (fp("a", "next", "next"),)
+        assert len(env) == 1
+
+    def test_interior_live_register_cuts_and_keeps_cells(self):
+        env = PredicateEnv()
+        state = list_trace_state(3)
+        # close the chain so there is no frontier
+        state.spatial.add(
+            PointsTo(fp("a", "next", "next", "next"), "next", NULL_VAL)
+        )
+        cursor = fp("a", "next", "next")
+        state.rho[Register("head")] = Var("a")
+        state.rho[Register("cur")] = cursor
+        normalize_state(
+            state, env, live={Register("head"), Register("cur")}
+        )
+        host = state.spatial.instance_rooted_at(Var("a"))
+        assert host is not None and cursor in host.truncs
+        # the cursor's own structure is still addressable
+        assert state.spatial.points_to_from(cursor) or (
+            state.spatial.instance_rooted_at(cursor) is not None
+        )
+
+    def test_dead_registers_dropped(self):
+        env = PredicateEnv()
+        state = list_trace_state(2)
+        state.rho[Register("head")] = Var("a")
+        state.rho[Register("tmp")] = fp("a", "next")
+        normalize_state(state, env, live={Register("head")})
+        assert Register("tmp") not in state.rho
+
+    def test_protected_cutpoint_survives(self):
+        env = PredicateEnv()
+        state = list_trace_state(3)
+        state.spatial.add(
+            PointsTo(fp("a", "next", "next", "next"), "next", NULL_VAL)
+        )
+        cut = fp("a", "next")
+        normalize_state(state, env, live=set(), protect=frozenset({cut}))
+        assert state.spatial.points_to_from(cut)
+
+    def test_no_recurrence_leaves_state_unchanged_shape(self):
+        env = PredicateEnv()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "data", NULL_VAL))
+        state.spatial.add(PointsTo(Var("a"), "meta", NULL_VAL))
+        normalize_state(state, env, live=set())
+        assert len(env) == 0
+        assert state.spatial.points_to(Var("a"), "data") is not None
+
+    def test_second_trace_reuses_definition(self):
+        env = PredicateEnv()
+        first = list_trace_state(2)
+        normalize_state(first, env, live=set())
+        second = list_trace_state(3)
+        second.rename(Var("a"), Var("z"))
+        normalize_state(second, env, live=set())
+        assert len(env) == 1
+
+    def test_regions_survive_normalization(self):
+        env = PredicateEnv()
+        state = list_trace_state(2)
+        state.spatial.add(Region(Var("a")))
+        normalize_state(state, env, live=set())
+        assert state.spatial.region_at(Var("a")) is not None
+
+    def test_pure_garbage_collected(self):
+        env = PredicateEnv()
+        state = list_trace_state(2)
+        ghost = Var("ghost")
+        state.pure.assume("ne", ghost, NULL_VAL)
+        normalize_state(state, env, live=set())
+        assert not state.pure.entails_ne(ghost, NULL_VAL)

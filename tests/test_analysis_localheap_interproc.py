@@ -1,0 +1,202 @@
+"""Tests for local-heap extraction, frame recombination, cutpoints, and
+summary transplantation (§5.2)."""
+
+from conftest import fp
+
+from repro.analysis import RET_REGISTER, combine, extract_local_heap, transplant_state
+from repro.analysis.interproc import ShapeEngine, Summary
+from repro.ir import Register, parse_program
+from repro.logic import (
+    NULL_VAL,
+    AbstractState,
+    GlobalLoc,
+    Mapping,
+    Opaque,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Region,
+    Var,
+    subsumes,
+)
+
+
+def caller_state():
+    """frame: x-cells; local: the list reachable from the argument."""
+    state = AbstractState()
+    state.rho[Register("arg")] = Var("l")
+    state.rho[Register("other")] = Var("x")
+    state.spatial.add(PredInstance("list", (Var("l"),)))
+    state.spatial.add(PointsTo(Var("x"), "data", Var("l")))
+    state.spatial.add(PointsTo(Var("x"), "next", NULL_VAL))
+    return state
+
+
+class TestExtraction:
+    def test_reachable_atoms_move_to_local(self):
+        state = caller_state()
+        split = extract_local_heap(
+            state, [Var("l")], {Register("p"): Var("l")}
+        )
+        assert split.entry.spatial.instance_rooted_at(Var("l")) is not None
+        assert len(split.entry.spatial) == 1
+        assert len(split.frame) == 2  # x's two cells stay behind
+
+    def test_cutpoint_detected(self):
+        # the frame (x.data) references l... l is the root: roots are
+        # excluded.  An interior reference makes a cutpoint:
+        state = AbstractState()
+        state.rho[Register("arg")] = Var("l")
+        state.rho[Register("mid")] = fp("l", "next")
+        state.spatial.add(PointsTo(Var("l"), "next", fp("l", "next")))
+        state.spatial.add(PointsTo(fp("l", "next"), "next", NULL_VAL))
+        split = extract_local_heap(state, [Var("l")], {})
+        assert fp("l", "next") in split.cutpoints
+        assert Var("l") not in split.cutpoints
+
+    def test_globals_always_local(self):
+        state = AbstractState()
+        state.spatial.add(Raw(GlobalLoc("g")))
+        state.spatial.add(Raw(Var("private")))
+        split = extract_local_heap(state, [], {})
+        locals_ = list(split.entry.spatial)
+        assert any(
+            isinstance(a, Raw) and a.loc == GlobalLoc("g") for a in locals_
+        )
+        assert all(
+            not (isinstance(a, Raw) and a.loc == Var("private"))
+            for a in locals_
+        )
+
+    def test_backward_args_not_traversed(self):
+        """A sub-structure's backward argument names the ancestor; the
+        ancestor's cells stay in the frame."""
+        state = AbstractState()
+        state.spatial.add(PredInstance("tree", (Var("c"), Var("parent"))))
+        state.spatial.add(PointsTo(Var("parent"), "left", Var("c")))
+        split = extract_local_heap(state, [Var("c")], {})
+        assert len(split.entry.spatial) == 1
+        assert len(split.frame) == 1
+
+    def test_region_aliases_travel(self):
+        from repro.logic import OffsetVal
+
+        state = AbstractState()
+        state.spatial.add(Region(Var("a")))
+        state.pure.record_alias(OffsetVal(Var("a"), 1), fp("a", "next"))
+        state.spatial.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        split = extract_local_heap(state, [Var("a")], {})
+        assert split.entry.pure.resolve(OffsetVal(Var("a"), 1)) == fp("a", "next")
+
+    def test_entry_anchors_set(self):
+        state = caller_state()
+        split = extract_local_heap(state, [Var("l")], {})
+        assert Var("l") in split.entry.anchors
+
+    def test_pure_restricted_to_local_names(self):
+        state = caller_state()
+        state.pure.assume("ne", Var("l"), NULL_VAL)
+        state.pure.assume("ne", Var("x"), NULL_VAL)
+        split = extract_local_heap(state, [Var("l")], {})
+        assert split.entry.pure.entails_ne(Var("l"), NULL_VAL)
+        assert not split.entry.pure.entails_ne(Var("x"), NULL_VAL)
+
+
+class TestCombine:
+    def test_frame_and_exit_conjoined(self):
+        state = caller_state()
+        split = extract_local_heap(state, [Var("l")], {})
+        exit_state = AbstractState()
+        exit_state.spatial.add(PredInstance("list", (Var("l"),)))
+        exit_state.rho[RET_REGISTER] = Var("l")
+        merged = combine(
+            state, split.frame, exit_state, Register("result"), RET_REGISTER
+        )
+        assert merged.rho[Register("result")] == Var("l")
+        assert merged.spatial.instance_rooted_at(Var("l")) is not None
+        assert merged.spatial.points_to(Var("x"), "data") is not None
+
+    def test_void_call_keeps_registers(self):
+        state = caller_state()
+        split = extract_local_heap(state, [Var("l")], {})
+        merged = combine(state, split.frame, AbstractState(), None, RET_REGISTER)
+        assert merged.rho[Register("other")] == Var("x")
+
+
+class TestTransplant:
+    def test_bound_names_rewritten(self):
+        recorded = AbstractState()
+        recorded.rho[RET_REGISTER] = Var("h")
+        recorded.spatial.add(PredInstance("list", (Var("h"),)))
+        witness = Mapping({Var("h"): Var("actual")})
+        result = transplant_state(recorded, witness)
+        assert result.rho[RET_REGISTER] == Var("actual")
+        assert result.spatial.instance_rooted_at(Var("actual")) is not None
+
+    def test_prefix_rewrite(self):
+        recorded = AbstractState()
+        recorded.spatial.add(
+            PointsTo(fp("h", "next"), "next", fp("h", "next", "next"))
+        )
+        witness = Mapping({Var("h"): Var("z")})
+        result = transplant_state(recorded, witness)
+        assert result.spatial.points_to(fp("z", "next"), "next") is not None
+
+    def test_unbound_roots_freshened(self):
+        recorded = AbstractState()
+        recorded.spatial.add(Raw(Var("internal")))
+        first = transplant_state(recorded, Mapping())
+        second = transplant_state(recorded, Mapping())
+        (atom1,) = list(first.spatial)
+        (atom2,) = list(second.spatial)
+        assert atom1.loc != atom2.loc  # repeated reuse never collides
+
+    def test_null_binding_rewrites_value(self):
+        recorded = AbstractState()
+        recorded.rho[RET_REGISTER] = Var("h")
+        witness = Mapping({Var("h"): NULL_VAL})
+        result = transplant_state(recorded, witness)
+        assert result.rho[RET_REGISTER] == NULL_VAL
+
+    def test_globals_stable(self):
+        recorded = AbstractState()
+        recorded.spatial.add(Raw(GlobalLoc("g")))
+        result = transplant_state(recorded, Mapping())
+        (atom,) = list(result.spatial)
+        assert atom.loc == GlobalLoc("g")
+
+
+class TestSummaryReuse:
+    SRC = """
+proc mk():
+    %p = malloc()
+    [%p.next] = null
+    return %p
+
+proc main():
+    %a = call mk()
+    %b = call mk()
+    return %a
+"""
+
+    def test_second_call_hits_summary(self):
+        program = parse_program(self.SRC)
+        engine = ShapeEngine(program)
+        engine.analyze()
+        assert engine.stats.summaries_reused == 1
+        assert len(engine.summaries["mk"]) == 1
+
+    def test_transplanted_cells_are_distinct(self):
+        program = parse_program(self.SRC)
+        engine = ShapeEngine(program)
+        (exit_state,) = engine.analyze()
+        a = exit_state.rho[RET_REGISTER]
+        # both allocations coexist disjointly in the final heap
+        sources = {
+            atom.src
+            for atom in exit_state.spatial.points_to_atoms()
+        }
+        roots = {
+            i.root for i in exit_state.spatial.pred_instances()
+        }
+        assert len(sources | roots) == 2

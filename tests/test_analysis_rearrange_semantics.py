@@ -1,0 +1,217 @@
+"""Tests for rearrange_names (Figure 2) and the abstract transformers
+(Table 2)."""
+
+from conftest import fp
+
+from repro.ir import (
+    ArithOp,
+    Assign,
+    Cond,
+    Free,
+    IntConst,
+    Load,
+    Malloc,
+    Register,
+    Store,
+)
+from repro.ir.values import NULL as NULL_OP
+from repro.logic import (
+    NULL_VAL,
+    AbstractState,
+    OffsetVal,
+    Opaque,
+    PointsTo,
+    PredicateEnv,
+    Raw,
+    Region,
+    Var,
+)
+from repro.analysis import apply_instruction, filter_condition, rearrange_names
+
+
+def fresh_state() -> AbstractState:
+    return AbstractState()
+
+
+class TestRearrangeNames:
+    def test_null_passthrough(self):
+        state = fresh_state()
+        assert rearrange_names(state, Var("a"), "f", None, NULL_VAL) == NULL_VAL
+
+    def test_fresh_var_inherits_access_path(self):
+        state = fresh_state()
+        state.spatial.add(Raw(Var("b")))
+        result = rearrange_names(state, Var("a"), "next", None, Var("b"))
+        assert result == fp("a", "next")
+        assert state.spatial.raw_at(fp("a", "next")) is not None
+
+    def test_backward_link_keeps_name(self):
+        # storing a prefix of the source's own path: a backward link
+        state = fresh_state()
+        result = rearrange_names(state, fp("a", "child"), "parent", None, Var("a"))
+        assert result == Var("a")
+
+    def test_anchor_not_renamed(self):
+        state = AbstractState(anchors=frozenset({Var("p")}))
+        result = rearrange_names(state, Var("t"), "parent", None, Var("p"))
+        assert result == Var("p")
+
+    def test_pointer_arithmetic_records_alias(self):
+        state = fresh_state()
+        value = OffsetVal(Var("a"), 1)
+        result = rearrange_names(state, Var("a"), "next", None, value)
+        assert result == fp("a", "next")
+        assert state.pure.resolve(value) == fp("a", "next")
+
+    def test_old_claimant_evicted(self):
+        state = fresh_state()
+        old = fp("a", "next")
+        state.spatial.add(PointsTo(old, "next", NULL_VAL))
+        result = rearrange_names(state, Var("a"), "next", old, Var("c"))
+        assert result == fp("a", "next")
+        # the old holder of the name was renamed to something fresh
+        assert state.spatial.points_to(fp("a", "next"), "next") is None
+
+    def test_already_linked_value_untouched(self):
+        state = fresh_state()
+        result = rearrange_names(state, Var("b"), "x", None, fp("a", "next"))
+        assert result == fp("a", "next")
+
+
+class TestTransformers:
+    def _env(self):
+        return PredicateEnv()
+
+    def test_assign(self):
+        state = fresh_state()
+        (after,) = apply_instruction(state, Assign(Register("x"), NULL_OP), self._env())
+        assert after.rho[Register("x")] == NULL_VAL
+
+    def test_malloc_single(self):
+        state = fresh_state()
+        (after,) = apply_instruction(state, Malloc(Register("p")), self._env())
+        cell = after.rho[Register("p")]
+        assert after.spatial.raw_at(cell) is not None
+        assert after.pure.entails_ne(cell, NULL_VAL)
+
+    def test_malloc_array_adds_region(self):
+        state = fresh_state()
+        (after,) = apply_instruction(
+            state, Malloc(Register("p"), IntConst(10)), self._env()
+        )
+        base = after.rho[Register("p")]
+        assert after.spatial.region_at(base) is not None
+
+    def test_pointer_arithmetic(self):
+        state = fresh_state()
+        state.rho[Register("p")] = Var("a")
+        (after,) = apply_instruction(
+            state, ArithOp(Register("q"), "add", Register("p"), IntConst(2)),
+            self._env(),
+        )
+        assert after.rho[Register("q")] == OffsetVal(Var("a"), 2)
+
+    def test_integer_arithmetic_is_opaque(self):
+        state = fresh_state()
+        (after,) = apply_instruction(
+            state, ArithOp(Register("x"), "mul", IntConst(2), IntConst(3)),
+            self._env(),
+        )
+        assert isinstance(after.rho[Register("x")], Opaque)
+
+    def test_store_then_load_roundtrip(self):
+        env = self._env()
+        state = fresh_state()
+        (state,) = apply_instruction(state, Malloc(Register("p")), env)
+        (state,) = apply_instruction(
+            state, Store(Register("p"), "next", NULL_OP), env
+        )
+        (state,) = apply_instruction(
+            state, Load(Register("q"), Register("p"), "next"), env
+        )
+        assert state.rho[Register("q")] == NULL_VAL
+
+    def test_store_is_strong_update(self):
+        env = self._env()
+        state = fresh_state()
+        (state,) = apply_instruction(state, Malloc(Register("p")), env)
+        (state,) = apply_instruction(state, Malloc(Register("q")), env)
+        (state,) = apply_instruction(
+            state, Store(Register("p"), "next", Register("q")), env
+        )
+        (state,) = apply_instruction(
+            state, Store(Register("p"), "next", NULL_OP), env
+        )
+        cell = state.resolve(state.rho[Register("p")])
+        assert state.spatial.points_to(cell, "next").target == NULL_VAL
+
+    def test_load_uninitialized_field_is_opaque(self):
+        env = self._env()
+        state = fresh_state()
+        (state,) = apply_instruction(state, Malloc(Register("p")), env)
+        (state,) = apply_instruction(
+            state, Load(Register("q"), Register("p"), "ghost"), env
+        )
+        assert isinstance(state.rho[Register("q")], Opaque)
+
+    def test_free_removes_cells(self):
+        env = self._env()
+        state = fresh_state()
+        (state,) = apply_instruction(state, Malloc(Register("p")), env)
+        (state,) = apply_instruction(
+            state, Store(Register("p"), "next", NULL_OP), env
+        )
+        (state,) = apply_instruction(state, Free(Register("p")), env)
+        cell = state.resolve(state.rho[Register("p")])
+        assert not state.spatial.is_allocated(cell)
+
+    def test_store_into_region_slot_materializes(self):
+        env = self._env()
+        state = fresh_state()
+        (state,) = apply_instruction(
+            state, Malloc(Register("p"), IntConst(8)), env
+        )
+        (state,) = apply_instruction(
+            state, ArithOp(Register("q"), "add", Register("p"), IntConst(3)), env
+        )
+        (state,) = apply_instruction(
+            state, Store(Register("q"), "next", NULL_OP), env
+        )
+        cell = state.resolve(state.rho[Register("q")])
+        assert state.spatial.points_to(cell, "next") is not None
+
+
+class TestFilter:
+    def test_null_check_true_branch(self):
+        state = fresh_state()
+        state.rho[Register("x")] = Var("a")
+        state.spatial.add(Raw(Var("a")))
+        cond = Cond("eq", Register("x"), NULL_OP)
+        # x == null is impossible: a has cells
+        assert filter_condition(state.copy(), cond, take=True) is None
+        assert filter_condition(state.copy(), cond, take=False) is not None
+
+    def test_unknown_pointer_splits_both_ways(self):
+        state = fresh_state()
+        state.rho[Register("x")] = Var("a")  # dangling: could be null
+        cond = Cond("eq", Register("x"), NULL_OP)
+        taken = filter_condition(state.copy(), cond, take=True)
+        assert taken is not None
+        assert taken.rho[Register("x")] == NULL_VAL
+        fallthrough = filter_condition(state.copy(), cond, take=False)
+        assert fallthrough is not None
+        assert fallthrough.pure.entails_ne(Var("a"), NULL_VAL)
+
+    def test_integer_comparison_is_nondeterministic(self):
+        state = fresh_state()
+        cond = Cond("lt", Register("i"), IntConst(10))
+        assert filter_condition(state.copy(), cond, take=True) is not None
+        assert filter_condition(state.copy(), cond, take=False) is not None
+
+    def test_learned_ne_prunes_later_eq(self):
+        state = fresh_state()
+        state.rho[Register("x")] = Var("a")
+        cond = Cond("ne", Register("x"), NULL_OP)
+        state = filter_condition(state, cond, take=True)
+        eq = Cond("eq", Register("x"), NULL_OP)
+        assert filter_condition(state, eq, take=True) is None

@@ -1,0 +1,279 @@
+"""Tests for unfoldT (truncation-point case analysis, §4 / Figure 6)
+and foldT."""
+
+import pytest
+
+from conftest import fp
+
+from repro.ir import Register
+from repro.logic import (
+    LIST_DEF,
+    NULL_VAL,
+    AbstractState,
+    AnalysisStuck,
+    FieldSpec,
+    NullArg,
+    ParamArg,
+    PointsTo,
+    PredicateDef,
+    PredicateEnv,
+    PredInstance,
+    Raw,
+    RecCallSpec,
+    RecTarget,
+    Var,
+)
+from repro.analysis import expose, fold_state, params_holding_root, unfold_root
+from repro.analysis.fold import normalize_nulls
+
+
+def mcf_env() -> PredicateEnv:
+    env = PredicateEnv()
+    env.add(LIST_DEF)
+    env.add(
+        PredicateDef(
+            "mcf",
+            3,
+            (
+                FieldSpec("parent", ParamArg(1)),
+                FieldSpec("child", RecTarget(0)),
+                FieldSpec("sib", RecTarget(1)),
+                FieldSpec("sib_prev", ParamArg(2)),
+            ),
+            (
+                RecCallSpec("mcf", (ParamArg(0), NullArg())),
+                RecCallSpec("mcf", (ParamArg(1), ParamArg(0))),
+            ),
+        )
+    )
+    return env
+
+
+class TestUnfoldRoot:
+    def test_plain_unfold_exposes_fields(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (Var("h"),)))
+        (after,) = expose(state, Var("h"), env)
+        cell = after.spatial.points_to(Var("h"), "next")
+        assert cell is not None
+        # the sub-structure root got an access-path name
+        assert cell.target == fp("h", "next")
+        assert after.spatial.instance_rooted_at(fp("h", "next")) is not None
+        assert after.pure.entails_ne(Var("h"), NULL_VAL)
+
+    def test_unfold_with_one_truncation_point_yields_four_cases(self):
+        """The paper's example: unfolding mcf(h,null,null;a) *
+        mcf(a,pz,qz) yields four heaps (a at child/sib x exact/below)."""
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(
+            PredInstance("mcf", (Var("h"), NULL_VAL, NULL_VAL), (Var("a"),))
+        )
+        state.spatial.add(PredInstance("mcf", (Var("a"), Var("pz"), Var("qz"))))
+        instance = state.spatial.instance_rooted_at(Var("h"))
+        results = unfold_root(state, instance, env)
+        assert len(results) == 4
+        exact_child = [
+            s
+            for s in results
+            if s.spatial.points_to(Var("h"), "child") is not None
+            and s.resolve(s.spatial.points_to(Var("h"), "child").target)
+            == Var("a")
+        ]
+        assert len(exact_child) == 1
+        # in the exact-at-child case the piece's args were unified with
+        # the definition's dictated arguments: mcf(a, h, null)
+        piece = exact_child[0].spatial.instance_rooted_at(Var("a"))
+        assert exact_child[0].resolve(piece.args[1]) == Var("h")
+
+    def test_below_cases_push_truncation_into_substructure(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(
+            PredInstance("mcf", (Var("h"), NULL_VAL, NULL_VAL), (Var("a"),))
+        )
+        state.spatial.add(PredInstance("mcf", (Var("a"), Var("pz"), Var("qz"))))
+        instance = state.spatial.instance_rooted_at(Var("h"))
+        results = unfold_root(state, instance, env)
+        below = [
+            s
+            for s in results
+            if any(
+                inst.truncs == (Var("a"),)
+                for inst in s.spatial.pred_instances("mcf")
+                if inst.root != Var("a")
+            )
+        ]
+        assert len(below) == 2  # below child and below sib
+
+    def test_expose_explicit_cells_is_identity(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "next", NULL_VAL))
+        assert expose(state, Var("a"), env) == [state]
+
+    def test_expose_truncation_point_without_piece_is_stuck(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (Var("h"),), (Var("w"),)))
+        with pytest.raises(AnalysisStuck):
+            expose(state, Var("w"), env)
+
+    def test_expose_unknown_location_is_stuck(self):
+        env = mcf_env()
+        state = AbstractState()
+        with pytest.raises(AnalysisStuck):
+            expose(state, Var("ghost"), env)
+
+
+class TestUnfoldInterior:
+    def test_interior_unfold_via_backward_link(self):
+        """Unrolling a backward-link target from the bottom up (the
+        paper's beta2 example): the node becomes a new truncation point
+        and the referencing piece is placed relative to it."""
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(
+            PredInstance("mcf", (Var("h"), NULL_VAL, NULL_VAL), (Var("a"),))
+        )
+        state.spatial.add(PredInstance("mcf", (Var("a"), Var("pz"), Var("qz"))))
+        results = expose(state, Var("qz"), env)
+        assert results
+        for after in results:
+            # b2 now has explicit cells and is a truncation point of the host
+            assert after.spatial.points_to_from(Var("qz"))
+            host = after.spatial.instance_rooted_at(Var("h"))
+            assert Var("qz") in host.truncs
+
+    def test_interior_placement_unifies_piece(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(
+            PredInstance("mcf", (Var("h"), NULL_VAL, NULL_VAL), (Var("a"),))
+        )
+        state.spatial.add(PredInstance("mcf", (Var("a"), Var("pz"), Var("qz"))))
+        results = expose(state, Var("qz"), env)
+        # in every surviving case the piece a hangs off b2 through a
+        # field consistent with its backward link (sib_prev = b2)
+        sib_cases = [
+            s
+            for s in results
+            if s.spatial.points_to(Var("qz"), "sib") is not None
+            and s.resolve(s.spatial.points_to(Var("qz"), "sib").target) == Var("a")
+        ]
+        assert sib_cases
+
+
+class TestParamsFlow:
+    def test_params_holding_root_transitive(self):
+        env = mcf_env()
+        d = env["mcf"]
+        # below the child call: x2 (parent) can equal the unfolded node
+        # arbitrarily deep (all children share the parent via sib chains)
+        deep_child = params_holding_root(d, 0)
+        assert 1 in deep_child
+        # below the sib call no parameter can still hold the unfolded
+        # node: x3 = x1 only at depth 1 (which is the *exact* placement)
+        deep_sib = params_holding_root(d, 1)
+        assert deep_sib == set()
+
+
+class TestFold:
+    def test_top_down_wrap_consumes_subinstances(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "next", Var("b")))
+        state.spatial.add(PredInstance("list", (Var("b"),)))
+        fold_state(state, env, keep_registers=False)
+        inst = state.spatial.instance_rooted_at(Var("a"))
+        assert inst is not None and inst.pred == "list"
+        assert len(state.spatial) == 1
+
+    def test_wrap_single_cell_base(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=False)
+        assert state.spatial.instance_rooted_at(Var("a")) is not None
+
+    def test_bottom_up_absorbs_truncation_point(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (Var("h"),), (Var("t"),)))
+        state.spatial.add(PointsTo(Var("t"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=False)
+        inst = state.spatial.instance_rooted_at(Var("h"))
+        assert inst is not None and inst.truncs == ()
+        assert len(state.spatial) == 1
+
+    def test_bottom_up_creates_new_frontier(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (Var("h"),), (Var("t"),)))
+        state.spatial.add(PointsTo(Var("t"), "next", Var("u")))
+        fold_state(state, env, keep_registers=False)
+        inst = state.spatial.instance_rooted_at(Var("h"))
+        assert inst.truncs == (Var("u"),)
+
+    def test_instance_rooted_truncation_merges(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (Var("h"),), (Var("t"),)))
+        state.spatial.add(PredInstance("list", (Var("t"),)))
+        fold_state(state, env, keep_registers=False)
+        inst = state.spatial.instance_rooted_at(Var("h"))
+        assert inst.truncs == ()
+        assert len(state.spatial) == 1
+
+    def test_live_register_target_not_absorbed(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.rho[Register("c")] = Var("t")
+        state.spatial.add(PredInstance("list", (Var("h"),), (Var("t"),)))
+        state.spatial.add(PointsTo(Var("t"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=True)
+        # t stays addressable: either explicit or the root of an instance
+        assert state.spatial.points_to_from(Var("t")) or (
+            state.spatial.instance_rooted_at(Var("t")) is not None
+        )
+
+    def test_protected_cutpoint_stays_explicit(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("t"), "next", NULL_VAL))
+        fold_state(state, env, protect=frozenset({Var("t")}), keep_registers=False)
+        assert state.spatial.points_to(Var("t"), "next") is not None
+
+    def test_field_mismatch_blocks_fold(self):
+        env = mcf_env()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "next", NULL_VAL))
+        state.spatial.add(PointsTo(Var("a"), "extra", NULL_VAL))
+        fold_state(state, env, keep_registers=False)
+        assert state.spatial.instance_rooted_at(Var("a")) is None
+
+    def test_normalize_nulls(self):
+        state = AbstractState()
+        state.spatial.add(PredInstance("list", (NULL_VAL,)))
+        state.spatial.add(PredInstance("list", (Var("a"),), (NULL_VAL,)))
+        normalize_nulls(state)
+        remaining = state.spatial.pred_instances()
+        assert len(remaining) == 1
+        assert remaining[0].truncs == ()
+
+    def test_mcf_backward_args_checked(self):
+        env = mcf_env()
+        state = AbstractState()
+        # child sub-instance with a wrong parent argument must not fold
+        state.spatial.add(PointsTo(Var("a"), "parent", NULL_VAL))
+        state.spatial.add(PointsTo(Var("a"), "child", Var("c")))
+        state.spatial.add(PointsTo(Var("a"), "sib", NULL_VAL))
+        state.spatial.add(PointsTo(Var("a"), "sib_prev", NULL_VAL))
+        state.spatial.add(PredInstance("mcf", (Var("c"), Var("z"), NULL_VAL)))
+        state.spatial.add(PointsTo(Var("z"), "marker", NULL_VAL))  # z allocated
+        fold_state(state, env, keep_registers=False)
+        # c's instance says parent == z, but folding at a would require
+        # parent == a: the fold must not have consumed it
+        assert state.spatial.instance_rooted_at(Var("c")) is not None
+        assert state.spatial.instance_rooted_at(Var("a")) is None

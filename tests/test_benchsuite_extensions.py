@@ -1,0 +1,64 @@
+"""Tests for the extension workloads (beyond the paper's Table 4)."""
+
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite import extensions
+from repro.concrete import Interpreter
+from repro.logic import satisfies
+
+
+class TestHealth:
+    def test_analyzes(self):
+        result = ShapeAnalysis(extensions.health_program(), name="health").run()
+        assert result.succeeded, result.failure
+
+    def test_village_predicate_shape(self):
+        result = ShapeAnalysis(extensions.health_program()).run()
+        village = max(
+            result.recursive_predicates(), key=lambda d: len(d.fields)
+        )
+        fields = {s.field for s in village.fields}
+        assert fields == {"forward", "back", "left", "right", "parent", "waiting"}
+        # the waiting list nests a different predicate
+        assert any(c.pred != village.name for c in village.rec_calls)
+
+    def test_oracle_exact_footprint(self):
+        program = extensions.health_program()
+        result = ShapeAnalysis(extensions.health_program()).run()
+        village = max(
+            result.recursive_predicates(), key=lambda d: len(d.fields)
+        )
+        run = Interpreter(program).run()
+        footprint = satisfies(
+            result.env, village.name, (run.value, 0), run.heap.snapshot()
+        )
+        assert footprint == set(run.heap.cells)
+        # 21 villages (4-ary, depth 3) x (1 cell + 3 patients)
+        assert len(footprint) == 21 * 4
+
+
+class TestOutOfClass:
+    def test_em3d_reports_failure(self):
+        result = ShapeAnalysis(extensions.em3d_program(), name="em3d").run()
+        assert not result.succeeded
+        assert isinstance(result.failure, str)
+
+    def test_tsp_reports_failure(self):
+        result = ShapeAnalysis(extensions.tsp_program(), name="tsp").run()
+        assert not result.succeeded
+        assert isinstance(result.failure, str)
+
+    def test_failures_do_not_raise(self):
+        # the public entry point reports, never throws, on out-of-class
+        # structures
+        for maker in (extensions.em3d_program, extensions.tsp_program):
+            ShapeAnalysis(maker()).run()
+
+    def test_programs_execute_concretely(self):
+        # the workloads themselves are well-formed programs
+        for maker in (
+            extensions.health_program,
+            extensions.em3d_program,
+            extensions.tsp_program,
+        ):
+            run = Interpreter(maker()).run()
+            assert run.value in run.heap.cells

@@ -1,0 +1,154 @@
+"""Tests for the concrete heap and reference interpreter."""
+
+import pytest
+
+from repro.concrete import ConcreteHeap, Interpreter, InterpreterError, MemoryError_
+from repro.ir import parse_program
+
+
+class TestConcreteHeap:
+    def test_malloc_distinct_addresses(self):
+        heap = ConcreteHeap()
+        a, b = heap.malloc(), heap.malloc()
+        assert a != b and heap.is_allocated(a) and heap.is_allocated(b)
+
+    def test_array_contiguous(self):
+        heap = ConcreteHeap()
+        base = heap.malloc(4)
+        assert all(heap.is_allocated(base + i) for i in range(4))
+
+    def test_store_load(self):
+        heap = ConcreteHeap()
+        a = heap.malloc()
+        heap.store(a, "next", 7)
+        assert heap.load(a, "next") == 7
+        assert heap.load(a, "other") == 0  # uninitialized reads as 0
+
+    def test_free_whole_array(self):
+        heap = ConcreteHeap()
+        base = heap.malloc(3)
+        heap.free(base)
+        assert not any(heap.is_allocated(base + i) for i in range(3))
+
+    def test_use_after_free(self):
+        heap = ConcreteHeap()
+        a = heap.malloc()
+        heap.free(a)
+        with pytest.raises(MemoryError_):
+            heap.load(a, "next")
+
+    def test_double_free(self):
+        heap = ConcreteHeap()
+        a = heap.malloc()
+        heap.free(a)
+        with pytest.raises(MemoryError_):
+            heap.free(a)
+
+    def test_reachable_from(self):
+        heap = ConcreteHeap()
+        a, b, c = heap.malloc(), heap.malloc(), heap.malloc()
+        heap.store(a, "next", b)
+        heap.store(b, "next", 0)
+        assert heap.reachable_from(a) == {a, b}
+        assert c not in heap.reachable_from(a)
+
+
+class TestInterpreter:
+    def test_arith_and_loop(self):
+        program = parse_program(
+            """
+proc main():
+    %s = 0
+    %i = 1
+L:
+    if %i > 5 goto done
+    %s = add %s, %i
+    %i = add %i, 1
+    goto L
+done:
+    return %s
+"""
+        )
+        assert Interpreter(program).run().value == 15
+
+    def test_recursion(self):
+        program = parse_program(
+            """
+proc fact(%n):
+    if %n <= 1 goto base
+    %m = sub %n, 1
+    %r = call fact(%m)
+    %r = mul %r, %n
+    return %r
+base:
+    return 1
+
+proc main():
+    %x = call fact(5)
+    return %x
+"""
+        )
+        assert Interpreter(program).run().value == 120
+
+    def test_heap_structure(self):
+        program = parse_program(
+            """
+proc main():
+    %a = malloc()
+    %b = malloc()
+    [%a.next] = %b
+    [%b.next] = null
+    %x = [%a.next]
+    return %x
+"""
+        )
+        result = Interpreter(program).run()
+        assert result.value in result.heap.cells
+
+    def test_null_dereference_raises(self):
+        program = parse_program(
+            "proc main():\n    %p = null\n    %x = [%p.next]\n    return"
+        )
+        with pytest.raises(MemoryError_):
+            Interpreter(program).run()
+
+    def test_fuel_limit(self):
+        program = parse_program("proc main():\nL:\n    goto L")
+        with pytest.raises(InterpreterError):
+            Interpreter(program, fuel=100).run()
+
+    def test_globals_allocated(self):
+        program = parse_program(
+            "globals head\n\nproc main():\n    %g = @head\n    [%g.val] = 5\n"
+            "    %x = [%g.val]\n    return %x"
+        )
+        assert Interpreter(program).run().value == 5
+
+    def test_pointer_arithmetic(self):
+        program = parse_program(
+            """
+proc main():
+    %a = malloc(4)
+    %p = add %a, 2
+    [%p.v] = 9
+    %q = add %a, 2
+    %x = [%q.v]
+    return %x
+"""
+        )
+        assert Interpreter(program).run().value == 9
+
+    def test_division_by_zero_yields_zero(self):
+        program = parse_program(
+            "proc main():\n    %x = div 5, 0\n    return %x"
+        )
+        assert Interpreter(program).run().value == 0
+
+    def test_argument_count_checked(self):
+        program = parse_program("proc main(%a):\n    return %a")
+        with pytest.raises(InterpreterError):
+            Interpreter(program).run()  # no argument supplied
+
+    def test_run_with_arguments(self):
+        program = parse_program("proc main(%a):\n    return %a")
+        assert Interpreter(program).run(42).value == 42

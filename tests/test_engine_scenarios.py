@@ -1,0 +1,358 @@
+"""More whole-program scenarios: disposal, globals, nested structures,
+mid-list surgery -- the long tail of shapes the paper's machinery must
+carry."""
+
+from repro.analysis import ShapeAnalysis
+from repro.concrete import Interpreter
+from repro.ir import parse_program
+from repro.logic import satisfies
+
+
+def analyze(src: str, **kwargs):
+    result = ShapeAnalysis(parse_program(src), **kwargs).run()
+    assert result.succeeded, result.failure
+    return result
+
+
+BUILD = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+
+class TestDisposal:
+    def test_dispose_loop_ends_empty(self):
+        result = analyze(
+            BUILD
+            + """
+proc main():
+    %head = call build(10)
+D:
+    if %head == null goto out
+    %t = [%head.next]
+    free(%head)
+    %head = %t
+    goto D
+out:
+    return %head
+"""
+        )
+        # after full disposal the heap is empty on every surviving exit
+        for state in result.exit_states:
+            assert len(state.spatial) == 0, state
+
+    def test_partial_free_keeps_rest(self):
+        result = analyze(
+            BUILD
+            + """
+proc main():
+    %head = call build(10)
+    if %head == null goto out
+    %t = [%head.next]
+    free(%head)
+    %head = %t
+out:
+    return %head
+"""
+        )
+        assert result.succeeded
+
+
+class TestGlobals:
+    def test_list_head_in_global(self):
+        result = analyze(
+            """
+globals listhead
+
+proc main():
+    %n = 10
+    %h = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %h
+    %h = %p
+    %n = sub %n, 1
+    goto L
+done:
+    %g = @listhead
+    [%g.val] = %h
+    %x = [%g.val]
+    return %x
+"""
+        )
+        (pred,) = result.recursive_predicates()
+        assert [s.field for s in pred.fields] == ["next"]
+        # the global cell itself stays explicit; the list is folded
+        from repro.logic import GlobalLoc
+
+        full = [
+            s
+            for s in result.exit_states
+            if s.spatial.pred_instances(pred.name)
+        ]
+        assert full
+        for state in full:
+            assert state.spatial.points_to(GlobalLoc("listhead"), "val") is not None
+
+    def test_callee_reads_global(self):
+        result = analyze(
+            """
+globals cfg
+
+proc readcfg():
+    %g = @cfg
+    %v = [%g.mode]
+    return %v
+
+proc main():
+    %g = @cfg
+    [%g.mode] = 3
+    %x = call readcfg()
+    return %x
+""",
+            enable_slicing=False,
+        )
+        assert result.succeeded
+
+
+class TestNested:
+    def test_tree_of_lists(self):
+        result = analyze(
+            """
+proc mklist(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %h
+    %h = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc mktree(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call mktree(%m)
+    [%t.left] = %l
+    %r = call mktree(%m)
+    [%t.right] = %r
+    %items = call mklist(3)
+    [%t.items] = %items
+    return %t
+
+proc main():
+    %root = call mktree(5)
+    return %root
+"""
+        )
+        # the final predicate nests the list predicate inside the tree
+        nested = [
+            d
+            for d in result.recursive_predicates()
+            if any(c.pred != d.name for c in d.rec_calls)
+        ]
+        assert nested, [str(d) for d in result.recursive_predicates()]
+        tree = nested[0]
+        assert {s.field for s in tree.fields} == {"left", "right", "items"}
+
+    def test_nested_concrete_oracle(self):
+        src = """
+proc mklist(%n):
+    %h = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %h
+    %h = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %h
+
+proc mktree(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call mktree(%m)
+    [%t.left] = %l
+    %r = call mktree(%m)
+    [%t.right] = %r
+    %items = call mklist(3)
+    [%t.items] = %items
+    return %t
+
+proc main():
+    %root = call mktree(4)
+    return %root
+"""
+        result = analyze(src)
+        nested = [
+            d
+            for d in result.recursive_predicates()
+            if any(c.pred != d.name for c in d.rec_calls)
+        ]
+        run = Interpreter(parse_program(src)).run()
+        footprint = satisfies(
+            result.env, nested[0].name, (run.value,), run.heap.snapshot()
+        )
+        assert footprint == set(run.heap.cells)
+        assert len(footprint) == (2**4 - 1) * 4  # 15 nodes x (1 + 3 items)
+
+
+class TestMidListSurgery:
+    def test_insert_after_head(self):
+        result = analyze(
+            BUILD
+            + """
+proc main():
+    %head = call build(10)
+    if %head == null goto out
+    %n = malloc()
+    %rest = [%head.next]
+    [%n.next] = %rest
+    [%head.next] = %n
+out:
+    return %head
+"""
+        )
+        assert result.succeeded
+
+    def test_delete_second_node(self):
+        result = analyze(
+            BUILD
+            + """
+proc main():
+    %head = call build(10)
+    if %head == null goto out
+    %victim = [%head.next]
+    if %victim == null goto out
+    %rest = [%victim.next]
+    [%head.next] = %rest
+    free(%victim)
+out:
+    return %head
+"""
+        )
+        assert result.succeeded
+
+    def test_concrete_insert_preserves_predicate(self):
+        src = (
+            BUILD
+            + """
+proc main():
+    %head = call build(6)
+    %n = malloc()
+    %rest = [%head.next]
+    [%n.next] = %rest
+    [%head.next] = %n
+    return %head
+"""
+        )
+        result = analyze(src)
+        pred = result.recursive_predicates()[0]
+        run = Interpreter(parse_program(src)).run()
+        footprint = satisfies(
+            result.env, pred.name, (run.value,), run.heap.snapshot()
+        )
+        assert footprint == set(run.heap.cells) == run.heap.reachable_from(run.value)
+        assert len(footprint) == 7
+
+
+class TestMultipleStructures:
+    def test_two_lists_built_in_one_loop(self):
+        """The paper (§3.1.2): 'the recurrence detection algorithm is
+        applied to each top-level term (a loop may touch multiple data
+        structures)'."""
+        result = analyze(
+            """
+proc main():
+    %n = 10
+    %odds = null
+    %evens = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %odds
+    %odds = %p
+    %q = malloc()
+    [%q.next] = %evens
+    %evens = %q
+    %n = sub %n, 1
+    goto L
+done:
+    return %odds
+"""
+        )
+        both = [
+            s
+            for s in result.exit_states
+            if len(s.spatial.pred_instances()) == 2
+        ]
+        assert both, "both lists must be folded in the full exit"
+
+    def test_queue_with_head_and_tail_registers(self):
+        result = analyze(
+            """
+proc main():
+    %head = malloc()
+    [%head.next] = null
+    %tail = %head
+    %n = 10
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = null
+    [%tail.next] = %p
+    %tail = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+        )
+        assert any(
+            s.spatial.pred_instances() for s in result.exit_states
+        )
+
+    def test_walk_to_end_and_append(self):
+        result = analyze(
+            BUILD
+            + """
+proc main():
+    %head = call build(10)
+    if %head == null goto fresh
+    %c = %head
+W:
+    %nx = [%c.next]
+    if %nx == null goto app
+    %c = %nx
+    goto W
+app:
+    %p = malloc()
+    [%p.next] = null
+    [%c.next] = %p
+    return %head
+fresh:
+    %p = malloc()
+    [%p.next] = null
+    return %p
+"""
+        )
+        assert result.succeeded

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is imported as a module and its ``main()`` invoked, so a
+broken public API surfaces here rather than in a user's terminal.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"
+    assert "failed" not in out.lower() or "as expected" in out.lower()

@@ -1,0 +1,98 @@
+"""Focused units for collect_pure_garbage, region behaviour across the
+fold, and the guarded-wrap rule."""
+
+from conftest import fp
+
+from repro.ir import Register
+from repro.logic import (
+    LIST_DEF,
+    NULL_VAL,
+    AbstractState,
+    OffsetVal,
+    PointsTo,
+    PredicateEnv,
+    PredInstance,
+    Raw,
+    Region,
+    Var,
+)
+from repro.analysis.fold import collect_pure_garbage, fold_state
+
+
+def env_with_list() -> PredicateEnv:
+    env = PredicateEnv()
+    env.add(LIST_DEF)
+    return env
+
+
+class TestPureGarbage:
+    def test_dead_names_dropped(self):
+        state = AbstractState()
+        state.spatial.add(Raw(Var("alive")))
+        state.pure.assume("ne", Var("alive"), NULL_VAL)
+        state.pure.assume("ne", Var("dead"), NULL_VAL)
+        collect_pure_garbage(state)
+        assert state.pure.entails_ne(Var("alive"), NULL_VAL)
+        assert not state.pure.entails_ne(Var("dead"), NULL_VAL)
+
+    def test_alias_bases_count_as_alive(self):
+        state = AbstractState()
+        state.pure.record_alias(OffsetVal(Var("a"), 1), fp("a", "next"))
+        state.pure.assume("ne", Var("a"), NULL_VAL)
+        collect_pure_garbage(state)
+        assert state.pure.entails_ne(Var("a"), NULL_VAL)
+
+    def test_register_held_names_not_in_spatial_are_dropped(self):
+        # garbage collection keys on the heap, not the register file;
+        # names surviving only in rho lose their conditions after folds
+        state = AbstractState()
+        state.spatial.add(Raw(Var("x")))
+        state.pure.assume("ne", Var("x"), Var("y"))
+        collect_pure_garbage(state)
+        assert not state.pure.entails_ne(Var("x"), Var("y"))
+
+
+class TestRegionsThroughFold:
+    def test_region_never_absorbed(self):
+        env = env_with_list()
+        state = AbstractState()
+        state.spatial.add(Region(Var("a")))
+        state.spatial.add(PointsTo(Var("a"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=False)
+        assert state.spatial.region_at(Var("a")) is not None
+
+    def test_region_base_cell_can_fold(self):
+        env = env_with_list()
+        state = AbstractState()
+        state.spatial.add(Region(Var("a")))
+        state.spatial.add(PointsTo(Var("a"), "next", Var("b")))
+        state.spatial.add(PredInstance("list", (Var("b"),)))
+        fold_state(state, env, keep_registers=False)
+        assert state.spatial.instance_rooted_at(Var("a")) is not None
+
+
+class TestGuardedWrap:
+    def test_live_bare_frontier_not_wrapped(self):
+        env = env_with_list()
+        state = AbstractState()
+        state.rho[Register("cur")] = Var("f")
+        state.spatial.add(PointsTo(Var("f"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=True)
+        # a live cell with nothing to consume stays explicit
+        assert state.spatial.points_to(Var("f"), "next") is not None
+
+    def test_live_root_wrapped_when_consuming(self):
+        env = env_with_list()
+        state = AbstractState()
+        state.rho[Register("head")] = Var("h")
+        state.spatial.add(PointsTo(Var("h"), "next", Var("t")))
+        state.spatial.add(PredInstance("list", (Var("t"),)))
+        fold_state(state, env, keep_registers=True)
+        assert state.spatial.instance_rooted_at(Var("h")) is not None
+
+    def test_dead_bare_cell_wrapped(self):
+        env = env_with_list()
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("f"), "next", NULL_VAL))
+        fold_state(state, env, keep_registers=True)
+        assert state.spatial.instance_rooted_at(Var("f")) is not None

@@ -1,0 +1,223 @@
+"""Tests for the mini-C frontend: lexer, parser, lowering."""
+
+import pytest
+
+from repro.concrete import Interpreter
+from repro.frontend import LexError, ParseError, compile_c, parse, tokenize
+from repro.frontend.cast import (
+    BinaryExpr,
+    FieldExpr,
+    IntType,
+    MallocExpr,
+    PtrType,
+    WhileStmt,
+)
+from repro.ir import Branch, Load, Malloc, Store
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("int x = 42;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "=", "number", ";", "eof"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a->b != c;")
+        texts = [t.text for t in tokens][:-1]
+        assert texts == ["a", "->", "b", "!=", "c", ";"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n /* block\nmore */ b")
+        texts = [t.text for t in tokens if t.kind == "ident"]
+        assert texts == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_struct_declaration(self):
+        unit = parse("struct node { struct node *next; int val; };")
+        struct = unit.structs["node"]
+        assert struct.field_type("next") == PtrType("node")
+        assert struct.field_type("val") == IntType()
+
+    def test_function_with_params(self):
+        unit = parse("int f(int a, struct n *b) { return a; }")
+        func = unit.functions["f"]
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_while_and_field_access(self):
+        unit = parse(
+            "int f(struct n *p) { while (p != NULL) { p = p->next; } return 0; }"
+        )
+        loop = unit.functions["f"].body.statements[0]
+        assert isinstance(loop, WhileStmt)
+
+    def test_malloc_forms(self):
+        unit = parse(
+            """
+            struct n { int v; };
+            void f() {
+                struct n *a = malloc(sizeof(struct n));
+                struct n *b = malloc(10 * sizeof(struct n));
+                struct n *c = malloc(sizeof(struct n) * 10);
+            }
+            """
+        )
+        decls = unit.functions["f"].body.statements
+        assert isinstance(decls[0].init, MallocExpr) and decls[0].init.count is None
+        assert decls[1].init.count is not None
+        assert decls[2].init.count is not None
+
+    def test_malloc_bad_argument(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int *p = malloc(40); }")
+
+    def test_operator_precedence(self):
+        unit = parse("int f() { return 1 + 2 * 3; }")
+        expr = unit.functions["f"].body.statements[0].value
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.rhs, BinaryExpr) and expr.rhs.op == "*"
+
+    def test_chained_arrows(self):
+        unit = parse("int f(struct n *p) { return p->a->b; }")
+        expr = unit.functions["f"].body.statements[0].value
+        assert isinstance(expr, FieldExpr) and expr.field == "b"
+        assert isinstance(expr.base, FieldExpr) and expr.base.field == "a"
+
+    def test_for_loop(self):
+        unit = parse("int f() { int s = 0; for (int i = 0; i < 3; i++) { s = s + i; } return s; }")
+        assert "f" in unit.functions
+
+    def test_struct_by_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(struct n x) { }")
+
+    def test_cast_accepted_and_ignored(self):
+        unit = parse(
+            "struct n { int v; };\n"
+            "void f() { struct n *p = (struct n *) malloc(sizeof(struct n)); }"
+        )
+        assert "f" in unit.functions
+
+
+class TestLowering:
+    def test_field_write_becomes_store(self):
+        program = compile_c(
+            """
+            struct n { struct n *next; };
+            void f(struct n *p) { p->next = NULL; }
+            int main() { return 0; }
+            """
+        )
+        assert any(isinstance(i, Store) for i in program.proc("f").instrs)
+
+    def test_field_read_becomes_load(self):
+        program = compile_c(
+            """
+            struct n { struct n *next; };
+            struct n *f(struct n *p) { return p->next; }
+            int main() { return 0; }
+            """
+        )
+        assert any(isinstance(i, Load) for i in program.proc("f").instrs)
+
+    def test_array_malloc_is_array(self):
+        program = compile_c(
+            """
+            struct n { int v; };
+            int main() { struct n *p = malloc(8 * sizeof(struct n)); return 0; }
+            """
+        )
+        malloc = next(
+            i for i in program.proc("main").instrs if isinstance(i, Malloc)
+        )
+        assert malloc.is_array
+
+    def test_short_circuit_and(self):
+        program = compile_c(
+            """
+            struct n { struct n *next; int v; };
+            int f(struct n *p) {
+                if (p != NULL && p->next != NULL) { return 1; }
+                return 0;
+            }
+            int main() { return 0; }
+            """
+        )
+        # both conditions lower to branches; the p->next load must come
+        # after the p != NULL test (no unconditional dereference)
+        instrs = program.proc("f").instrs
+        first_branch = next(
+            i for i, ins in enumerate(instrs) if isinstance(ins, Branch)
+        )
+        first_load = next(
+            i for i, ins in enumerate(instrs) if isinstance(ins, Load)
+        )
+        assert first_branch < first_load
+
+    def test_concrete_execution_agrees(self):
+        program = compile_c(
+            """
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(10); }
+            """
+        )
+        assert Interpreter(program).run().value == 55
+
+    def test_pointer_arithmetic_element_granular(self):
+        program = compile_c(
+            """
+            struct n { int v; };
+            int main() {
+                struct n *a = malloc(4 * sizeof(struct n));
+                struct n *b = a + 2;
+                b->v = 7;
+                struct n *c = a + 2;
+                return c->v;
+            }
+            """
+        )
+        assert Interpreter(program).run().value == 7
+
+    def test_boolean_value_materialization(self):
+        program = compile_c(
+            "int main() { int x = 3; int b = x == 3; return b; }"
+        )
+        assert Interpreter(program).run().value == 1
+
+    def test_for_loop_execution(self):
+        program = compile_c(
+            "int main() { int s = 0; for (int i = 1; i <= 4; i++) { s = s + i; } return s; }"
+        )
+        assert Interpreter(program).run().value == 10
+
+    def test_else_branch(self):
+        program = compile_c(
+            "int main() { int x = 1; if (x == 2) { return 10; } else { return 20; } }"
+        )
+        assert Interpreter(program).run().value == 20
+
+    def test_free_lowered(self):
+        from repro.ir import Free
+
+        program = compile_c(
+            """
+            struct n { int v; };
+            int main() { struct n *p = malloc(sizeof(struct n)); free(p); return 0; }
+            """
+        )
+        assert any(isinstance(i, Free) for i in program.proc("main").instrs)

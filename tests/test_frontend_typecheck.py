@@ -1,0 +1,150 @@
+"""Tests for the mini-C static checker."""
+
+import pytest
+
+from repro.frontend import TypeError_, check_unit, compile_c, parse
+
+
+def check(src: str):
+    return check_unit(parse(src))
+
+
+GOOD = """
+struct node { struct node *next; int val; };
+
+struct node *build(int n) {
+    struct node *head = NULL;
+    while (n > 0) {
+        struct node *p = malloc(sizeof(struct node));
+        p->next = head;
+        p->val = n;
+        head = p;
+        n = n - 1;
+    }
+    return head;
+}
+
+int main() { struct node *h = build(3); return h->val; }
+"""
+
+
+class TestAccepts:
+    def test_good_program(self):
+        check(GOOD)
+
+    def test_compile_c_runs_checker(self):
+        compile_c(GOOD)
+
+    def test_null_assignable_to_any_pointer(self):
+        check("struct a { int x; };\nvoid f() { struct a *p = NULL; }")
+
+    def test_void_pointer_field_access_permissive(self):
+        check("int f(int *p) { return 0; }")
+
+    def test_pointer_arithmetic(self):
+        check(
+            "struct a { int x; };\n"
+            "void f() { struct a *p = malloc(4 * sizeof(struct a));"
+            " struct a *q = p + 2; }"
+        )
+
+
+class TestRejects:
+    def test_unknown_struct_in_type(self):
+        with pytest.raises(TypeError_):
+            check("void f(struct ghost *p) { }")
+
+    def test_unknown_struct_in_sizeof(self):
+        with pytest.raises(TypeError_):
+            check("void f() { int x = sizeof(struct ghost); }")
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\n"
+                "int f(struct a *p) { return p->y; }"
+            )
+
+    def test_arrow_on_int(self):
+        with pytest.raises(TypeError_):
+            check("int f(int x) { return x->y; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeError_):
+            check("int f() { return zz; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(TypeError_):
+            check("int f() { return g(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeError_):
+            check("int g(int a) { return a; }\nint f() { return g(); }")
+
+    def test_pointer_assigned_to_int(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\n"
+                "void f(struct a *p) { int y = p; }"
+            )
+
+    def test_int_assigned_to_pointer(self):
+        with pytest.raises(TypeError_):
+            check("struct a { int x; };\nvoid f() { struct a *p = 5; }")
+
+    def test_cross_struct_assignment(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\nstruct b { int y; };\n"
+                "void f(struct a *p, struct b *q) { p = q; }"
+            )
+
+    def test_pointer_plus_pointer(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\n"
+                "void f(struct a *p, struct a *q) { struct a *r = p + q; }"
+            )
+
+    def test_pointer_multiplication(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\n"
+                "void f(struct a *p) { int y = p * 2; }"
+            )
+
+    def test_void_function_returning_value(self):
+        with pytest.raises(TypeError_):
+            check("void f() { return 3; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(TypeError_):
+            check("int f() { return; }")
+
+    def test_duplicate_field(self):
+        with pytest.raises(TypeError_):
+            check("struct a { int x; int x; };")
+
+    def test_redeclared_variable(self):
+        with pytest.raises(TypeError_):
+            check("void f() { int x = 1; int x = 2; }")
+
+    def test_free_of_int(self):
+        with pytest.raises(TypeError_):
+            check("void f() { int x = 1; free(x); }")
+
+    def test_wrong_argument_struct(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\nstruct b { int y; };\n"
+                "void g(struct a *p) { }\n"
+                "void f(struct b *q) { g(q); }"
+            )
+
+    def test_use_of_unreturned_value_from_void(self):
+        with pytest.raises(TypeError_):
+            check(
+                "struct a { int x; };\n"
+                "void g() { }\n"
+                "void f() { struct a *p = g(); }"
+            )

@@ -1,0 +1,200 @@
+"""Tests for the sample-path protocol of §5.2.1: branch steering,
+depth quotas, contract grouping and verification widening."""
+
+from repro.analysis import ShapeAnalysis
+from repro.analysis.interproc import ShapeEngine, _Sampler
+from repro.ir import parse_program
+
+
+class TestSamplerPolicy:
+    def test_head_toward_within_quota(self):
+        sampler = _Sampler(scc=frozenset({"f"}), max_visits=2)
+        sampler.depth = 1
+        assert sampler.head_toward_recursion()
+        sampler.depth = 2
+        assert sampler.head_toward_recursion()
+        sampler.depth = 3
+        assert not sampler.head_toward_recursion()
+
+    def test_quota_scales_with_scc_size(self):
+        sampler = _Sampler(scc=frozenset({"f", "g"}), max_visits=2)
+        sampler.depth = 4
+        assert sampler.head_toward_recursion()
+        sampler.depth = 5
+        assert not sampler.head_toward_recursion()
+
+
+class TestReachesRecursion:
+    SRC = """
+proc f(%n):
+    if %n == 0 goto base
+    %m = sub %n, 1
+    %r = call f(%m)
+    return %r
+base:
+    return 0
+
+proc main():
+    %x = call f(3)
+    return %x
+"""
+
+    def test_indices_reaching_recursive_call(self):
+        program = parse_program(self.SRC)
+        engine = ShapeEngine(program)
+        reach = engine._reaches_recursion("f", frozenset({"f"}))
+        proc = program.proc("f")
+        call_index = next(
+            i
+            for i, ins in enumerate(proc.instrs)
+            if getattr(ins, "func", None) == "f"
+        )
+        assert call_index in reach
+        # the base-case return cannot reach the recursive call
+        base = proc.labels["base"]
+        assert base not in reach
+
+
+class TestContractShapes:
+    def test_both_recursive_fields_sampled(self):
+        """Depth-based steering must expand *both* children of a tree
+        builder (a visit-count policy would starve the second call
+        site and synthesize a wrong null-substitution)."""
+        result = ShapeAnalysis(
+            parse_program(
+                """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    return %t
+
+proc main():
+    %h = call build(5)
+    return %h
+"""
+            )
+        ).run()
+        assert result.succeeded, result.failure
+        (pred,) = result.recursive_predicates()
+        # both fields recurse (neither degenerated to NullArg)
+        from repro.logic import RecTarget
+
+        targets = [s.target for s in pred.fields]
+        assert all(isinstance(t, RecTarget) for t in targets)
+
+    def test_asymmetric_recursion(self):
+        """Left-only recursion: the right field only ever holds null, so
+        Steensgaard cannot type it as a pointer and slicing prunes it
+        (faithful to the paper's untyped low-level view).  With slicing
+        disabled the field survives as an always-null conjunct."""
+        SRC = """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    [%t.right] = null
+    return %t
+
+proc main():
+    %h = call build(5)
+    return %h
+"""
+        from repro.logic import NullArg, RecTarget
+
+        sliced = ShapeAnalysis(parse_program(SRC)).run()
+        assert sliced.succeeded, sliced.failure
+        (pred,) = sliced.recursive_predicates()
+        assert [s.field for s in pred.fields] == ["left"]
+        assert isinstance(pred.fields[0].target, RecTarget)
+
+        unsliced = ShapeAnalysis(
+            parse_program(SRC), enable_slicing=False
+        ).run()
+        assert unsliced.succeeded, unsliced.failure
+        (pred,) = unsliced.recursive_predicates()
+        by_field = {s.field: s.target for s in pred.fields}
+        # the always-null right field survives, either as a literal null
+        # conjunct or as a vacuous recursion whose unfoldings are all
+        # null (both sound; synthesis prefers the more general form and
+        # verification accepts it)
+        assert by_field["right"] == NullArg() or isinstance(
+            by_field["right"], RecTarget
+        )
+
+    def test_accumulator_style_recursion(self):
+        """Recursion that threads the list through an accumulator
+        parameter (reverse-by-recursion)."""
+        result = ShapeAnalysis(
+            parse_program(
+                """
+proc rev(%l, %acc):
+    if %l != null goto rec
+    return %acc
+rec:
+    %n = [%l.next]
+    [%l.next] = %acc
+    %r = call rev(%n, %l)
+    return %r
+
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+
+proc main():
+    %h = call build(8)
+    %r = call rev(%h, null)
+    return %r
+"""
+            )
+        ).run()
+        assert result.succeeded, result.failure
+
+    def test_contracts_grow_through_widening(self):
+        """A recursive procedure whose base case returns a fresh node
+        (not null): the exit set needs the widening round."""
+        result = ShapeAnalysis(
+            parse_program(
+                """
+proc build(%n):
+    if %n > 0 goto rec
+    %s = malloc()
+    [%s.next] = null
+    return %s
+rec:
+    %m = sub %n, 1
+    %rest = call build(%m)
+    %p = malloc()
+    [%p.next] = %rest
+    return %p
+
+proc main():
+    %h = call build(6)
+    return %h
+"""
+            )
+        ).run()
+        assert result.succeeded, result.failure
+        # the result is a non-empty list (never null)
+        assert all(
+            s.spatial.pred_instances() or s.spatial.points_to_atoms()
+            for s in result.exit_states
+        )

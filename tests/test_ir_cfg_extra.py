@@ -1,0 +1,111 @@
+"""Extra CFG coverage: irreducible-ish shapes, dominance queries,
+reachability ordering."""
+
+from repro.ir import CFG, parse_program
+
+
+def cfg_of(src: str) -> CFG:
+    return CFG(parse_program(src).proc("main"))
+
+
+class TestDominance:
+    def test_diamond_join_dominated_by_fork_only(self):
+        cfg = cfg_of(
+            """
+proc main():
+    if %x == null goto a
+    %y = 1
+    goto join
+a:
+    %y = 2
+join:
+    return %y
+"""
+        )
+        program = parse_program(
+            """
+proc main():
+    if %x == null goto a
+    %y = 1
+    goto join
+a:
+    %y = 2
+join:
+    return %y
+"""
+        )
+        proc = program.proc("main")
+        join = proc.labels["join"]
+        assert cfg.dominates(0, join)
+        # neither arm dominates the join
+        assert not cfg.dominates(1, join)
+        assert not cfg.dominates(proc.labels["a"], join)
+
+    def test_loop_header_dominates_body(self):
+        cfg = cfg_of(
+            """
+proc main():
+    %n = 3
+L:
+    if %n <= 0 goto out
+    %n = sub %n, 1
+    goto L
+out:
+    return
+"""
+        )
+        ((tail, header),) = cfg.back_edges
+        for node in cfg.loop_of_header(header).body:
+            assert cfg.dominates(header, node)
+
+    def test_two_back_edges_one_header_merge(self):
+        cfg = cfg_of(
+            """
+proc main():
+    %n = 9
+L:
+    if %n == 0 goto out
+    if %n == 1 goto half
+    %n = sub %n, 2
+    goto L
+half:
+    %n = sub %n, 1
+    goto L
+out:
+    return
+"""
+        )
+        assert len(cfg.loops) == 1
+        (loop,) = cfg.loops.values()
+        assert len(loop.back_edges) == 2
+
+    def test_reachable_is_rpo_prefix_entry(self):
+        cfg = cfg_of(
+            """
+proc main():
+    goto b
+a:
+    return
+b:
+    goto a
+"""
+        )
+        order = cfg.reachable()
+        assert order[0] == 0
+
+    def test_is_back_edge_queries(self):
+        cfg = cfg_of(
+            """
+proc main():
+    %n = 3
+L:
+    if %n <= 0 goto out
+    %n = sub %n, 1
+    goto L
+out:
+    return
+"""
+        )
+        ((tail, header),) = cfg.back_edges
+        assert cfg.is_back_edge(tail, header)
+        assert not cfg.is_back_edge(header, tail)

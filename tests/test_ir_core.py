@@ -1,0 +1,183 @@
+"""Unit tests for the IR: values, instructions, procedures, programs."""
+
+import pytest
+
+from repro.ir import (
+    NULL,
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Cond,
+    Free,
+    Global,
+    Goto,
+    IntConst,
+    IRError,
+    Load,
+    Malloc,
+    Nop,
+    Procedure,
+    Program,
+    Register,
+    Return,
+    Store,
+)
+
+
+class TestValues:
+    def test_register_identity_is_name(self):
+        assert Register("x") == Register("x")
+        assert Register("x") != Register("y")
+
+    def test_register_hashable(self):
+        assert len({Register("x"), Register("x"), Register("y")}) == 2
+
+    def test_null_singleton_equality(self):
+        assert NULL == NULL
+        assert str(NULL) == "null"
+
+    def test_global_str(self):
+        assert str(Global("head")) == "@head"
+
+    def test_intconst(self):
+        assert IntConst(42).value == 42
+        assert str(IntConst(-3)) == "-3"
+
+
+class TestInstructions:
+    def test_assign_defs_uses(self):
+        instr = Assign(Register("a"), Register("b"))
+        assert instr.defs() == (Register("a"),)
+        assert instr.uses() == (Register("b"),)
+
+    def test_assign_const_has_no_uses(self):
+        assert Assign(Register("a"), IntConst(1)).uses() == ()
+
+    def test_arith_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            ArithOp(Register("a"), "pow", IntConst(1), IntConst(2))
+
+    def test_arith_defs_uses(self):
+        instr = ArithOp(Register("a"), "add", Register("b"), Register("c"))
+        assert set(instr.uses()) == {Register("b"), Register("c")}
+
+    def test_malloc_single_vs_array(self):
+        assert not Malloc(Register("p")).is_array
+        assert not Malloc(Register("p"), IntConst(1)).is_array
+        assert Malloc(Register("p"), IntConst(8)).is_array
+        assert Malloc(Register("p"), Register("n")).is_array
+
+    def test_load_store_shape(self):
+        load = Load(Register("d"), Register("p"), "next")
+        assert load.defs() == (Register("d"),)
+        assert load.uses() == (Register("p"),)
+        store = Store(Register("p"), "next", Register("v"))
+        assert store.defs() == ()
+        assert set(store.uses()) == {Register("p"), Register("v")}
+
+    def test_call_defs(self):
+        call = Call(Register("r"), "f", (Register("a"),))
+        assert call.defs() == (Register("r"),)
+        void = Call(None, "f", ())
+        assert void.defs() == ()
+
+    def test_cond_negation_is_involutive(self):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            cond = Cond(op, Register("a"), Register("b"))
+            assert cond.negated().negated() == cond
+
+    def test_cond_negation_pairs(self):
+        cond = Cond("lt", Register("a"), IntConst(5))
+        assert cond.negated().op == "ge"
+
+    def test_cond_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            Cond("approx", Register("a"), Register("b"))
+
+    def test_nop_has_no_effects(self):
+        assert Nop().defs() == () and Nop().uses() == ()
+
+
+class TestProcedure:
+    def _proc(self, instrs, labels=None):
+        return Procedure("p", (), list(instrs), dict(labels or {}))
+
+    def test_validate_appends_return(self):
+        proc = self._proc([Assign(Register("a"), NULL)])
+        proc.validate()
+        assert isinstance(proc.instrs[-1], Return)
+
+    def test_validate_rejects_unknown_label(self):
+        proc = self._proc([Goto("nowhere")])
+        with pytest.raises(IRError):
+            proc.validate()
+
+    def test_successors_linear(self):
+        proc = self._proc([Assign(Register("a"), NULL), Return()])
+        proc.validate()
+        assert proc.successors(0) == (1,)
+        assert proc.successors(1) == ()
+
+    def test_successors_branch_two_targets(self):
+        proc = self._proc(
+            [
+                Branch(Cond("eq", Register("a"), NULL), "L"),
+                Return(),
+                Return(),
+            ],
+            {"L": 2},
+        )
+        proc.validate()
+        assert set(proc.successors(0)) == {1, 2}
+
+    def test_successors_branch_to_fallthrough_deduped(self):
+        proc = self._proc(
+            [Branch(Cond("eq", Register("a"), NULL), "L"), Return()],
+            {"L": 1},
+        )
+        proc.validate()
+        assert proc.successors(0) == (1,)
+
+    def test_registers_collects_params_and_body(self):
+        proc = Procedure(
+            "p",
+            (Register("x"),),
+            [Assign(Register("y"), Register("x")), Return(Register("y"))],
+            {},
+        )
+        assert proc.registers() == {Register("x"), Register("y")}
+
+    def test_callees(self):
+        proc = self._proc([Call(None, "f", ()), Call(None, "g", ()), Return()])
+        assert proc.callees() == {"f", "g"}
+
+
+class TestProgram:
+    def test_duplicate_procedure_rejected(self):
+        program = Program()
+        program.add(Procedure("main", (), [Return()], {}))
+        with pytest.raises(IRError):
+            program.add(Procedure("main", (), [Return()], {}))
+
+    def test_missing_entry_rejected(self):
+        program = Program(entry="main")
+        program.add(Procedure("other", (), [Return()], {}))
+        with pytest.raises(IRError):
+            program.validate()
+
+    def test_unknown_callee_rejected(self):
+        program = Program()
+        program.add(Procedure("main", (), [Call(None, "ghost", ()), Return()], {}))
+        with pytest.raises(IRError):
+            program.validate()
+
+    def test_instruction_count(self):
+        program = Program()
+        program.add(Procedure("main", (), [Assign(Register("a"), NULL), Return()], {}))
+        program.add(Procedure("f", (), [Return()], {}))
+        assert program.instruction_count() == 3
+
+    def test_unknown_procedure_lookup(self):
+        with pytest.raises(IRError):
+            Program().proc("nope")

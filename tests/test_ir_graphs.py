@@ -1,0 +1,154 @@
+"""Tests for CFG (dominators, back edges, loops) and the call graph."""
+
+from repro.ir import CFG, CallGraph, parse_program
+
+
+def _cfg(src: str, proc: str = "main") -> CFG:
+    return CFG(parse_program(src).proc(proc))
+
+
+class TestCFG:
+    def test_straight_line_has_no_back_edges(self):
+        cfg = _cfg("proc main():\n    %x = null\n    return")
+        assert cfg.back_edges == []
+        assert cfg.loops == {}
+
+    def test_single_loop(self):
+        cfg = _cfg(
+            """
+proc main():
+    %n = 3
+L:
+    if %n <= 0 goto out
+    %n = sub %n, 1
+    goto L
+out:
+    return
+"""
+        )
+        assert len(cfg.back_edges) == 1
+        tail, header = cfg.back_edges[0]
+        assert cfg.dominates(header, tail)
+        loop = cfg.loop_of_header(header)
+        assert loop is not None and tail in loop
+
+    def test_nested_loops_two_headers(self):
+        cfg = _cfg(
+            """
+proc main():
+    %i = 3
+outer:
+    if %i <= 0 goto out
+    %j = 3
+inner:
+    if %j <= 0 goto next
+    %j = sub %j, 1
+    goto inner
+next:
+    %i = sub %i, 1
+    goto outer
+out:
+    return
+"""
+        )
+        assert len(cfg.loops) == 2
+        sizes = sorted(len(l.body) for l in cfg.loops.values())
+        assert sizes[0] < sizes[1]  # inner strictly smaller
+
+    def test_innermost_loop(self):
+        cfg = _cfg(
+            """
+proc main():
+    %i = 3
+outer:
+    if %i <= 0 goto out
+inner:
+    if %i == 1 goto next
+    goto inner
+next:
+    %i = sub %i, 1
+    goto outer
+out:
+    return
+"""
+        )
+        inner_header = [
+            h for h, l in cfg.loops.items()
+            if all(h in other.body for other in cfg.loops.values())
+        ]
+        assert inner_header
+        innermost = cfg.innermost_loop(inner_header[0])
+        assert innermost is not None
+
+    def test_entry_dominates_everything(self):
+        cfg = _cfg(
+            """
+proc main():
+    if %x == null goto a
+    goto b
+a:
+    return
+b:
+    return
+"""
+        )
+        for node in cfg.reachable():
+            assert cfg.dominates(0, node)
+
+    def test_unreachable_code_tolerated(self):
+        cfg = _cfg(
+            """
+proc main():
+    return
+    %x = null
+    return
+"""
+        )
+        assert 1 not in cfg.reachable()
+
+
+class TestCallGraph:
+    SRC = """
+proc a(%x):
+    %r = call b(%x)
+    return %r
+
+proc b(%x):
+    %r = call a(%x)
+    return %r
+
+proc leaf(%x):
+    return %x
+
+proc selfrec(%x):
+    %r = call selfrec(%x)
+    return %r
+
+proc main():
+    %r = call a(null)
+    %s = call leaf(null)
+    %t = call selfrec(null)
+    return
+"""
+
+    def test_mutual_recursion_one_scc(self):
+        cg = CallGraph(parse_program(self.SRC))
+        assert cg.scc_of("a") == cg.scc_of("b") == frozenset({"a", "b"})
+        assert cg.is_recursive("a") and cg.is_recursive("b")
+
+    def test_self_recursion_detected(self):
+        cg = CallGraph(parse_program(self.SRC))
+        assert cg.is_recursive("selfrec")
+        assert cg.scc_of("selfrec") == frozenset({"selfrec"})
+
+    def test_leaf_not_recursive(self):
+        cg = CallGraph(parse_program(self.SRC))
+        assert not cg.is_recursive("leaf")
+        assert not cg.is_recursive("main")
+
+    def test_topological_order_callees_first(self):
+        cg = CallGraph(parse_program(self.SRC))
+        order = cg.topological_order()
+        main_index = order.index(frozenset({"main"}))
+        ab_index = order.index(frozenset({"a", "b"}))
+        assert ab_index < main_index

@@ -1,0 +1,125 @@
+"""Smaller units: assertion renaming, Raw bookkeeping, Region carving,
+pure-atom normalization, implication reflexivity over the benchmark
+predicates."""
+
+from conftest import fp
+
+from repro.logic import (
+    NULL_VAL,
+    LIST_DEF,
+    TREE_DEF,
+    OffsetVal,
+    PointsTo,
+    PredInstance,
+    PredicateEnv,
+    PureAtom,
+    Raw,
+    Region,
+    Var,
+)
+from repro.logic.implication import pred_implies
+
+
+class TestAssertionRenaming:
+    def test_points_to_renames_both_sides(self):
+        atom = PointsTo(Var("a"), "f", Var("a"))
+        renamed = atom.rename(Var("a"), Var("b"))
+        assert renamed.src == Var("b") and renamed.target == Var("b")
+
+    def test_pred_instance_renames_args_and_truncs(self):
+        atom = PredInstance("P", (Var("a"), Var("b")), (Var("a"),))
+        renamed = atom.rename(Var("a"), Var("z"))
+        assert renamed.args == (Var("z"), Var("b"))
+        assert renamed.truncs == (Var("z"),)
+
+    def test_rename_prefix_in_offset_target(self):
+        atom = PointsTo(Var("a"), "f", OffsetVal(Var("a"), 3))
+        renamed = atom.rename(Var("a"), Var("b"))
+        assert renamed.target == OffsetVal(Var("b"), 3)
+
+    def test_raw_with_field_accumulates(self):
+        raw = Raw(Var("a"))
+        raw2 = raw.with_field("x").with_field("y")
+        assert raw2.written == {"x", "y"}
+        assert raw.written == frozenset()  # immutability
+
+    def test_region_with_carved(self):
+        region = Region(Var("a"))
+        assert region.with_carved(3).carved == {3}
+
+    def test_instance_with_truncs_replaces(self):
+        atom = PredInstance("P", (Var("a"),), (Var("t"),))
+        assert atom.with_truncs(()).truncs == ()
+        assert atom.with_truncs((Var("u"), Var("v"))).truncs == (
+            Var("u"),
+            Var("v"),
+        )
+
+
+class TestPureAtoms:
+    def test_normalization_is_order_insensitive(self):
+        a = PureAtom("ne", Var("x"), Var("y")).normalized()
+        b = PureAtom("ne", Var("y"), Var("x")).normalized()
+        assert a == b
+
+    def test_str_forms(self):
+        assert "==" in str(PureAtom("eq", Var("a"), NULL_VAL))
+        assert "!=" in str(PureAtom("ne", Var("a"), NULL_VAL))
+
+
+class TestImplicationAlgebra:
+    def test_reflexive_over_builtins(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        env.add(TREE_DEF)
+        for name in ("list", "tree"):
+            assert pred_implies(env, name, name)
+
+    def test_unknown_names_never_imply(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        assert not pred_implies(env, "list", "ghost")
+        assert not pred_implies(env, "ghost", "list")
+
+    def test_arity_mismatch_never_implies(self):
+        from repro.logic import FieldSpec, ParamArg, PredicateDef, RecCallSpec, RecTarget
+
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        env.add(
+            PredicateDef(
+                "dlist",
+                2,
+                (FieldSpec("next", RecTarget(0)), FieldSpec("prev", ParamArg(1))),
+                (RecCallSpec("dlist", (ParamArg(0),)),),
+            )
+        )
+        assert not pred_implies(env, "list", "dlist")
+        assert not pred_implies(env, "dlist", "list")
+
+    def test_transitivity_through_coinduction(self):
+        """a (all-null items) => b (items list via L) => c (items any
+        structure via M, where L => M)."""
+        from repro.logic import FieldSpec, NullArg, PredicateDef, RecCallSpec, RecTarget
+
+        env = PredicateEnv()
+        env.add(
+            PredicateDef("L", 1, (FieldSpec("n", RecTarget(0)),), (RecCallSpec("L"),))
+        )
+        env.add(
+            PredicateDef(
+                "a",
+                1,
+                (FieldSpec("items", NullArg()), FieldSpec("next", RecTarget(0))),
+                (RecCallSpec("a"),),
+            )
+        )
+        env.add(
+            PredicateDef(
+                "b",
+                1,
+                (FieldSpec("items", RecTarget(0)), FieldSpec("next", RecTarget(1))),
+                (RecCallSpec("L"), RecCallSpec("b")),
+            )
+        )
+        assert pred_implies(env, "a", "b")

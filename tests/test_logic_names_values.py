@@ -1,0 +1,87 @@
+"""Tests for heap names and symbolic values."""
+
+from conftest import fp
+
+from repro.logic import (
+    NULL_VAL,
+    FieldPath,
+    GlobalLoc,
+    OffsetVal,
+    Opaque,
+    Var,
+    fresh_var,
+    is_prefix,
+    offset,
+    path_of,
+    rename_name,
+    rename_symval,
+    root_of,
+)
+
+
+class TestHeapNames:
+    def test_str_form_is_access_path(self):
+        assert str(fp("a", "child", "sib")) == "a.child.sib"
+
+    def test_root_of(self):
+        assert root_of(fp("a", "x", "y")) == Var("a")
+        assert root_of(GlobalLoc("g")) == GlobalLoc("g")
+
+    def test_path_of(self):
+        assert path_of(fp("a", "x", "y")) == ("x", "y")
+        assert path_of(Var("a")) == ()
+
+    def test_is_prefix_reflexive(self):
+        name = fp("a", "x")
+        assert is_prefix(name, name)
+
+    def test_is_prefix_chain(self):
+        assert is_prefix(Var("a"), fp("a", "x", "y"))
+        assert is_prefix(fp("a", "x"), fp("a", "x", "y"))
+        assert not is_prefix(fp("a", "y"), fp("a", "x", "y"))
+        assert not is_prefix(Var("b"), fp("a", "x"))
+
+    def test_rename_whole_name(self):
+        assert rename_name(Var("a"), Var("a"), Var("b")) == Var("b")
+
+    def test_rename_prefix_rebuilds_path(self):
+        renamed = rename_name(fp("a", "x", "y"), Var("a"), fp("b", "n"))
+        assert renamed == fp("b", "n", "x", "y")
+
+    def test_rename_inner_prefix(self):
+        renamed = rename_name(fp("a", "x", "y"), fp("a", "x"), Var("c"))
+        assert renamed == fp("c", "y")
+
+    def test_rename_unrelated_untouched(self):
+        name = fp("a", "x")
+        assert rename_name(name, Var("b"), Var("c")) is name
+
+    def test_fresh_vars_distinct(self):
+        assert fresh_var() != fresh_var()
+
+
+class TestSymVals:
+    def test_offset_zero_normalizes(self):
+        assert offset(Var("a"), 0) == Var("a")
+
+    def test_offset_accumulates(self):
+        value = offset(offset(Var("a"), 2), 3)
+        assert value == OffsetVal(Var("a"), 5)
+
+    def test_offset_cancels_to_base(self):
+        assert offset(OffsetVal(Var("a"), 1), -1) == Var("a")
+
+    def test_offset_negative(self):
+        assert str(offset(Var("a"), -2)) == "a-2"
+
+    def test_offset_on_null_is_opaque(self):
+        assert isinstance(offset(NULL_VAL, 1), Opaque)
+
+    def test_rename_symval_offset_base(self):
+        value = OffsetVal(Var("a"), 3)
+        assert rename_symval(value, Var("a"), Var("b")) == OffsetVal(Var("b"), 3)
+
+    def test_rename_symval_passthrough(self):
+        assert rename_symval(NULL_VAL, Var("a"), Var("b")) == NULL_VAL
+        opq = Opaque("x")
+        assert rename_symval(opq, Var("a"), Var("b")) is opq

@@ -1,0 +1,206 @@
+"""Tests for predicate definitions, the environment T, and the concrete
+model relation (the oracle)."""
+
+import pytest
+
+from conftest import fp
+
+from repro.logic import (
+    LIST_DEF,
+    NULL_VAL,
+    TREE_DEF,
+    AnyArg,
+    FieldSpec,
+    NullArg,
+    ParamArg,
+    PredicateDef,
+    PredicateEnv,
+    RecCallSpec,
+    RecTarget,
+    Var,
+    satisfies,
+    satisfies_truncated,
+)
+
+
+def mcf_def() -> PredicateDef:
+    return PredicateDef(
+        "mcf_tree",
+        arity=3,
+        fields=(
+            FieldSpec("parent", ParamArg(1)),
+            FieldSpec("child", RecTarget(0)),
+            FieldSpec("sib", RecTarget(1)),
+            FieldSpec("sib_prev", ParamArg(2)),
+        ),
+        rec_calls=(
+            RecCallSpec("mcf_tree", (ParamArg(0), NullArg())),
+            RecCallSpec("mcf_tree", (ParamArg(1), ParamArg(0))),
+        ),
+    )
+
+
+class TestPredicateDef:
+    def test_recursion_points(self):
+        assert LIST_DEF.recursion_points == (0,)
+        assert TREE_DEF.recursion_points == (0, 1)
+
+    def test_field_of_rec_call(self):
+        assert LIST_DEF.field_of_rec_call(0) == "next"
+        assert TREE_DEF.field_of_rec_call(1) == "right"
+
+    def test_backward_param_for_field(self):
+        d = mcf_def()
+        assert d.backward_param_for_field("parent") == 1
+        assert d.backward_param_for_field("sib_prev") == 2
+        assert d.backward_param_for_field("child") is None
+
+    def test_dangling_rectarget_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateDef("bad", 1, (FieldSpec("f", RecTarget(0)),), ())
+
+    def test_rec_call_without_field_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateDef("bad", 1, (), (RecCallSpec("bad"),))
+
+    def test_unfold_body_structure(self):
+        pts, insts, bound = mcf_def().unfold_body((Var("h"), NULL_VAL, NULL_VAL))
+        fields = {p.field: p.target for p in pts}
+        assert fields["parent"] == NULL_VAL
+        assert fields["child"] == bound[0]
+        assert fields["sib"] == bound[1]
+        assert insts[0].args == (bound[0], Var("h"), NULL_VAL)
+        assert insts[1].args == (bound[1], NULL_VAL, Var("h"))
+
+    def test_unfold_base_case_rejected(self):
+        with pytest.raises(ValueError):
+            LIST_DEF.unfold_body((NULL_VAL,))
+
+    def test_unfold_arity_checked(self):
+        with pytest.raises(ValueError):
+            LIST_DEF.unfold_body((Var("h"), Var("x")))
+
+
+class TestPredicateEnv:
+    def test_structural_dedup(self):
+        env = PredicateEnv()
+        first = env.define(
+            (FieldSpec("next", RecTarget(0)),), (RecCallSpec("self"),), arity=1
+        )
+        second = env.define(
+            (FieldSpec("next", RecTarget(0)),), (RecCallSpec("self"),), arity=1
+        )
+        assert first is second
+        assert len(env) == 1
+
+    def test_distinct_structures_get_distinct_names(self):
+        env = PredicateEnv()
+        a = env.define(
+            (FieldSpec("next", RecTarget(0)),), (RecCallSpec("self"),), arity=1
+        )
+        b = env.define(
+            (FieldSpec("prev", RecTarget(0)),), (RecCallSpec("self"),), arity=1
+        )
+        assert a.name != b.name
+
+    def test_candidates_for_fields(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        env.add(TREE_DEF)
+        assert env.candidates_for_fields(("next",)) == [LIST_DEF]
+        assert env.candidates_for_fields(("right", "left")) == [TREE_DEF]
+        assert env.candidates_for_fields(("zzz",)) == []
+
+    def test_duplicate_name_rejected(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        with pytest.raises(ValueError):
+            env.add(
+                PredicateDef("list", 1, (FieldSpec("prev", RecTarget(0)),),
+                             (RecCallSpec("list"),))
+            )
+
+
+class TestModel:
+    def _env(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        env.add(TREE_DEF)
+        env.add(mcf_def())
+        return env
+
+    def test_list_exact_footprint(self):
+        cells = {1: {"next": 2}, 2: {"next": 3}, 3: {"next": 0}}
+        assert satisfies(self._env(), "list", (1,), cells) == {1, 2, 3}
+
+    def test_list_empty(self):
+        assert satisfies(self._env(), "list", (0,), {}) == set()
+
+    def test_list_rejects_cycle(self):
+        cells = {1: {"next": 2}, 2: {"next": 1}}
+        assert satisfies(self._env(), "list", (1,), cells) is None
+
+    def test_list_rejects_dangling(self):
+        cells = {1: {"next": 99}}
+        assert satisfies(self._env(), "list", (1,), cells) is None
+
+    def test_tree_rejects_sharing(self):
+        # both children point to the same node: spatial conjunction fails
+        cells = {1: {"left": 2, "right": 2}, 2: {"left": 0, "right": 0}}
+        assert satisfies(self._env(), "tree", (1,), cells) is None
+
+    def test_tree_balanced(self):
+        cells = {
+            1: {"left": 2, "right": 3},
+            2: {"left": 0, "right": 0},
+            3: {"left": 0, "right": 0},
+        }
+        assert satisfies(self._env(), "tree", (1,), cells) == {1, 2, 3}
+
+    def test_mcf_tree_with_backward_links(self):
+        cells = {
+            1: {"parent": 0, "child": 2, "sib": 0, "sib_prev": 0},
+            2: {"parent": 1, "child": 0, "sib": 3, "sib_prev": 0},
+            3: {"parent": 1, "child": 0, "sib": 0, "sib_prev": 2},
+        }
+        assert satisfies(self._env(), "mcf_tree", (1, 0, 0), cells) == {1, 2, 3}
+
+    def test_mcf_tree_wrong_parent_rejected(self):
+        cells = {
+            1: {"parent": 0, "child": 2, "sib": 0, "sib_prev": 0},
+            2: {"parent": 99, "child": 0, "sib": 0, "sib_prev": 0},
+        }
+        assert satisfies(self._env(), "mcf_tree", (1, 0, 0), cells) is None
+
+    def test_truncated_footprint_excludes_subtree(self):
+        cells = {1: {"next": 2}, 2: {"next": 3}, 3: {"next": 0}}
+        footprint = satisfies_truncated(
+            self._env(), "list", (1,), frozenset({3}), cells
+        )
+        assert footprint == {1, 2}
+
+    def test_truncated_requires_reaching_every_point(self):
+        cells = {1: {"next": 0}}
+        assert (
+            satisfies_truncated(self._env(), "list", (1,), frozenset({9}), cells)
+            is None
+        )
+
+    def test_anyarg_field_matches_anything(self):
+        env = PredicateEnv()
+        env.add(
+            PredicateDef(
+                "dlist",
+                1,
+                (FieldSpec("next", RecTarget(0)), FieldSpec("val", AnyArg())),
+                (RecCallSpec("dlist"),),
+            )
+        )
+        cells = {1: {"next": 2, "val": 7}, 2: {"next": 0, "val": -1}}
+        assert satisfies(env, "dlist", (1,), cells) == {1, 2}
+
+    def test_unknown_predicate_raises(self):
+        from repro.logic import ModelError
+
+        with pytest.raises(ModelError):
+            satisfies(PredicateEnv(), "ghost", (1,), {})

@@ -1,0 +1,178 @@
+"""Tests for spatial/pure formulas and abstract states."""
+
+from conftest import fp
+
+from repro.ir import Global, IntConst, Register
+from repro.ir.values import NULL as NULL_OP
+from repro.logic import (
+    NULL_VAL,
+    AbstractState,
+    GlobalLoc,
+    OffsetVal,
+    Opaque,
+    PointsTo,
+    PredInstance,
+    PureFormula,
+    Raw,
+    Region,
+    SpatialFormula,
+    Var,
+)
+
+
+class TestSpatialFormula:
+    def test_points_to_lookup(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", NULL_VAL))
+        assert s.points_to(Var("a"), "next") is not None
+        assert s.points_to(Var("a"), "prev") is None
+        assert s.points_to(Var("b"), "next") is None
+
+    def test_is_allocated_by_each_kind(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "f", NULL_VAL))
+        s.add(Raw(Var("b")))
+        s.add(PredInstance("P", (Var("c"),)))
+        assert s.is_allocated(Var("a"))
+        assert s.is_allocated(Var("b"))
+        assert s.is_allocated(Var("c"))
+        assert not s.is_allocated(Var("d"))
+
+    def test_instance_rooted_and_truncated(self):
+        s = SpatialFormula()
+        inst = PredInstance("P", (Var("a"),), (Var("t"),))
+        s.add(inst)
+        assert s.instance_rooted_at(Var("a")) == inst
+        assert s.instances_truncated_at(Var("t")) == [inst]
+        assert s.instances_truncated_at(Var("a")) == []
+
+    def test_rename_rewrites_all_atoms(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "f", fp("a", "f")))
+        s.add(PredInstance("P", (fp("a", "f"), Var("a"))))
+        s.rename(Var("a"), Var("b"))
+        assert s.points_to(Var("b"), "f").target == fp("b", "f")
+        assert s.instance_rooted_at(fp("b", "f")).args[1] == Var("b")
+
+    def test_heap_names_collects_everything(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "f", OffsetVal(Var("r"), 2)))
+        s.add(PredInstance("P", (Var("b"), NULL_VAL), (Var("t"),)))
+        s.add(Region(Var("r")))
+        names = s.heap_names()
+        assert {Var("a"), Var("r"), Var("b"), Var("t")} <= names
+
+    def test_str_emp(self):
+        assert str(SpatialFormula()) == "emp"
+
+
+class TestPureFormula:
+    def test_alias_resolution_chains(self):
+        f = PureFormula()
+        f.record_alias(OffsetVal(Var("a"), 1), fp("a", "next"))
+        assert f.resolve(OffsetVal(Var("a"), 1)) == fp("a", "next")
+        assert f.resolve(OffsetVal(Var("a"), 2)) == OffsetVal(Var("a"), 2)
+
+    def test_assume_and_holds_normalized(self):
+        f = PureFormula()
+        f.assume("ne", Var("b"), Var("a"))
+        assert f.holds("ne", Var("a"), Var("b"))
+        assert f.entails_ne(Var("b"), Var("a"))
+        assert not f.entails_eq(Var("a"), Var("b"))
+
+    def test_entails_eq_reflexive(self):
+        assert PureFormula().entails_eq(Var("a"), Var("a"))
+
+    def test_rename_keeps_atoms(self):
+        f = PureFormula()
+        f.assume("ne", Var("a"), NULL_VAL)
+        f.rename(Var("a"), Var("b"))
+        assert f.entails_ne(Var("b"), NULL_VAL)
+        assert not f.entails_ne(Var("a"), NULL_VAL)
+
+    def test_substitute_value(self):
+        f = PureFormula()
+        f.assume("eq", Var("a"), Var("b"))
+        f.substitute_value(Var("b"), NULL_VAL)
+        assert f.entails_eq(Var("a"), NULL_VAL)
+
+
+class TestAbstractState:
+    def test_eval_operand_kinds(self):
+        state = AbstractState()
+        assert state.eval_operand(NULL_OP) == NULL_VAL
+        assert state.eval_operand(Global("g")) == GlobalLoc("g")
+        assert isinstance(state.eval_operand(IntConst(3)), Opaque)
+
+    def test_unassigned_register_reads_opaque_consistently(self):
+        state = AbstractState()
+        first = state.eval_operand(Register("x"))
+        second = state.eval_operand(Register("x"))
+        assert first == second and isinstance(first, Opaque)
+
+    def test_eval_to_location_resolves_alias(self):
+        state = AbstractState()
+        state.rho[Register("p")] = OffsetVal(Var("a"), 1)
+        state.pure.record_alias(OffsetVal(Var("a"), 1), fp("a", "next"))
+        assert state.eval_to_location(Register("p")) == fp("a", "next")
+
+    def test_eval_to_location_carves_from_region(self):
+        state = AbstractState()
+        state.spatial.add(Region(Var("a")))
+        state.rho[Register("p")] = OffsetVal(Var("a"), 3)
+        location = state.eval_to_location(Register("p"))
+        assert isinstance(location, Var)
+        assert state.spatial.raw_at(location) is not None
+        # the alias is recorded so later arithmetic resolves to it
+        assert state.resolve(OffsetVal(Var("a"), 3)) == location
+
+    def test_assume_null_removes_complete_instance(self):
+        state = AbstractState()
+        state.spatial.add(PredInstance("P", (Var("a"),)))
+        state.rho[Register("x")] = Var("a")
+        assert state.assume_eq(Var("a"), NULL_VAL)
+        assert len(state.spatial) == 0
+        assert state.rho[Register("x")] == NULL_VAL
+
+    def test_assume_null_refuses_cells(self):
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "f", NULL_VAL))
+        assert not state.assume_eq(Var("a"), NULL_VAL)
+
+    def test_assume_null_refuses_truncated_instance_root(self):
+        state = AbstractState()
+        state.spatial.add(PredInstance("P", (Var("a"),), (Var("t"),)))
+        assert not state.assume_eq(Var("a"), NULL_VAL)
+
+    def test_assume_null_drops_truncation_point(self):
+        state = AbstractState()
+        state.spatial.add(PredInstance("P", (Var("a"),), (Var("t"),)))
+        assert state.assume_eq(Var("t"), NULL_VAL)
+        inst = state.spatial.instance_rooted_at(Var("a"))
+        assert inst.truncs == ()
+
+    def test_assume_ne_contradiction(self):
+        state = AbstractState()
+        assert not state.assume_ne(Var("a"), Var("a"))
+
+    def test_assume_eq_distinct_allocated_cells_infeasible(self):
+        state = AbstractState()
+        state.spatial.add(PointsTo(Var("a"), "f", NULL_VAL))
+        state.spatial.add(PointsTo(Var("b"), "f", NULL_VAL))
+        assert not state.assume_eq(Var("a"), Var("b"))
+
+    def test_copy_is_independent(self):
+        state = AbstractState()
+        state.spatial.add(Raw(Var("a")))
+        state.rho[Register("x")] = Var("a")
+        clone = state.copy()
+        clone.spatial.add(Raw(Var("b")))
+        clone.rho[Register("y")] = Var("b")
+        assert len(state.spatial) == 1
+        assert Register("y") not in state.rho
+
+    def test_rename_tracks_anchors(self):
+        state = AbstractState(anchors=frozenset({Var("a")}))
+        state.rename(Var("a"), fp("b", "f"))
+        assert fp("b", "f") in state.anchors
+        assert Var("a") not in state.anchors

@@ -1,0 +1,232 @@
+"""Tests for the pre-pass: pointer analysis, reaching definitions,
+recursive-type identification, slicing and liveness (§5.1)."""
+
+from repro.ir import Load, Nop, Register, Store, parse_program
+from repro.prepass import (
+    Liveness,
+    PointerAnalysis,
+    ReachingDefinitions,
+    def_use_graph,
+    recursive_types,
+    slice_program,
+    traversal_loads,
+)
+
+LIST_SRC = """
+proc main():
+    %n = 5
+    %sum = 0
+    %head = null
+L:
+    if %n <= 0 goto walk
+    %p = malloc()
+    [%p.next] = %head
+    [%p.val] = %n
+    %head = %p
+    %n = sub %n, 1
+    goto L
+walk:
+    %c = %head
+W:
+    if %c == null goto done
+    %v = [%c.val]
+    %sum = add %sum, %v
+    %c = [%c.next]
+    goto W
+done:
+    return %head
+"""
+
+REC_SRC = """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    [%t.val] = %n
+    return %t
+
+proc sum(%t):
+    if %t != null goto rec
+    return 0
+rec:
+    %l = [%t.left]
+    %a = call sum(%l)
+    %r = [%t.right]
+    %b = call sum(%r)
+    %v = [%t.val]
+    %s = add %a, %b
+    %s = add %s, %v
+    return %s
+
+proc main():
+    %root = call build(8)
+    %total = call sum(%root)
+    return %root
+"""
+
+
+class TestSteensgaard:
+    def test_next_field_unified_across_loop(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        proc = program.proc("main")
+        loads = [i for i in proc.instrs if isinstance(i, Load)]
+        stores = [i for i in proc.instrs if isinstance(i, Store)]
+        next_store = next(s for s in stores if s.field == "next")
+        next_load = next(l for l in loads if l.field == "next")
+        assert pa.same_class(
+            pa.access_type("main", next_store), pa.access_type("main", next_load)
+        )
+
+    def test_pointer_vs_integer_registers(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        assert pa.is_pointer_register("main", Register("head"))
+        assert pa.is_pointer_register("main", Register("c"))
+        assert not pa.is_pointer_register("main", Register("sum"))
+
+    def test_next_cell_is_pointer_class(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        proc = program.proc("main")
+        next_store = next(
+            i for i in proc.instrs if isinstance(i, Store) and i.field == "next"
+        )
+        cell = pa.cell_class(pa.access_type("main", next_store))
+        assert pa.is_pointer_class(cell)
+
+    def test_val_cell_is_not_pointer_class(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        proc = program.proc("main")
+        val_store = next(
+            i for i in proc.instrs if isinstance(i, Store) and i.field == "val"
+        )
+        cell = pa.cell_class(pa.access_type("main", val_store))
+        assert not pa.is_pointer_class(cell)
+
+    def test_interprocedural_param_unification(self):
+        program = parse_program(REC_SRC)
+        pa = PointerAnalysis(program)
+        # sum's parameter t is unified with build's return (a tree node)
+        assert pa.is_pointer_register("sum", Register("t"))
+
+
+class TestReachingDefs:
+    def test_loop_carried_definition_reaches_header(self):
+        program = parse_program(LIST_SRC)
+        rd = ReachingDefinitions(program.proc("main"))
+        proc = program.proc("main")
+        header = proc.labels["L"]
+        defs = rd.definitions_reaching(header, Register("head"))
+        assert len(defs) == 2  # initial null and the loop update
+
+    def test_def_use_edges(self):
+        program = parse_program(LIST_SRC)
+        proc = program.proc("main")
+        edges = def_use_graph(proc)
+        # some definition of %c feeds the load of c.next
+        load_index = next(
+            i
+            for i, ins in enumerate(proc.instrs)
+            if isinstance(ins, Load) and ins.field == "next"
+        )
+        assert any(load_index in targets for targets in edges.values())
+
+
+class TestRecursiveTypes:
+    def test_traversal_load_detected_in_loop(self):
+        program = parse_program(LIST_SRC)
+        loads = traversal_loads(program)
+        proc = program.proc("main")
+        kinds = {proc.instrs[i].field for (name, i) in loads if name == "main"}
+        assert "next" in kinds
+        assert "val" not in kinds
+
+    def test_traversal_load_detected_through_recursion(self):
+        program = parse_program(REC_SRC)
+        pa = PointerAnalysis(program)
+        types = {str(t).split(".")[-1] for t in recursive_types(program, pa)}
+        assert "left" in types and "right" in types
+        assert "val" not in types
+
+
+class TestSlicing:
+    def test_scalar_payload_pruned(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        result = slice_program(program, pa, recursive_types(program, pa))
+        proc = result.program.proc("main")
+        fields_left = {
+            i.field for i in proc.instrs if isinstance(i, (Load, Store))
+        }
+        assert "next" in fields_left
+        assert "val" not in fields_left
+        assert result.pruned > 0
+
+    def test_labels_stable_after_slicing(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        result = slice_program(program, pa, recursive_types(program, pa))
+        original = program.proc("main")
+        sliced = result.program.proc("main")
+        assert sliced.labels == original.labels
+        assert len(sliced.instrs) == len(original.instrs)
+
+    def test_pruned_instructions_become_nops(self):
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        result = slice_program(program, pa, recursive_types(program, pa))
+        assert any(
+            isinstance(i, Nop) for i in result.program.proc("main").instrs
+        )
+
+    def test_control_flow_always_kept(self):
+        from repro.ir import Branch, Goto, Return
+
+        program = parse_program(LIST_SRC)
+        pa = PointerAnalysis(program)
+        result = slice_program(program, pa, recursive_types(program, pa))
+        original = program.proc("main")
+        sliced = result.program.proc("main")
+        for i, instr in enumerate(original.instrs):
+            if isinstance(instr, (Branch, Goto, Return)):
+                assert type(sliced.instrs[i]) is type(instr)
+
+    def test_sliced_program_analyzes_equivalently(self):
+        import repro.analysis as A
+
+        program = parse_program(LIST_SRC)
+        with_slicing = A.ShapeAnalysis(program, enable_slicing=True).run()
+        program2 = parse_program(LIST_SRC)
+        without = A.ShapeAnalysis(program2, enable_slicing=False).run()
+        assert with_slicing.succeeded and without.succeeded
+        names = lambda r: {
+            tuple(s.field for s in d.fields) for d in r.recursive_predicates()
+        }
+        assert ("next",) in names(with_slicing)
+        assert any("next" in fields for fields in names(without))
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        program = parse_program(LIST_SRC)
+        proc = program.proc("main")
+        liveness = Liveness(proc)
+        # %p is dead at the loop header (only used inside one iteration)
+        header = proc.labels["L"]
+        assert Register("p") not in liveness.live_before(header)
+        assert Register("head") in liveness.live_before(header)
+
+    def test_return_value_live(self):
+        program = parse_program(LIST_SRC)
+        proc = program.proc("main")
+        liveness = Liveness(proc)
+        last = len(proc.instrs) - 1
+        assert Register("head") in liveness.live_before(last)

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and the
+full analysis pipeline.
+
+The headline property mirrors the paper's soundness story: for a
+*random* builder program, whenever the analysis succeeds and infers a
+predicate, that predicate must hold -- with exact footprint -- on the
+concrete heap a real execution produces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import fp
+
+from repro.analysis import ShapeAnalysis
+from repro.concrete import Interpreter
+from repro.ir import parse_program, print_program
+from repro.logic import (
+    NULL_VAL,
+    AbstractState,
+    PointsTo,
+    PredInstance,
+    Raw,
+    Var,
+    rename_name,
+    satisfies,
+    subsumes,
+)
+from repro.logic.heapnames import FieldPath
+from repro.synthesis import term_size, translate_heap
+
+
+# ----------------------------------------------------------------------
+# Name algebra
+# ----------------------------------------------------------------------
+
+_fields = st.sampled_from(["next", "left", "right", "child", "sib"])
+_names = st.builds(
+    lambda root, fields: _chain(root, fields),
+    st.sampled_from(["a", "b", "h"]),
+    st.lists(_fields, max_size=4),
+)
+
+
+def _chain(root, fields):
+    name = Var(root)
+    for field in fields:
+        name = FieldPath(name, field)
+    return name
+
+
+class TestNameAlgebra:
+    @given(_names, _names)
+    def test_rename_identity_when_absent(self, name, other):
+        unrelated = Var("zz")
+        assert rename_name(name, unrelated, other) == name
+
+    @given(_names)
+    def test_rename_roundtrip(self, name):
+        fresh = Var("tmp_unique")
+        there = rename_name(name, Var("a"), fresh)
+        back = rename_name(there, fresh, Var("a"))
+        assert back == name
+
+    @given(_names, _fields)
+    def test_extension_preserves_prefix(self, name, field):
+        from repro.logic import is_prefix
+
+        assert is_prefix(name, FieldPath(name, field))
+
+
+# ----------------------------------------------------------------------
+# Subsumption is a preorder
+# ----------------------------------------------------------------------
+
+def _random_state(draw_cells):
+    state = AbstractState()
+    node = Var("a")
+    for i, has_next in enumerate(draw_cells):
+        target = FieldPath(node, "next") if has_next else NULL_VAL
+        state.spatial.add(PointsTo(node, "next", target))
+        if not has_next:
+            break
+        node = target
+    return state
+
+
+class TestSubsumptionProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=4))
+    def test_reflexive(self, cells):
+        state = _random_state(cells)
+        assert subsumes(state, state.copy()) is not None
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=3))
+    def test_alpha_renaming_invariance(self, cells):
+        state = _random_state(cells)
+        renamed = state.copy()
+        renamed.rename(Var("a"), Var("z"))
+        assert subsumes(state, renamed) is not None
+        assert subsumes(renamed, state) is not None
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_instance_subsumes_its_unrollings(self, depth):
+        """list(h) subsumes every finite unrolling ending in a fresh
+        instance -- the WEAKEN step of the paper's loop rule."""
+        from repro.logic import LIST_DEF, PredicateEnv
+
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        general = AbstractState()
+        general.spatial.add(PredInstance("list", (Var("h"),)))
+        concrete = AbstractState()
+        node = Var("z")
+        for _ in range(depth):
+            concrete.spatial.add(PointsTo(node, "next", FieldPath(node, "next")))
+            node = FieldPath(node, "next")
+        concrete.spatial.add(PredInstance("list", (node,)))
+        from repro.analysis import fold_state
+
+        fold_state(concrete, env, keep_registers=False)
+        assert subsumes(general, concrete, env=env) is not None
+
+
+# ----------------------------------------------------------------------
+# Textual IR round-trip
+# ----------------------------------------------------------------------
+
+_small_int = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def _builder_program(draw):
+    """A random push-front builder over a random field vocabulary."""
+    link = draw(st.sampled_from(["next", "fwd", "succ"]))
+    payload = draw(st.booleans())
+    n = draw(_small_int)
+    payload_line = f"    [%p.val] = %n\n" if payload else ""
+    return (
+        f"proc main():\n"
+        f"    %n = {n}\n"
+        f"    %head = null\n"
+        f"L:\n"
+        f"    if %n <= 0 goto done\n"
+        f"    %p = malloc()\n"
+        f"    [%p.{link}] = %head\n"
+        f"{payload_line}"
+        f"    %head = %p\n"
+        f"    %n = sub %n, 1\n"
+        f"    goto L\n"
+        f"done:\n"
+        f"    return %head\n",
+        link,
+        n,
+    )
+
+
+class TestPipelineProperties:
+    @given(_builder_program())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_print_parse(self, case):
+        src, _, _ = case
+        program = parse_program(src)
+        assert print_program(parse_program(print_program(program))) == (
+            print_program(program)
+        )
+
+    @given(_builder_program())
+    @settings(max_examples=20, deadline=None)
+    def test_synthesized_predicate_holds_concretely(self, case):
+        src, link, n = case
+        program = parse_program(src)
+        result = ShapeAnalysis(program).run()
+        assert result.succeeded, result.failure
+        preds = [
+            d
+            for d in result.recursive_predicates()
+            if any(s.field == link for s in d.fields)
+        ]
+        assert preds, "the link field must appear in some predicate"
+        run = Interpreter(parse_program(src)).run()
+        if run.value == 0:
+            return  # empty list: nothing to check
+        footprint = satisfies(
+            result.env, preds[0].name, (run.value,), run.heap.snapshot()
+        )
+        assert footprint == run.heap.reachable_from(run.value)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_recursive_tree_builder_depths(self, depth):
+        src = f"""
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    return %t
+
+proc main():
+    %h = call build({depth})
+    return %h
+"""
+        program = parse_program(src)
+        result = ShapeAnalysis(program).run()
+        assert result.succeeded, result.failure
+        pred = result.recursive_predicates()[0]
+        run = Interpreter(parse_program(src)).run()
+        footprint = satisfies(
+            result.env, pred.name, (run.value,), run.heap.snapshot()
+        )
+        assert footprint == set(run.heap.cells)
+        assert len(footprint) == 2**depth - 1
+
+
+# ----------------------------------------------------------------------
+# Term translation is total and loss-bounded
+# ----------------------------------------------------------------------
+
+class TestTranslationProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=5))
+    def test_translation_total_on_chains(self, cells):
+        state = _random_state(cells)
+        terms = translate_heap(state.spatial)
+        assert terms
+        total = sum(term_size(t) for t in terms)
+        assert total >= len(state.spatial)

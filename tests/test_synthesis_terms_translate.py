@@ -1,0 +1,131 @@
+"""Tests for term trees and heap-formula-to-term translation (§3.1.1)."""
+
+from conftest import fp
+
+from repro.logic import (
+    NULL_VAL,
+    PointsTo,
+    PredInstance,
+    SpatialFormula,
+    Var,
+)
+from repro.synthesis import (
+    NULL_TERM,
+    NameTerm,
+    PredTerm,
+    StarTerm,
+    contains_terminal,
+    format_term,
+    is_terminal,
+    name_term,
+    positions,
+    subterm,
+    term_size,
+    translate_heap,
+)
+
+
+class TestTerms:
+    def test_name_term_prefix_form(self):
+        term = name_term(fp("a", "child", "sib"))
+        assert str(term) == "sib(child(a))"
+        assert term.origin == fp("a", "child", "sib")
+
+    def test_name_term_equality_ignores_origin(self):
+        assert NameTerm("a", ("f",)) == NameTerm("a", ("f",), origin=fp("a", "f"))
+
+    def test_name_term_outer_and_extended(self):
+        term = name_term(fp("a", "x", "y"))
+        assert term.outer() == NameTerm("a", ("x",))
+        assert term.extended("z").fields == ("x", "y", "z")
+
+    def test_subterm_positions(self):
+        inner = StarTerm(("next",), (NULL_TERM,), loc=fp("a", "next"))
+        outer = StarTerm(("next",), (inner,), loc=Var("a"))
+        assert subterm(outer, ()) is outer
+        assert subterm(outer, (0,)) is inner
+        assert subterm(outer, (0, 0)) is NULL_TERM
+        assert subterm(outer, (0, 0, 0)) is None
+        assert positions(outer) == [(), (0,), (0, 0)]
+
+    def test_terminal_classification(self):
+        assert is_terminal(NULL_TERM)
+        assert is_terminal(StarTerm((), (), loc=Var("w")))
+        assert not is_terminal(StarTerm(("f",), (NULL_TERM,), loc=Var("a")))
+        assert not is_terminal(NameTerm("a"))
+
+    def test_contains_terminal_skips_name_terms(self):
+        assert not contains_terminal(NameTerm("a", ("x",)))
+        star = StarTerm(("f",), (NameTerm("b"),), loc=Var("a"))
+        assert not contains_terminal(star)
+        star_null = StarTerm(("f",), (NULL_TERM,), loc=Var("a"))
+        assert contains_terminal(star_null)
+
+    def test_term_size(self):
+        star = StarTerm(("f", "g"), (NULL_TERM, NameTerm("b")), loc=Var("a"))
+        assert term_size(star) == 3
+
+    def test_format_term_renders(self):
+        star = StarTerm(("f",), (NULL_TERM,), loc=Var("a"))
+        assert "*" in format_term(star)
+
+
+class TestTranslate:
+    def test_backbone_link_expands_in_place(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        s.add(PointsTo(fp("a", "next"), "next", NULL_VAL))
+        (term,) = translate_heap(s)
+        assert isinstance(term, StarTerm) and term.loc == Var("a")
+        child = term.target_of("next")
+        assert isinstance(child, StarTerm) and child.loc == fp("a", "next")
+        assert child.target_of("next") is NULL_TERM
+
+    def test_cross_link_becomes_name_term(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "other", Var("b")))
+        s.add(PointsTo(Var("b"), "next", NULL_VAL))
+        terms = translate_heap(s)
+        # b is not backbone-linked from a, so both are top-level trees
+        assert len(terms) == 2
+        star_a = next(t for t in terms if t.loc == Var("a"))
+        assert isinstance(star_a.target_of("other"), NameTerm)
+
+    def test_backward_link_is_name_term(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "child", fp("a", "child")))
+        s.add(PointsTo(fp("a", "child"), "parent", Var("a")))
+        (term,) = translate_heap(s)
+        child = term.target_of("child")
+        parent_target = child.target_of("parent")
+        assert isinstance(parent_target, NameTerm)
+        assert parent_target == NameTerm("a")
+
+    def test_unexpanded_frontier(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        (term,) = translate_heap(s)
+        frontier = term.target_of("next")
+        assert isinstance(frontier, StarTerm) and frontier.is_unexpanded
+        assert frontier.loc == fp("a", "next")
+
+    def test_pred_instance_as_subtree(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", fp("a", "next")))
+        s.add(PredInstance("list", (fp("a", "next"),)))
+        (term,) = translate_heap(s)
+        tail = term.target_of("next")
+        assert isinstance(tail, PredTerm) and tail.pred == "list"
+
+    def test_fields_sorted_for_stable_shape(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "zz", NULL_VAL))
+        s.add(PointsTo(Var("a"), "aa", NULL_VAL))
+        (term,) = translate_heap(s)
+        assert term.fields == ("aa", "zz")
+
+    def test_multiple_structures_multiple_tops(self):
+        s = SpatialFormula()
+        s.add(PointsTo(Var("a"), "next", NULL_VAL))
+        s.add(PointsTo(Var("b"), "next", NULL_VAL))
+        assert len(translate_heap(s)) == 2

@@ -1,0 +1,94 @@
+"""Property-based round-trip tests for the textual IR over randomly
+generated instruction streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    NULL,
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Cond,
+    Free,
+    Goto,
+    IntConst,
+    Load,
+    Malloc,
+    Nop,
+    Procedure,
+    Program,
+    Register,
+    Return,
+    Store,
+    parse_program,
+    print_program,
+)
+
+_regs = st.sampled_from([Register(n) for n in ("a", "b", "c", "p", "q")])
+_fields = st.sampled_from(["next", "left", "right", "val"])
+_operands = st.one_of(
+    _regs,
+    st.just(NULL),
+    st.integers(min_value=-99, max_value=99).map(IntConst),
+)
+
+_instrs = st.one_of(
+    st.builds(Assign, _regs, _operands),
+    st.builds(
+        ArithOp,
+        _regs,
+        st.sampled_from(["add", "sub", "mul", "div", "mod"]),
+        _operands,
+        _operands,
+    ),
+    st.builds(Malloc, _regs, st.one_of(st.none(), _operands)),
+    st.builds(Free, _regs),
+    st.builds(Load, _regs, _regs, _fields),
+    st.builds(Store, _regs, _fields, _operands),
+    st.builds(
+        Call,
+        st.one_of(st.none(), _regs),
+        st.just("callee"),
+        st.lists(_operands, max_size=2).map(tuple),
+    ),
+    st.just(Nop()),
+)
+
+
+@st.composite
+def _programs(draw):
+    body = draw(st.lists(_instrs, min_size=1, max_size=12))
+    # add a labelled branch skeleton around the body for coverage
+    instrs = list(body)
+    labels = {}
+    if draw(st.booleans()):
+        labels["top"] = 0
+        instrs.append(Branch(Cond("ne", Register("a"), NULL), "top"))
+    instrs.append(Return(draw(_operands)))
+    program = Program()
+    program.add(Procedure("callee", (Register("x"), Register("y")), [Return()], {}))
+    program.add(Procedure("main", (), instrs, labels))
+    program.validate()
+    return program
+
+
+class TestRoundTrip:
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_fixpoint(self, program):
+        text = print_program(program)
+        reparsed = parse_program(text)
+        assert print_program(reparsed) == text
+
+    @given(_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_reparsed_program_structurally_equal(self, program):
+        reparsed = parse_program(print_program(program))
+        original = program.proc("main")
+        clone = reparsed.proc("main")
+        assert len(original.instrs) == len(clone.instrs)
+        for a, b in zip(original.instrs, clone.instrs):
+            assert type(a) is type(b)
+            assert str(a) == str(b)
+        assert original.labels == clone.labels
