@@ -65,6 +65,11 @@ def _run(name: str):
 @pytest.mark.parametrize("name", sorted(PAPER_TABLE4))
 def test_table4_row(benchmark, name):
     result = benchmark(_run, name)
+    # robustness columns for the JSON record (--benchmark-json)
+    benchmark.extra_info["outcome"] = result.outcome
+    benchmark.extra_info["attempts"] = result.attempts
+    benchmark.extra_info["diagnostics"] = len(result.diagnostics)
+    benchmark.extra_info["budget"] = result.budget_stats
     assert result.succeeded, result.failure
     signatures = [
         {s.field for s in d.fields} for d in result.recursive_predicates()

@@ -45,7 +45,14 @@ Package map (see DESIGN.md for the paper-to-module index):
 * :mod:`repro.benchsuite` -- the paper's Table 4 workloads
 """
 
-from repro.analysis import AnalysisFailure, AnalysisResult, ShapeAnalysis
+from repro.analysis import (
+    AnalysisFailure,
+    AnalysisResult,
+    Budget,
+    BudgetExhausted,
+    Diagnostic,
+    ShapeAnalysis,
+)
 from repro.concrete import Interpreter
 from repro.frontend import compile_c
 from repro.ir import Program, parse_program, print_program
@@ -63,6 +70,9 @@ __all__ = [
     "AbstractState",
     "AnalysisFailure",
     "AnalysisResult",
+    "Budget",
+    "BudgetExhausted",
+    "Diagnostic",
     "Interpreter",
     "PredicateDef",
     "PredicateEnv",

@@ -4,20 +4,45 @@ Analyzes a mini-C file (``.c``) or a textual-IR file (``.ir``) and
 prints the inferred recursive predicates, the exit states, and the
 timing breakdown.  ``--run`` additionally executes the program with the
 concrete interpreter and model-checks every tree/list predicate whose
-root the program returned.
+root the program returned.  ``--batch`` instead drives the built-in
+benchmark suite through the crash-isolating batch runner.
+
+Exit codes (stable, for batch drivers):
+
+* ``0``   analysis succeeded (possibly degraded -- check the output);
+* ``1``   the analysis failed (halt-and-report, budget exhaustion, or
+  an internal error contained into a diagnostic);
+* ``2``   usage errors: missing file, bad flags;
+* ``3``   the input failed to parse, type-check, or lower to IR;
+* ``--batch`` exits ``0`` only when no benchmark failed, crashed or
+  timed out.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis import ShapeAnalysis
 from repro.concrete import Interpreter
 from repro.frontend import compile_c
+from repro.frontend.cparser import ParseError as CParseError
+from repro.frontend.lexer import LexError
+from repro.frontend.lower import LowerError
+from repro.frontend.typecheck import TypeError_
 from repro.ir import parse_program, print_program
+from repro.ir.program import IRError
 from repro.logic import satisfies
+
+EXIT_OK = 0
+EXIT_ANALYSIS_FAILED = 1
+EXIT_USAGE = 2
+EXIT_FRONTEND = 3
+
+#: Everything the frontend can raise on malformed input.
+FRONTEND_ERRORS = (CParseError, LexError, LowerError, TypeError_, IRError)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(Guo, Vachharajani, August; PLDI 2007)"
         ),
     )
-    parser.add_argument("file", help="a mini-C (.c) or textual-IR (.ir) file")
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="a mini-C (.c) or textual-IR (.ir) file",
+    )
     parser.add_argument(
         "--no-slicing", action="store_true", help="disable the slicing pre-pass"
     )
@@ -38,6 +67,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="symbolic iterations before synthesis (default 2)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("strict", "degrade"),
+        default="strict",
+        help=(
+            "failure semantics: strict halts on the first failure (the "
+            "paper's behavior); degrade retries with an escalated "
+            "unroll bound, then contains failures per loop/procedure"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the whole analysis in seconds",
+    )
+    parser.add_argument(
+        "--state-budget",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="worklist state budget per procedure (default 20000)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the structured result record to PATH ('-' for stdout)",
     )
     parser.add_argument(
         "--dump-ir", action="store_true", help="print the (lowered) IR and exit"
@@ -52,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the verified loop invariants and procedure summaries",
     )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="run the built-in benchmark suite through the batch runner",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-benchmark isolation timeout for --batch (default 120)",
+    )
+    parser.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="with --batch: run in-process instead of per-run subprocesses",
+    )
     return parser
 
 
@@ -62,28 +137,71 @@ def load_program(path: Path):
     return parse_program(text)
 
 
+def _run_batch(args) -> int:
+    from repro.benchsuite.runner import run_batch
+
+    report = run_batch(
+        names=None,
+        mode=args.mode if args.mode else "degrade",
+        timeout=args.timeout,
+        deadline=args.deadline,
+        unroll=args.unroll,
+        state_budget=args.state_budget,
+        isolate=not args.no_isolate,
+    )
+    print(report.render())
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+    return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.batch:
+        return _run_batch(args)
+    if args.file is None:
+        parser.print_usage(sys.stderr)
+        print("repro: a file argument (or --batch) is required", file=sys.stderr)
+        return EXIT_USAGE
     path = Path(args.file)
     if not path.exists():
         print(f"repro: no such file: {path}", file=sys.stderr)
-        return 2
-    program = load_program(path)
+        return EXIT_USAGE
+    try:
+        program = load_program(path)
+    except FRONTEND_ERRORS as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FRONTEND
 
     if args.dump_ir:
         print(print_program(program))
-        return 0
+        return EXIT_OK
 
     result = ShapeAnalysis(
         program,
         name=path.stem,
         max_unroll=args.unroll,
         enable_slicing=not args.no_slicing,
+        mode=args.mode,
+        deadline_seconds=args.deadline,
+        state_budget=args.state_budget,
     ).run()
 
     print(result.describe())
+    if args.json:
+        payload = json.dumps(result.to_record(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
     if not result.succeeded:
-        return 1
+        return EXIT_ANALYSIS_FAILED
 
     print("\nexit states:")
     for state in result.exit_states:
@@ -110,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
                     else ("holds (partial footprint)" if footprint else "does not hold here")
                 )
                 print(f"    {definition.name}{args_tuple}: {verdict}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

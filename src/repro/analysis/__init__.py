@@ -14,6 +14,7 @@ from repro.analysis.interproc import (
 from repro.analysis.invariants import guarded_locations, normalize_state
 from repro.analysis.localheap import SplitHeap, combine, extract_local_heap
 from repro.analysis.rearrange import rearrange_names
+from repro.analysis.resilience import Budget, BudgetExhausted, Diagnostic
 from repro.analysis.results import AnalysisResult
 from repro.analysis.semantics import apply_instruction, filter_condition
 from repro.analysis.unfold import (
@@ -27,6 +28,9 @@ from repro.analysis.unfold import (
 __all__ = [
     "AnalysisFailure",
     "AnalysisResult",
+    "Budget",
+    "BudgetExhausted",
+    "Diagnostic",
     "RET_REGISTER",
     "ShapeAnalysis",
     "ShapeEngine",

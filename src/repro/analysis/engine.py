@@ -7,12 +7,34 @@ timed (the breakdown Table 4 reports):
 2. recursive-type identification + shape-relevance slicing (§5.1),
 3. the interprocedural shape analysis with inductive recursion
    synthesis (§2-§4, §5.2) on the sliced program.
+
+Failure semantics (the resilience layer on top of the paper's
+halt-and-report, see :mod:`repro.analysis.resilience`):
+
+* ``mode="strict"`` (default) -- the paper's semantics: the first
+  synthesis/verification failure halts the analysis and is reported in
+  ``result.failure`` / ``result.diagnostics``;
+* ``mode="degrade"`` -- a failed run is first *retried* with an
+  escalated unroll bound (``escalate_unroll``, the paper's "2
+  suffices" knob raised to 3), and if that still fails the engine
+  reruns with failure containment: a poisoned loop or procedure is
+  confined to a havoc summary and the rest of the program is still
+  analyzed, each contained failure recorded as a recovered
+  diagnostic.
+
+Either way ``run()`` never raises on analysis failure, and since the
+resilience layer it also never lets an *unexpected* exception
+(``RecursionError``, ``ModelError``, an engine bug) escape: those
+become an ``internal-error`` diagnostic instead of crashing the
+caller.  A wall-clock ``deadline_seconds`` bounds the whole run
+(including retries) through cooperative checks in the engine worklist.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.ir.program import Program
 from repro.logic.predicates import PredicateEnv
@@ -20,6 +42,7 @@ from repro.prepass.rectypes import recursive_types
 from repro.prepass.slicing import slice_program
 from repro.prepass.steensgaard import PointerAnalysis
 from repro.analysis.interproc import AnalysisFailure, ShapeEngine
+from repro.analysis.resilience import Budget, BudgetExhausted, Diagnostic
 from repro.analysis.results import AnalysisResult
 
 __all__ = ["ShapeAnalysis"]
@@ -34,11 +57,34 @@ class ShapeAnalysis:
     max_unroll: int = 2
     enable_slicing: bool = True
     state_budget: int = 20000
+    #: ``"strict"`` (paper semantics: halt and report) or ``"degrade"``
+    #: (retry with escalated unroll, then contain failures).
+    mode: str = "strict"
+    #: Wall-clock deadline for the whole run in seconds (None = off).
+    deadline_seconds: float | None = None
+    #: Optional global state cap across all procedures and retries.
+    max_states: int | None = None
+    #: Procedure-activation depth guard (see :class:`Budget`).
+    max_depth: int = 96
+    #: Unroll bound for the retry attempt in degrade mode (None or a
+    #: value <= max_unroll disables escalation).
+    escalate_unroll: int | None = 3
+    #: Injectable engine constructor -- lets tests and fault-injection
+    #: harnesses swap the engine without monkeypatching.
+    engine_factory: Callable[..., ShapeEngine] | None = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
-        the paper's halt-and-report becomes ``result.failure``."""
+        the paper's halt-and-report becomes ``result.failure`` plus a
+        structured ``result.diagnostics`` list."""
         self.program.validate()
+        budget = Budget(
+            deadline_seconds=self.deadline_seconds,
+            state_budget=self.state_budget,
+            max_states=self.max_states,
+            max_depth=self.max_depth,
+        )
+        budget.start()
 
         start = time.perf_counter()
         pointers = PointerAnalysis(self.program)
@@ -55,21 +101,64 @@ class ShapeAnalysis:
             target = self.program
         slicing_seconds = time.perf_counter() - start
 
-        env = PredicateEnv()
-        engine = ShapeEngine(
-            target,
-            env,
-            max_unroll=self.max_unroll,
-            state_budget=self.state_budget,
-        )
+        plans = self._plans()
+        make_engine = self.engine_factory or ShapeEngine
+        diagnostics: list[Diagnostic] = []
         failure: str | None = None
         exit_states = []
+        engine = None
+        attempts = 0
         start = time.perf_counter()
-        try:
-            exit_states = engine.analyze()
-        except AnalysisFailure as exc:
-            failure = str(exc)
+        for attempt, (unroll, engine_mode) in enumerate(plans, 1):
+            attempts = attempt
+            env = PredicateEnv()
+            engine = make_engine(
+                target,
+                env,
+                max_unroll=unroll,
+                state_budget=self.state_budget,
+                mode=engine_mode,
+                budget=budget,
+            )
+            fatal: BaseException | None = None
+            try:
+                exit_states = engine.analyze()
+            except AnalysisFailure as exc:
+                fatal = exc
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                # An engine bug must not crash the caller: classify it
+                # as internal-error and report like any other failure.
+                fatal = exc
+            if fatal is None:
+                failure = None
+                break
+            # Budget exhaustion ends the run: retrying against the same
+            # exhausted budget cannot succeed.
+            if attempt == len(plans) or isinstance(fatal, BudgetExhausted):
+                diagnostic = Diagnostic.from_exception(fatal)
+                diagnostics.append(diagnostic)
+                # the diagnostic message carries the exception type for
+                # internal errors ("RecursionError: ...")
+                failure = diagnostic.message
+                exit_states = []
+                break
+            next_unroll, next_mode = plans[attempt]
+            diagnostics.append(
+                Diagnostic.from_exception(
+                    fatal,
+                    recovered=True,
+                    detail=(
+                        f"retrying with unroll={next_unroll}"
+                        if next_mode == "strict"
+                        else "degrading: containing failures"
+                    ),
+                )
+            )
         shape_seconds = time.perf_counter() - start
+        assert engine is not None
+        diagnostics.extend(engine.diagnostics)
 
         return AnalysisResult(
             benchmark=self.name,
@@ -77,11 +166,15 @@ class ShapeAnalysis:
             pointer_seconds=pointer_seconds,
             slicing_seconds=slicing_seconds,
             shape_seconds=shape_seconds,
-            env=env,
+            env=engine.env,
             exit_states=exit_states,
             kept_instructions=kept,
             pruned_instructions=pruned,
             failure=failure,
+            mode=self.mode,
+            diagnostics=diagnostics,
+            attempts=attempts,
+            budget_stats=budget.snapshot(),
             loop_invariants=dict(engine.loop_invariants),
             summaries={
                 name: [(s.entry, list(s.exits)) for s in summaries]
@@ -96,3 +189,17 @@ class ShapeAnalysis:
                 "procedures": engine.stats.procedures,
             },
         )
+
+    def _plans(self) -> list[tuple[int, str]]:
+        """The attempt ladder: (unroll bound, engine mode) per attempt."""
+        if self.mode == "strict":
+            return [(self.max_unroll, "strict")]
+        if self.mode != "degrade":
+            raise ValueError(f"unknown analysis mode {self.mode!r}")
+        plans = [(self.max_unroll, "strict")]
+        if self.escalate_unroll is not None and (
+            self.escalate_unroll > self.max_unroll
+        ):
+            plans.append((self.escalate_unroll, "strict"))
+        plans.append((self.max_unroll, "degrade"))
+        return plans

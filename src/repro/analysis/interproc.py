@@ -54,11 +54,20 @@ from repro.logic.heapnames import (
 from repro.logic.predicates import PredicateEnv
 from repro.logic.state import AbstractState, AnalysisStuck
 from repro.logic.symvals import NULL_VAL, NullVal, Opaque, OffsetVal, SymVal
-from repro.logic.assertions import Raw
+from repro.logic.assertions import PointsTo, Raw
 from repro.prepass.liveness import Liveness
 from repro.analysis.fold import fold_state
 from repro.analysis.invariants import normalize_state
-from repro.analysis.localheap import combine, extract_local_heap
+from repro.analysis.localheap import SplitHeap, combine, extract_local_heap
+from repro.analysis.resilience import (
+    EXECUTION_STUCK,
+    INVARIANT_FAILURE,
+    SUMMARY_FAILURE,
+    AnalysisFailure,
+    Budget,
+    BudgetExhausted,
+    Diagnostic,
+)
 from repro.analysis.semantics import apply_instruction, filter_condition
 from repro.analysis.unfold import unify_values
 
@@ -66,13 +75,6 @@ __all__ = ["ShapeEngine", "AnalysisFailure", "Summary", "RET_REGISTER"]
 
 #: Pseudo-register holding a procedure's return value in exit states.
 RET_REGISTER = Register("$ret")
-
-
-class AnalysisFailure(Exception):
-    """The analysis halted: an invariant hypothesis failed to verify,
-    the abstract execution got stuck, or a resource cap was hit.  The
-    paper's analysis halts and reports failure in the same situations
-    (no silent approximation)."""
 
 
 @dataclass
@@ -150,14 +152,28 @@ class ShapeEngine:
         state_budget: int = 20000,
         max_invariants_per_header: int = 8,
         max_back_arrivals: int = 40,
+        mode: str = "strict",
+        budget: Budget | None = None,
     ):
         program.validate()
+        if mode not in ("strict", "degrade"):
+            raise ValueError(f"unknown analysis mode {mode!r}")
         self.program = program
         self.env = env if env is not None else PredicateEnv()
         self.max_unroll = max_unroll
-        self.state_budget = state_budget
+        self.budget = budget if budget is not None else Budget(
+            state_budget=state_budget
+        )
+        self.state_budget = self.budget.state_budget
         self.max_invariants_per_header = max_invariants_per_header
         self.max_back_arrivals = max_back_arrivals
+        self.mode = mode
+        #: structured record of every contained failure (degrade mode).
+        self.diagnostics: list[Diagnostic] = []
+        #: running total of containment events (diagnostics are
+        #: deduplicated, this counter is not).
+        self.contained_events = 0
+        self._havoc_counter = 0
         self.callgraph = CallGraph(program)
         self.cfgs = {name: CFG(proc) for name, proc in program.procedures.items()}
         self.liveness = {
@@ -179,7 +195,13 @@ class ShapeEngine:
     def analyze(self) -> list[AbstractState]:
         """Run the analysis from the entry procedure; returns its exit
         states.  Raises :class:`AnalysisFailure` when the analysis
-        halts (the paper's failure report)."""
+        halts (the paper's failure report).  In degrade mode a failure
+        that containment could not absorb lower down still ends the
+        entry procedure, but is recorded as a recovered diagnostic and
+        the partial results (summaries, loop invariants of everything
+        analyzed so far) survive on the engine; only
+        :class:`BudgetExhausted` always propagates."""
+        self.budget.start()
         entry = AbstractState()
         for name in self.program.globals:
             entry.spatial.add(Raw(GlobalLoc(name)))
@@ -188,12 +210,67 @@ class ShapeEngine:
                 self.program.entry, entry, frozenset(), None, None
             )
         except AnalysisStuck as exc:
-            raise AnalysisFailure(f"abstract execution stuck: {exc}") from exc
+            failure = AnalysisFailure(
+                f"abstract execution stuck: {exc}",
+                code=EXECUTION_STUCK,
+                procedure=self.program.entry,
+            )
+            if self.mode == "degrade":
+                self._record_containment(
+                    failure, detail="entry procedure abandoned"
+                )
+                return []
+            raise failure from exc
+        except BudgetExhausted:
+            raise
+        except AnalysisFailure as exc:
+            if self.mode == "degrade":
+                self._record_containment(
+                    exc, detail="entry procedure abandoned"
+                )
+                return []
+            raise
+
+    def _record_containment(
+        self, exc: AnalysisFailure, detail: str
+    ) -> None:
+        """Record a contained failure, deduplicated per (code, location)
+        so a loop that keeps failing on every back-edge arrival yields
+        one diagnostic, not forty."""
+        self.contained_events += 1
+        diagnostic = Diagnostic.from_exception(
+            exc, recovered=True, detail=detail
+        )
+        for existing in self.diagnostics:
+            if (
+                existing.code == diagnostic.code
+                and existing.procedure == diagnostic.procedure
+                and existing.loop_header == diagnostic.loop_header
+            ):
+                existing.count += 1
+                return
+        self.diagnostics.append(diagnostic)
 
     # ------------------------------------------------------------------
     # Procedure dispatch
     # ------------------------------------------------------------------
     def run_procedure(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        sampler: _Sampler | None,
+        contracts: dict[str, list[Summary]] | None,
+    ) -> list[AbstractState]:
+        self.budget.enter_procedure(name)
+        try:
+            return self._run_procedure(
+                name, entry, cutpoints, sampler, contracts
+            )
+        finally:
+            self.budget.exit_procedure()
+
+    def _run_procedure(
         self,
         name: str,
         entry: AbstractState,
@@ -212,7 +289,9 @@ class ShapeEngine:
                 if witness is not None:
                     return [transplant_state(e, witness) for e in contract.exits]
             raise AnalysisFailure(
-                f"call into {name} does not satisfy any of its entry invariants"
+                f"call into {name} does not satisfy any of its entry invariants",
+                code=SUMMARY_FAILURE,
+                procedure=name,
             )
         if sampler is not None and name in sampler.scc:
             # An activation beyond the steering window that recurses
@@ -221,12 +300,16 @@ class ShapeEngine:
             if sampler.depth > sampler.max_visits * len(sampler.scc) + 2:
                 raise AnalysisFailure(
                     f"sample path through {name} does not terminate; "
-                    f"cannot steer execution toward a base case"
+                    f"cannot steer execution toward a base case",
+                    code=SUMMARY_FAILURE,
+                    procedure=name,
                 )
             if sum(sampler.visits.values()) > 500:
                 raise AnalysisFailure(
                     f"sample path through {name} explodes; too many "
-                    f"activations before the quota window closes"
+                    f"activations before the quota window closes",
+                    code=SUMMARY_FAILURE,
+                    procedure=name,
                 )
             sampler.record_entry(name, entry)
             sampler.depth += 1
@@ -250,7 +333,13 @@ class ShapeEngine:
                     return [transplant_state(e, into) for e in summary.exits]
         if self.callgraph.is_recursive(name):
             return self._analyze_recursive(name, entry, cutpoints, contracts)
+        contained_before = self.contained_events
         exits = self.interpret(name, entry.copy(), cutpoints, None, contracts)
+        if self.contained_events > contained_before:
+            # The body was degraded: its exits under-represent the
+            # procedure, so the summary must not be tabulated for reuse
+            # (each later call re-analyzes and re-contains).
+            return [e.copy() for e in exits]
         self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
         return [e.copy() for e in exits]
 
@@ -305,7 +394,9 @@ class ShapeEngine:
         else:
             raise AnalysisFailure(
                 f"exit states of {name}'s recursion do not stabilize; "
-                f"the synthesized exit invariants do not derive themselves"
+                f"the synthesized exit invariants do not derive themselves",
+                code=SUMMARY_FAILURE,
+                procedure=name,
             )
         for p in visited:
             self.summaries[p].extend(contracts[p])
@@ -315,7 +406,9 @@ class ShapeEngine:
             if witness is not None:
                 return [transplant_state(e, witness) for e in contract.exits]
         raise AnalysisFailure(
-            f"original entry of {name} does not satisfy its invariant"
+            f"original entry of {name} does not satisfy its invariant",
+            code=SUMMARY_FAILURE,
+            procedure=name,
         )
 
     def _build_contracts(
@@ -354,13 +447,17 @@ class ShapeEngine:
                 if len(groups) >= 4:
                     raise AnalysisFailure(
                         f"entry states of {p} fall into too many shapes; "
-                        f"recursion synthesis cannot generalize them"
+                        f"recursion synthesis cannot generalize them",
+                        code=SUMMARY_FAILURE,
+                        procedure=p,
                     )
                 witness = subsumes(group_entry, folded_entry, env=self.env)
                 if witness is None:
                     raise AnalysisFailure(
                         f"entry state of {p} is not derivable from its "
-                        f"synthesized entry invariant"
+                        f"synthesized entry invariant",
+                        code=SUMMARY_FAILURE,
+                        procedure=p,
                     )
                 group_exits = []
                 groups.append((group_entry, group_exits, act_cuts))
@@ -425,38 +522,70 @@ class ShapeEngine:
 
         if not proc.instrs:
             return [entry]
+        # Containment applies only to the plain forward analysis: while
+        # a sample path is being steered or a synthesized contract is
+        # being verified, a failure must surface to the synthesis
+        # protocol (which the call-site containment then absorbs).
+        containing = (
+            self.mode == "degrade" and sampler is None and contracts is None
+        )
         push(0, entry)
         while worklist:
             processed += 1
             self.stats.states += 1
+            self.budget.charge_state(name)
             if processed > self.state_budget:
-                raise AnalysisFailure(
-                    f"state budget exceeded while analyzing {name}"
+                raise BudgetExhausted(
+                    f"state budget exceeded while analyzing {name}",
+                    resource="states",
+                    procedure=name,
                 )
             index, state = worklist.popleft()
             instr = proc.instrs[index]
             self.stats.instructions += 1
-            if isinstance(instr, Nop):
-                follow_edge(index, index + 1, state)
-            elif isinstance(instr, Goto):
-                follow_edge(index, proc.labels[instr.target], state)
-            elif isinstance(instr, Return):
-                exits.append(
-                    self._make_exit(state, instr, cutpoints, proc.params)
+            try:
+                if isinstance(instr, Nop):
+                    follow_edge(index, index + 1, state)
+                elif isinstance(instr, Goto):
+                    follow_edge(index, proc.labels[instr.target], state)
+                elif isinstance(instr, Return):
+                    exits.append(
+                        self._make_exit(state, instr, cutpoints, proc.params)
+                    )
+                elif isinstance(instr, Branch):
+                    self._branch(
+                        name, index, instr, state, sampler, follow_edge, proc
+                    )
+                elif isinstance(instr, Call):
+                    live_after = liveness.live_after(index)
+                    for successor in self._call(
+                        name, state, instr, sampler, contracts, live_after
+                    ):
+                        follow_edge(index, index + 1, successor)
+                else:
+                    for successor in apply_instruction(state, instr, self.env):
+                        follow_edge(index, index + 1, successor)
+            except BudgetExhausted:
+                raise
+            except AnalysisFailure as exc:
+                if not containing:
+                    raise
+                if exc.procedure is None:
+                    exc.procedure = name
+                self._record_containment(
+                    exc, detail=f"state dropped at {name}:{index}"
                 )
-            elif isinstance(instr, Branch):
-                self._branch(
-                    name, index, instr, state, sampler, follow_edge, proc
+            except AnalysisStuck as exc:
+                if not containing:
+                    raise
+                self._record_containment(
+                    AnalysisFailure(
+                        f"abstract execution stuck: {exc}",
+                        code=EXECUTION_STUCK,
+                        procedure=name,
+                    ),
+                    detail=f"state dropped at {name}:{index}",
                 )
-            elif isinstance(instr, Call):
-                live_after = liveness.live_after(index)
-                for successor in self._call(
-                    name, state, instr, sampler, contracts, live_after
-                ):
-                    follow_edge(index, index + 1, successor)
-            else:
-                for successor in apply_instruction(state, instr, self.env):
-                    follow_edge(index, index + 1, successor)
         # Predicates synthesized on later paths can fold earlier exits,
         # and exits subsumed by more general siblings are dropped.
         folded = [
@@ -616,9 +745,37 @@ class ShapeEngine:
                 r: v for r, v in state.rho.items() if r in live_after
             }
         split = extract_local_heap(state, arg_values, entry_rho)
-        exits = self.run_procedure(
-            instr.func, split.entry, split.cutpoints, sampler, contracts
+        containing = (
+            self.mode == "degrade" and sampler is None and contracts is None
         )
+        contained_before = self.contained_events
+        try:
+            exits = self.run_procedure(
+                instr.func, split.entry, split.cutpoints, sampler, contracts
+            )
+        except BudgetExhausted:
+            raise
+        except AnalysisFailure as exc:
+            if not containing:
+                raise
+            self._record_containment(
+                exc,
+                detail=(
+                    f"havoc summary substituted at call site in {caller}"
+                ),
+            )
+            exits = [self._havoc_exit(split)]
+        else:
+            # A fully-contained callee can lose every exit path (all of
+            # its states were dropped); a havoc summary keeps the
+            # caller's path alive.  A *legitimately* empty exit set (no
+            # feasible path) recorded no diagnostics and stays empty.
+            if (
+                containing
+                and not exits
+                and self.contained_events > contained_before
+            ):
+                exits = [self._havoc_exit(split)]
         results = []
         for exit_state in exits:
             merged = combine(state, split.frame, exit_state, instr.dst, RET_REGISTER)
@@ -633,6 +790,27 @@ class ShapeEngine:
             if feasible:
                 results.append(merged)
         return results
+
+    def _havoc_exit(self, split: SplitHeap) -> AbstractState:
+        """A sound-but-imprecise stand-in for a failed callee: the
+        entry local heap with every explicit cell's content forgotten
+        (field targets become fresh opaque values) and an opaque return
+        value.  Touching a havocked cell later gets the caller stuck,
+        which degrade mode then contains in turn -- imprecision stays
+        confined to what the failed callee could actually reach, while
+        the frame (everything the callee was never given) is untouched."""
+        havoc = split.entry.copy()
+        for atom in list(havoc.spatial.points_to_atoms()):
+            self._havoc_counter += 1
+            havoc.spatial.remove(atom)
+            havoc.spatial.add(
+                PointsTo(
+                    atom.src, atom.field, Opaque(f"havoc{self._havoc_counter}")
+                )
+            )
+        self._havoc_counter += 1
+        havoc.rho[RET_REGISTER] = Opaque(f"havoc{self._havoc_counter}")
+        return havoc
 
     # ------------------------------------------------------------------
     # Loop protocol
@@ -665,12 +843,18 @@ class ShapeEngine:
         if arrivals > self.max_back_arrivals:
             raise AnalysisFailure(
                 f"loop at {name}@{header} did not converge; the "
-                f"synthesized invariant does not derive itself"
+                f"synthesized invariant does not derive itself",
+                code=INVARIANT_FAILURE,
+                procedure=name,
+                loop_header=header,
             )
         if len(invariants) >= self.max_invariants_per_header:
             raise AnalysisFailure(
                 f"too many invariant candidates at {name}@{header}; "
-                f"recursion synthesis failed to generalize the loop"
+                f"recursion synthesis failed to generalize the loop",
+                code=INVARIANT_FAILURE,
+                procedure=name,
+                loop_header=header,
             )
         invariant = normalize_state(
             state.copy(), self.env, live=live, hint="P", protect=cutpoints

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.logic.predicates import PredicateDef, PredicateEnv
 from repro.logic.state import AbstractState
+from repro.analysis.resilience import Diagnostic
 
 __all__ = ["AnalysisResult"]
 
@@ -30,6 +31,14 @@ class AnalysisResult:
     kept_instructions: int = 0
     pruned_instructions: int = 0
     failure: str | None = None
+    #: ``"strict"`` or ``"degrade"`` -- the mode the run used.
+    mode: str = "strict"
+    #: Structured record of every failure, contained or fatal.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: How many engine attempts ran (1 unless retry escalation fired).
+    attempts: int = 1
+    #: Budget accounting (states, peak depth, elapsed, caps).
+    budget_stats: dict = field(default_factory=dict)
     stats: dict[str, int] = field(default_factory=dict)
     #: verified loop invariants: (procedure, header index) -> states
     loop_invariants: dict[tuple[str, int], list[AbstractState]] = field(
@@ -43,6 +52,41 @@ class AnalysisResult:
     @property
     def succeeded(self) -> bool:
         return self.failure is None
+
+    @property
+    def degraded(self) -> bool:
+        """The run completed, but only by containing failures or by
+        escalating past the configured unroll bound."""
+        return self.succeeded and any(d.recovered for d in self.diagnostics)
+
+    @property
+    def outcome(self) -> str:
+        """``"pass"``, ``"degraded"`` or ``"failed"`` -- the coarse
+        classification batch drivers aggregate on."""
+        if not self.succeeded:
+            return "failed"
+        return "degraded" if self.degraded else "pass"
+
+    def to_record(self) -> dict:
+        """JSON-serializable summary for batch reports and bench logs."""
+        return {
+            "benchmark": self.benchmark,
+            "outcome": self.outcome,
+            "mode": self.mode,
+            "failure": self.failure,
+            "attempts": self.attempts,
+            "instruction_count": self.instruction_count,
+            "pointer_seconds": round(self.pointer_seconds, 6),
+            "slicing_seconds": round(self.slicing_seconds, 6),
+            "shape_seconds": round(self.shape_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "recursive_predicates": len(self.recursive_predicates()),
+            "loop_invariants": len(self.loop_invariants),
+            "summaries": sum(len(v) for v in self.summaries.values()),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "budget": dict(self.budget_stats),
+            "stats": dict(self.stats),
+        }
 
     @property
     def total_seconds(self) -> float:
@@ -86,7 +130,14 @@ class AnalysisResult:
         if self.failure is not None:
             lines.append(f"FAILED: {self.failure}")
         else:
+            if self.degraded:
+                lines.append(
+                    f"DEGRADED: {sum(d.recovered for d in self.diagnostics)} "
+                    f"contained failure(s)"
+                )
             lines.append("inferred data types:")
             for definition in self.recursive_predicates():
                 lines.append(f"  {definition}")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  diagnostic: {diagnostic}")
         return "\n".join(lines)

@@ -1,0 +1,426 @@
+"""Crash-isolating batch runner for the benchmark suite.
+
+Runs each benchmark as its *own subprocess* with a per-run wall-clock
+timeout, so that one pathological input -- an analysis that hangs, a
+``RecursionError`` deep in fold/unfold, even an interpreter crash --
+cannot take down the whole batch.  Each child prints a single JSON
+record; the parent aggregates them into a :class:`BatchReport` with
+pass/degraded/failed/crashed/timeout counts, the shape a CI job or a
+perf-trajectory tracker consumes.
+
+Usage::
+
+    python -m repro.benchsuite.runner                 # all benchmarks
+    python -m repro.benchsuite.runner treeadd power   # a subset
+    python -m repro.benchsuite.runner --json out.json --mode strict
+    python -m repro --batch                           # same, via the CLI
+
+In-process mode (``--no-isolate``) skips the subprocess boundary: runs
+are faster and still exception-contained (``ShapeAnalysis.run`` never
+raises), but a hard hang or interpreter crash would stop the batch;
+use it only where subprocesses are unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite import TABLE4_PROGRAMS, listprogs
+from repro.ir import Program
+from repro.reporting import render_batch_report
+
+__all__ = [
+    "OUTCOMES",
+    "BatchReport",
+    "RunRecord",
+    "benchmark_factories",
+    "run_batch",
+    "run_one",
+    "main",
+]
+
+#: The coarse outcome classes a batch aggregates on.  ``pass``,
+#: ``degraded`` and ``failed`` come from the analysis itself
+#: (:attr:`AnalysisResult.outcome`); ``crashed`` and ``timeout`` are
+#: assigned by the parent when the child process died or overran.
+OUTCOMES = ("pass", "degraded", "failed", "crashed", "timeout")
+
+
+def benchmark_factories() -> dict[str, "callable[[], Program]"]:
+    """Name -> fresh-program factory for every batch-runnable workload:
+    the Table 4 suite plus the list staples."""
+    factories: dict[str, "callable[[], Program]"] = {
+        name: (lambda n=name: TABLE4_PROGRAMS()[n]) for name in TABLE4_PROGRAMS()
+    }
+    factories.update(
+        {
+            "list-build": listprogs.build_program,
+            "list-traverse": listprogs.traverse_program,
+            "list-reverse": listprogs.reverse_program,
+            "list-delete": listprogs.delete_program,
+            "list-doubly": listprogs.doubly_program,
+        }
+    )
+    return factories
+
+
+@dataclass
+class RunRecord:
+    """One benchmark's outcome, JSON-round-trippable."""
+
+    name: str
+    outcome: str
+    seconds: float = 0.0
+    mode: str = "degrade"
+    error: str | None = None
+    diagnostics: list[dict] = field(default_factory=list)
+    #: the full :meth:`AnalysisResult.to_record` payload when the
+    #: analysis produced a result at all.
+    result: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "outcome": self.outcome,
+            "seconds": round(self.seconds, 6),
+            "mode": self.mode,
+            "error": self.error,
+            "diagnostics": self.diagnostics,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RunRecord:
+        return cls(
+            name=data["name"],
+            outcome=data["outcome"],
+            seconds=data.get("seconds", 0.0),
+            mode=data.get("mode", "degrade"),
+            error=data.get("error"),
+            diagnostics=data.get("diagnostics", []),
+            result=data.get("result"),
+        )
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcomes of one batch run."""
+
+    records: list[RunRecord]
+    mode: str = "degrade"
+    isolated: bool = True
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        """True when every benchmark completed (possibly degraded)."""
+        counts = self.counts
+        return counts["failed"] == counts["crashed"] == counts["timeout"] == 0
+
+    def budget_totals(self) -> dict:
+        """Summed budget accounting across all runs that produced one
+        -- the robustness numbers the perf trajectory tracks."""
+        states = depth = 0
+        contained = 0
+        for record in self.records:
+            if record.result:
+                budget = record.result.get("budget", {})
+                states += budget.get("states", 0)
+                depth = max(depth, budget.get("peak_depth", 0))
+            contained += sum(
+                d.get("count", 1)
+                for d in record.diagnostics
+                if d.get("recovered")
+            )
+        return {
+            "states": states,
+            "peak_depth": depth,
+            "contained_failures": contained,
+            "total_seconds": round(
+                sum(r.seconds for r in self.records), 6
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "isolated": self.isolated,
+            "counts": self.counts,
+            "budget": self.budget_totals(),
+            "runs": [record.to_dict() for record in self.records],
+        }
+
+    def render(self) -> str:
+        return render_batch_report(self.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Single benchmark (the child side of the isolation boundary)
+# ----------------------------------------------------------------------
+
+
+def run_one(
+    name: str,
+    mode: str = "degrade",
+    deadline: float | None = None,
+    unroll: int = 2,
+    state_budget: int = 20000,
+) -> RunRecord:
+    """Run one benchmark in-process.  ``ShapeAnalysis.run`` already
+    contains analysis failures and internal errors; the extra guard
+    here catches factory bugs and truly unexpected escapes so a batch
+    record is always produced."""
+    start = time.perf_counter()
+    try:
+        factories = benchmark_factories()
+        if name not in factories:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: {sorted(factories)}"
+            )
+        result = ShapeAnalysis(
+            factories[name](),
+            name=name,
+            mode=mode,
+            deadline_seconds=deadline,
+            max_unroll=unroll,
+            state_budget=state_budget,
+        ).run()
+    except Exception as exc:
+        return RunRecord(
+            name=name,
+            outcome="crashed",
+            seconds=time.perf_counter() - start,
+            mode=mode,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    record = result.to_record()
+    return RunRecord(
+        name=name,
+        outcome=result.outcome,
+        seconds=time.perf_counter() - start,
+        mode=mode,
+        error=result.failure,
+        diagnostics=record["diagnostics"],
+        result=record,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch (the parent side)
+# ----------------------------------------------------------------------
+
+
+def _child_env() -> dict[str, str]:
+    """Child processes must resolve the same ``repro`` package as the
+    parent, wherever it was imported from."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def _run_isolated(
+    name: str,
+    mode: str,
+    timeout: float,
+    deadline: float | None,
+    unroll: int,
+    state_budget: int,
+) -> RunRecord:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.benchsuite.runner",
+        "--child",
+        name,
+        "--mode",
+        mode,
+        "--unroll",
+        str(unroll),
+        "--state-budget",
+        str(state_budget),
+    ]
+    if deadline is not None:
+        command += ["--deadline", str(deadline)]
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            env=_child_env(),
+        )
+    except subprocess.TimeoutExpired:
+        return RunRecord(
+            name=name,
+            outcome="timeout",
+            seconds=time.perf_counter() - start,
+            mode=mode,
+            error=f"run exceeded the {timeout}s isolation timeout",
+        )
+    seconds = time.perf_counter() - start
+    # The child prints exactly one JSON record on success; anything
+    # else (nonzero exit, garbage stdout) is a crash of the child.
+    try:
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        record = RunRecord.from_dict(payload)
+    except (json.JSONDecodeError, IndexError, KeyError):
+        tail = (proc.stderr or proc.stdout or "").strip().splitlines()[-3:]
+        return RunRecord(
+            name=name,
+            outcome="crashed",
+            seconds=seconds,
+            mode=mode,
+            error=(
+                f"child exited with code {proc.returncode}: "
+                + (" | ".join(tail) or "no output")
+            ),
+        )
+    record.seconds = seconds
+    return record
+
+
+def run_batch(
+    names: "list[str] | None" = None,
+    mode: str = "degrade",
+    timeout: float = 120.0,
+    deadline: float | None = None,
+    unroll: int = 2,
+    state_budget: int = 20000,
+    isolate: bool = True,
+) -> BatchReport:
+    """Run *names* (default: every known benchmark), one isolated
+    subprocess each, and aggregate the outcomes."""
+    if names is None or not names:
+        names = sorted(benchmark_factories())
+    records = []
+    for name in names:
+        if isolate:
+            record = _run_isolated(
+                name, mode, timeout, deadline, unroll, state_budget
+            )
+        else:
+            record = run_one(name, mode, deadline, unroll, state_budget)
+        records.append(record)
+    return BatchReport(records, mode=mode, isolated=isolate)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.benchsuite.runner",
+        description="crash-isolating batch runner for the benchmark suite",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmarks to run (default: all known)",
+    )
+    parser.add_argument("--child", metavar="NAME", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--mode",
+        choices=("strict", "degrade"),
+        default="degrade",
+        help="analysis failure semantics (default degrade)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-benchmark isolation timeout in seconds (default 120)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-benchmark analysis deadline in seconds (cooperative)",
+    )
+    parser.add_argument(
+        "--unroll", type=int, default=2, metavar="N",
+        help="symbolic iterations before synthesis (default 2)",
+    )
+    parser.add_argument(
+        "--state-budget", type=int, default=20000, metavar="N",
+        help="worklist state budget per procedure (default 20000)",
+    )
+    parser.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="run in-process instead of one subprocess per benchmark",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the structured batch report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known benchmarks and exit"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(benchmark_factories()):
+            print(name)
+        return 0
+    if args.child:
+        record = run_one(
+            args.child,
+            mode=args.mode,
+            deadline=args.deadline,
+            unroll=args.unroll,
+            state_budget=args.state_budget,
+        )
+        print(json.dumps(record.to_dict()))
+        return 0
+    report = run_batch(
+        args.names,
+        mode=args.mode,
+        timeout=args.timeout,
+        deadline=args.deadline,
+        unroll=args.unroll,
+        state_budget=args.state_budget,
+        isolate=not args.no_isolate,
+    )
+    print(report.render())
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

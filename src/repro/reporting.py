@@ -1,14 +1,22 @@
 """ASCII tables and figure-style rendering for the experiment harness.
 
 The benchmark scripts print Table 4 / Figure 4 / Table 3 analogues with
-these helpers so paper-vs-measured comparisons read uniformly.
+these helpers so paper-vs-measured comparisons read uniformly.  The
+batch runner's structured report (pass/degraded/failed/crashed/timeout
+counts plus per-run diagnostics) renders through
+:func:`render_batch_report`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
-__all__ = ["render_table", "render_header", "indent_block"]
+__all__ = [
+    "render_table",
+    "render_header",
+    "render_batch_report",
+    "indent_block",
+]
 
 
 def render_table(
@@ -42,6 +50,46 @@ def render_table(
     for row in cells:
         parts.append(format_row(row))
     parts.append(line())
+    return "\n".join(parts)
+
+
+def render_batch_report(report: Mapping) -> str:
+    """Render a batch runner report dict (see
+    :meth:`repro.benchsuite.runner.BatchReport.to_dict`): one row per
+    run, then the outcome counts and aggregate budget accounting."""
+    rows = []
+    for run in report.get("runs", ()):
+        diagnostics = run.get("diagnostics") or []
+        note = run.get("error") or ""
+        if diagnostics:
+            codes = sorted({d.get("code", "?") for d in diagnostics})
+            note = ",".join(codes)
+        rows.append(
+            [
+                run.get("name", "?"),
+                run.get("outcome", "?"),
+                f"{run.get('seconds', 0.0):.3f}",
+                len(diagnostics),
+                note[:60],
+            ]
+        )
+    counts = report.get("counts", {})
+    counts_line = "  ".join(f"{k}={v}" for k, v in counts.items())
+    budget = report.get("budget", {})
+    budget_line = "  ".join(f"{k}={v}" for k, v in budget.items())
+    parts = [
+        render_table(
+            ["Benchmark", "Outcome", "Time (s)", "#Diag", "Notes"],
+            rows,
+            title=(
+                f"Batch report (mode={report.get('mode', '?')}, "
+                f"isolated={report.get('isolated', '?')})"
+            ),
+        ),
+        f"outcomes: {counts_line}",
+    ]
+    if budget:
+        parts.append(f"budget:   {budget_line}")
     return "\n".join(parts)
 
 

@@ -1,0 +1,144 @@
+"""Tests for the crash-isolating batch runner and its report."""
+
+import json
+
+from repro.benchsuite.runner import (
+    BatchReport,
+    RunRecord,
+    benchmark_factories,
+    main as runner_main,
+    run_batch,
+    run_one,
+)
+from repro.reporting import render_batch_report
+from repro.__main__ import main as cli_main
+
+
+class TestRunOne:
+    def test_pass_record(self):
+        record = run_one("treeadd")
+        assert record.outcome == "pass"
+        assert record.result["benchmark"] == "treeadd"
+        assert record.result["recursive_predicates"] >= 1
+        assert record.seconds > 0
+
+    def test_unknown_benchmark_is_crash_record_not_exception(self):
+        record = run_one("no-such-benchmark")
+        assert record.outcome == "crashed"
+        assert "no-such-benchmark" in record.error
+
+    def test_record_round_trips_through_json(self):
+        record = run_one("list-build")
+        clone = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert clone.outcome == record.outcome
+        assert clone.result == record.result
+
+
+class TestBatchInProcess:
+    def test_counts_and_ok(self):
+        report = run_batch(["treeadd", "list-build"], isolate=False)
+        assert report.counts["pass"] == 2
+        assert report.ok
+        assert report.budget_totals()["states"] > 0
+
+    def test_deadline_produces_failed_count(self):
+        report = run_batch(
+            ["181.mcf"], deadline=0.001, isolate=False, mode="strict"
+        )
+        assert report.counts["failed"] == 1
+        assert not report.ok
+        (record,) = report.records
+        assert record.diagnostics[0]["code"] == "budget-exhausted"
+
+    def test_render_mentions_every_run(self):
+        report = run_batch(["treeadd", "power"], isolate=False)
+        text = report.render()
+        assert "treeadd" in text and "power" in text
+        assert "outcomes:" in text
+
+    def test_crash_is_contained_to_one_record(self, monkeypatch):
+        import repro.benchsuite.runner as runner_module
+
+        factories = benchmark_factories()
+
+        def exploding():
+            raise RecursionError("synthetic crash")
+
+        factories["exploding"] = exploding
+        monkeypatch.setattr(
+            runner_module, "benchmark_factories", lambda: factories
+        )
+        report = run_batch(["exploding", "treeadd"], isolate=False)
+        assert report.counts["crashed"] == 1
+        assert report.counts["pass"] == 1
+        assert not report.ok
+
+
+class TestBatchIsolated:
+    def test_subprocess_isolation_runs_and_reports(self):
+        report = run_batch(["list-build"], isolate=True, timeout=120.0)
+        assert report.counts["pass"] == 1
+        (record,) = report.records
+        assert record.result["outcome"] == "pass"
+
+    def test_isolation_timeout_is_a_timeout_record(self):
+        # 181.mcf cannot finish in a fraction of the interpreter
+        # startup time: the child is killed and classified, the batch
+        # itself survives.
+        report = run_batch(["181.mcf"], isolate=True, timeout=0.05)
+        (record,) = report.records
+        assert record.outcome == "timeout"
+        assert not report.ok
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "treeadd" in out and "181.mcf" in out
+
+    def test_child_prints_json(self, capsys):
+        assert runner_main(["--child", "list-build"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["name"] == "list-build"
+        assert record["outcome"] == "pass"
+
+    def test_batch_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = runner_main(
+            ["treeadd", "--no-isolate", "--json", str(out_path)]
+        )
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["counts"]["pass"] == 1
+        assert report["runs"][0]["name"] == "treeadd"
+
+    def test_repro_batch_flag(self, capsys):
+        code = cli_main(["--batch", "--no-isolate", "--mode", "degrade"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outcomes:" in out
+
+
+class TestRenderBatchReport:
+    def test_renders_notes_from_diagnostics(self):
+        report = BatchReport(
+            records=[
+                RunRecord(name="a", outcome="pass", seconds=0.1),
+                RunRecord(
+                    name="b",
+                    outcome="degraded",
+                    seconds=0.2,
+                    diagnostics=[
+                        {"code": "invariant-failure", "recovered": True}
+                    ],
+                ),
+                RunRecord(
+                    name="c", outcome="crashed", seconds=0.0, error="boom"
+                ),
+            ]
+        )
+        text = render_batch_report(report.to_dict())
+        assert "invariant-failure" in text
+        assert "boom" in text
+        assert "pass=1" in text and "degraded=1" in text and "crashed=1" in text
