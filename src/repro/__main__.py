@@ -15,7 +15,10 @@ Exit codes (stable, for batch drivers):
 * ``2``   usage errors: missing file, bad flags;
 * ``3``   the input failed to parse, type-check, or lower to IR;
 * ``--batch`` exits ``0`` only when no benchmark failed, crashed or
-  timed out.
+  timed out;
+* ``--crucible`` exits ``0`` only when the fuzzing campaign found no
+  differential-oracle violations (analysis failures on mutants are
+  expected and fine; *unsound* or *unclassified* ones are not).
 """
 
 from __future__ import annotations
@@ -127,6 +130,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --batch: run in-process instead of per-run subprocesses",
     )
+    crucible = parser.add_argument_group(
+        "crucible (adversarial validation)",
+        "seeded fuzzing with a differential analysis-vs-interpreter oracle",
+    )
+    crucible.add_argument(
+        "--crucible",
+        action="store_true",
+        help="run a fuzzing campaign instead of analyzing a file",
+    )
+    crucible.add_argument(
+        "--seeds",
+        type=int,
+        default=20,
+        metavar="N",
+        help="number of seeds in the campaign (default 20)",
+    )
+    crucible.add_argument(
+        "--base-seed",
+        type=int,
+        default=1,
+        metavar="S",
+        help="first seed of the campaign (default 1)",
+    )
+    crucible.add_argument(
+        "--mutate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="mutations per generated program (default 0: pure skeletons)",
+    )
+    crucible.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="where minimized reproducers go (default crucible/corpus)",
+    )
+    crucible.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="with --crucible: run the campaign twice and require "
+        "byte-identical reports",
+    )
+    crucible.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run the differential oracle on a corpus reproducer",
+    )
     return parser
 
 
@@ -159,10 +209,62 @@ def _run_batch(args) -> int:
     return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
 
 
+def _run_crucible(args) -> int:
+    from repro.crucible import (
+        replay_corpus_file,
+        run_campaign,
+        verify_determinism,
+    )
+    from repro.crucible.harness import DEFAULT_CORPUS_DIR
+
+    if args.replay:
+        path = Path(args.replay)
+        if not path.exists():
+            print(f"repro: no such reproducer: {path}", file=sys.stderr)
+            return EXIT_USAGE
+        report = replay_corpus_file(path)
+        print(json.dumps(report.to_dict(), indent=2))
+        return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
+
+    if args.check_determinism:
+        same, first, second = verify_determinism(
+            seeds=args.seeds, base_seed=args.base_seed, mutations=args.mutate
+        )
+        if same:
+            print(
+                f"deterministic: {args.seeds} seed(s) produced "
+                "byte-identical reports across two runs"
+            )
+            return EXIT_OK
+        print("NON-DETERMINISTIC: reports differ between runs", file=sys.stderr)
+        for a, b in zip(first.splitlines(), second.splitlines()):
+            if a != b:
+                print(f"  first:  {a}\n  second: {b}", file=sys.stderr)
+                break
+        return EXIT_ANALYSIS_FAILED
+
+    report = run_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        mutations=args.mutate,
+        corpus_dir=args.corpus_dir or DEFAULT_CORPUS_DIR,
+    )
+    print(report.render())
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+    return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.crucible or args.replay:
+        return _run_crucible(args)
     if args.batch:
         return _run_batch(args)
     if args.file is None:

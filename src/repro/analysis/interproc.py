@@ -35,8 +35,10 @@ from repro.ir.instructions import (
     Call,
     Goto,
     Instruction,
+    Load,
     Nop,
     Return,
+    Store,
 )
 from repro.ir.program import Program
 from repro.ir.values import Register
@@ -71,10 +73,29 @@ from repro.analysis.resilience import (
 from repro.analysis.semantics import apply_instruction, filter_condition
 from repro.analysis.unfold import unify_values
 
-__all__ = ["ShapeEngine", "AnalysisFailure", "Summary", "RET_REGISTER"]
+__all__ = [
+    "ShapeEngine",
+    "AnalysisFailure",
+    "Summary",
+    "RET_REGISTER",
+    "PHASE_BOUNDARIES",
+]
 
 #: Pseudo-register holding a procedure's return value in exit states.
 RET_REGISTER = Register("$ret")
+
+#: The engine's internal phase boundaries, in pipeline order.  The
+#: engine calls :meth:`ShapeEngine.phase_boundary` at each of them; the
+#: default hook is a no-op, and the crucible's fault-injection layer
+#: overrides it to chaos-test containment (see
+#: :mod:`repro.crucible.faults`).
+PHASE_BOUNDARIES = (
+    "rearrange",
+    "fold",
+    "entailment",
+    "synthesis",
+    "tabulation",
+)
 
 
 @dataclass
@@ -190,6 +211,22 @@ class ShapeEngine:
         self._reach_rec: dict[str, set[int]] = {}
 
     # ------------------------------------------------------------------
+    # Phase boundaries
+    # ------------------------------------------------------------------
+    def phase_boundary(self, phase: str, procedure: str | None = None) -> None:
+        """Called at every internal phase boundary (one of
+        :data:`PHASE_BOUNDARIES`) with the procedure under analysis.
+
+        A no-op in production.  Subclasses may raise here --
+        :class:`AnalysisFailure` to simulate a phase failing,
+        :class:`BudgetExhausted` to simulate resource exhaustion -- and
+        whatever they raise takes exactly the containment path a real
+        failure of that phase would take.  This is the seam the
+        crucible's :class:`~repro.crucible.faults.FaultPlan` injects
+        through.
+        """
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def analyze(self) -> list[AbstractState]:
@@ -282,8 +319,10 @@ class ShapeEngine:
         # Canonicalize the entry: fold what the environment already
         # explains (cutpoints protected) so that entry matching against
         # summaries and contracts compares folded forms.
+        self.phase_boundary("fold", name)
         fold_state(entry, self.env, protect=cutpoints, keep_registers=True)
         if contracts is not None and name in contracts:
+            self.phase_boundary("entailment", name)
             for contract in contracts[name]:
                 witness = subsumes(contract.entry, entry, env=self.env)
                 if witness is not None:
@@ -321,6 +360,8 @@ class ShapeEngine:
                 sampler.depth -= 1
             sampler.record_activation(name, entry, exits, cutpoints)
             return exits
+        if self.summaries[name]:
+            self.phase_boundary("entailment", name)
         for summary in self.summaries[name]:
             into = subsumes(summary.entry, entry, env=self.env)
             back = subsumes(entry, summary.entry, env=self.env)
@@ -340,6 +381,7 @@ class ShapeEngine:
             # procedure, so the summary must not be tabulated for reuse
             # (each later call re-analyzes and re-contains).
             return [e.copy() for e in exits]
+        self.phase_boundary("tabulation", name)
         self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
         return [e.copy() for e in exits]
 
@@ -383,6 +425,7 @@ class ShapeEngine:
                         None, contracts,
                     )
                     for exit_state in verify_exits:
+                        self.budget.check_deadline("tabulation")
                         if not any(
                             subsumes(candidate, exit_state, env=self.env) is not None
                             for candidate in contract.exits
@@ -398,6 +441,7 @@ class ShapeEngine:
                 code=SUMMARY_FAILURE,
                 procedure=name,
             )
+        self.phase_boundary("tabulation", name)
         for p in visited:
             self.summaries[p].extend(contracts[p])
             self.stats.invariants += len(contracts[p])
@@ -440,6 +484,7 @@ class ShapeEngine:
                     group_exits = exits_acc
                     break
             if witness is None:
+                self.phase_boundary("synthesis", p)
                 group_entry = normalize_state(
                     seen_entry.copy(), self.env, live=params, hint="R",
                     protect=act_cuts,
@@ -563,6 +608,8 @@ class ShapeEngine:
                     ):
                         follow_edge(index, index + 1, successor)
                 else:
+                    if isinstance(instr, (Load, Store)):
+                        self.phase_boundary("rearrange", name)
                     for successor in apply_instruction(state, instr, self.env):
                         follow_edge(index, index + 1, successor)
             except BudgetExhausted:
@@ -588,6 +635,8 @@ class ShapeEngine:
                 )
         # Predicates synthesized on later paths can fold earlier exits,
         # and exits subsumed by more general siblings are dropped.
+        if exits:
+            self.phase_boundary("fold", name)
         folded = [
             fold_state(e, self.env, protect=cutpoints, keep_registers=True)
             for e in exits
@@ -598,6 +647,10 @@ class ShapeEngine:
             self._drop_covered_nullness(state)
         kept: list[AbstractState] = []
         for state in folded:
+            # The pairwise dedup is quadratic in the number of exit
+            # disjuncts; on pathological states it can dwarf the
+            # worklist phase, so the deadline is polled here too.
+            self.budget.check_deadline("fold")
             if any(
                 subsumes(other, state, env=self.env) is not None
                 for other in kept
@@ -831,9 +884,12 @@ class ShapeEngine:
         arrivals = back_arrivals.get(header, 0) + 1
         back_arrivals[header] = arrivals
         invariants = header_invariants.setdefault(header, [])
+        self.phase_boundary("fold", name)
         folded = fold_state(
             state.copy(), self.env, protect=cutpoints, keep_registers=True
         )
+        if invariants:
+            self.phase_boundary("entailment", name)
         for invariant in invariants:
             if subsumes(invariant, folded, live=live, env=self.env) is not None:
                 return  # converged: derivable from the invariant (WEAKEN)
@@ -856,6 +912,7 @@ class ShapeEngine:
                 procedure=name,
                 loop_header=header,
             )
+        self.phase_boundary("synthesis", name)
         invariant = normalize_state(
             state.copy(), self.env, live=live, hint="P", protect=cutpoints
         )

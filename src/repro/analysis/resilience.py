@@ -45,6 +45,9 @@ __all__ = [
     "BudgetExhausted",
     "Diagnostic",
     "BUDGET_EXHAUSTED",
+    "CONCRETE_DIVERGENCE",
+    "DIAGNOSTIC_CODES",
+    "DIAGNOSTIC_PHASES",
     "EXECUTION_STUCK",
     "FRONTEND_ERROR",
     "INTERNAL_ERROR",
@@ -72,6 +75,39 @@ BUDGET_EXHAUSTED = "budget-exhausted"
 INTERNAL_ERROR = "internal-error"
 #: The input program failed to parse, type-check, or lower.
 FRONTEND_ERROR = "frontend-error"
+#: The *concrete* reference interpreter exhausted its fuel or
+#: call-depth allowance: the program diverged (or ran long enough that
+#: we treat it as divergent).  Distinct from ``internal-error`` so a
+#: differential oracle can tell "the program loops forever" apart from
+#: "the interpreter itself is broken".
+CONCRETE_DIVERGENCE = "concrete-divergence"
+
+#: Every documented diagnostic code.  Batch drivers, the differential
+#: oracle, and CI treat any code outside this tuple as a taxonomy bug.
+DIAGNOSTIC_CODES = (
+    INVARIANT_FAILURE,
+    SUMMARY_FAILURE,
+    EXECUTION_STUCK,
+    BUDGET_EXHAUSTED,
+    INTERNAL_ERROR,
+    FRONTEND_ERROR,
+    CONCRETE_DIVERGENCE,
+)
+
+#: Every documented pipeline phase a diagnostic may name: the coarse
+#: phases (frontend, shape, concrete) plus the engine's internal phase
+#: boundaries (see :meth:`ShapeEngine.phase_boundary`), which fault
+#: injection and fine-grained diagnostics use.
+DIAGNOSTIC_PHASES = (
+    "frontend",
+    "shape",
+    "concrete",
+    "rearrange",
+    "fold",
+    "entailment",
+    "synthesis",
+    "tabulation",
+)
 
 SEVERITY_WARNING = "warning"
 SEVERITY_ERROR = "error"

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal as signal_module
 import subprocess
 import sys
 import time
@@ -38,10 +39,13 @@ from repro.ir import Program
 from repro.reporting import render_batch_report
 
 __all__ = [
+    "CHILD_CHAOS_ENV",
+    "CRUCIBLE_PREFIX",
     "OUTCOMES",
     "BatchReport",
     "RunRecord",
     "benchmark_factories",
+    "crucible_names",
     "run_batch",
     "run_one",
     "main",
@@ -50,8 +54,36 @@ __all__ = [
 #: The coarse outcome classes a batch aggregates on.  ``pass``,
 #: ``degraded`` and ``failed`` come from the analysis itself
 #: (:attr:`AnalysisResult.outcome`); ``crashed`` and ``timeout`` are
-#: assigned by the parent when the child process died or overran.
+#: assigned by the parent when the child process died or overran.  A
+#: crash caused by the child being *killed by a signal* (segfault, OOM
+#: kill, external SIGKILL) additionally records the signal name -- a
+#: batch full of SIGKILLs is an infrastructure problem, not an analyzer
+#: bug, and the report separates the two.
 OUTCOMES = ("pass", "degraded", "failed", "crashed", "timeout")
+
+#: Prefix for generated fuzz workloads: ``crucible:<seed>`` resolves to
+#: the crucible generator's deterministic program for that seed, so fuzz
+#: programs run under the same crash isolation as the curated suite.
+CRUCIBLE_PREFIX = "crucible:"
+
+#: Chaos hook for the isolation boundary itself: when this environment
+#: variable is set to ``kill:<signum>`` or ``sleep:<seconds>``, a child
+#: process performs that action before analyzing.  It rides through
+#: :func:`_child_env`'s environment inheritance, which is exactly what
+#: lets the tests simulate signal deaths and hangs inside *real*
+#: children instead of mocking the subprocess layer.
+CHILD_CHAOS_ENV = "REPRO_CHILD_CHAOS"
+
+
+def _apply_child_chaos() -> None:
+    spec = os.environ.get(CHILD_CHAOS_ENV)
+    if not spec:
+        return
+    action, _, value = spec.partition(":")
+    if action == "kill":
+        os.kill(os.getpid(), int(value))
+    elif action == "sleep":
+        time.sleep(float(value))
 
 
 def benchmark_factories() -> dict[str, "callable[[], Program]"]:
@@ -81,6 +113,9 @@ class RunRecord:
     seconds: float = 0.0
     mode: str = "degrade"
     error: str | None = None
+    #: signal name (``"SIGKILL"``...) when the child was killed by a
+    #: signal; None for every other outcome, including ordinary crashes.
+    signal: str | None = None
     diagnostics: list[dict] = field(default_factory=list)
     #: the full :meth:`AnalysisResult.to_record` payload when the
     #: analysis produced a result at all.
@@ -93,6 +128,7 @@ class RunRecord:
             "seconds": round(self.seconds, 6),
             "mode": self.mode,
             "error": self.error,
+            "signal": self.signal,
             "diagnostics": self.diagnostics,
             "result": self.result,
         }
@@ -105,6 +141,7 @@ class RunRecord:
             seconds=data.get("seconds", 0.0),
             mode=data.get("mode", "degrade"),
             error=data.get("error"),
+            signal=data.get("signal"),
             diagnostics=data.get("diagnostics", []),
             result=data.get("result"),
         )
@@ -130,6 +167,15 @@ class BatchReport:
         """True when every benchmark completed (possibly degraded)."""
         counts = self.counts
         return counts["failed"] == counts["crashed"] == counts["timeout"] == 0
+
+    @property
+    def signals(self) -> dict[str, int]:
+        """Signal name -> how many children that signal killed."""
+        signals: dict[str, int] = {}
+        for record in self.records:
+            if record.signal:
+                signals[record.signal] = signals.get(record.signal, 0) + 1
+        return signals
 
     def budget_totals(self) -> dict:
         """Summed budget accounting across all runs that produced one
@@ -160,6 +206,7 @@ class BatchReport:
             "mode": self.mode,
             "isolated": self.isolated,
             "counts": self.counts,
+            "signals": self.signals,
             "budget": self.budget_totals(),
             "runs": [record.to_dict() for record in self.records],
         }
@@ -186,13 +233,9 @@ def run_one(
     record is always produced."""
     start = time.perf_counter()
     try:
-        factories = benchmark_factories()
-        if name not in factories:
-            raise KeyError(
-                f"unknown benchmark {name!r}; known: {sorted(factories)}"
-            )
+        program = _resolve_benchmark(name)
         result = ShapeAnalysis(
-            factories[name](),
+            program,
             name=name,
             mode=mode,
             deadline_seconds=deadline,
@@ -217,6 +260,37 @@ def run_one(
         diagnostics=record["diagnostics"],
         result=record,
     )
+
+
+def _resolve_benchmark(name: str) -> Program:
+    """Curated benchmarks come from the factory table;
+    ``crucible:<seed>[+<mutations>]`` names regenerate the fuzz
+    program deterministically from its seed -- which also works across
+    the subprocess boundary, since the child re-derives the same
+    program from the name alone."""
+    if name.startswith(CRUCIBLE_PREFIX):
+        from repro.crucible.generator import generate_program
+
+        spec = name[len(CRUCIBLE_PREFIX):]
+        seed_text, _, mutation_text = spec.partition("+")
+        return generate_program(
+            int(seed_text), mutations=int(mutation_text or 0)
+        ).program
+    factories = benchmark_factories()
+    if name not in factories:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def crucible_names(seeds: int, base_seed: int = 1, mutations: int = 0) -> list[str]:
+    """The batch names for a crucible seed range."""
+    suffix = f"+{mutations}" if mutations else ""
+    return [
+        f"{CRUCIBLE_PREFIX}{seed}{suffix}"
+        for seed in range(base_seed, base_seed + seeds)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +354,23 @@ def _run_isolated(
             error=f"run exceeded the {timeout}s isolation timeout",
         )
     seconds = time.perf_counter() - start
+    # A negative return code means the child was killed by a signal --
+    # a different failure class from both a Python-level crash (the
+    # child exits normally with a traceback) and a timeout (the parent
+    # killed it): segfaults and OOM kills point at the platform, not
+    # the analyzer, so the signal is classified and reported separately.
+    if proc.returncode is not None and proc.returncode < 0:
+        return RunRecord(
+            name=name,
+            outcome="crashed",
+            seconds=seconds,
+            mode=mode,
+            signal=_signal_name(-proc.returncode),
+            error=(
+                f"child killed by {_signal_name(-proc.returncode)} "
+                f"(exit code {proc.returncode})"
+            ),
+        )
     # The child prints exactly one JSON record on success; anything
     # else (nonzero exit, garbage stdout) is a crash of the child.
     try:
@@ -299,6 +390,13 @@ def _run_isolated(
         )
     record.seconds = seconds
     return record
+
+
+def _signal_name(signum: int) -> str:
+    try:
+        return signal_module.Signals(signum).name
+    except ValueError:
+        return f"signal {signum}"
 
 
 def run_batch(
@@ -376,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run in-process instead of one subprocess per benchmark",
     )
     parser.add_argument(
+        "--crucible-seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run crucible fuzz programs for seeds 1..N",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="write the structured batch report to PATH ('-' for stdout)",
@@ -393,6 +498,7 @@ def main(argv: "list[str] | None" = None) -> int:
             print(name)
         return 0
     if args.child:
+        _apply_child_chaos()
         record = run_one(
             args.child,
             mode=args.mode,
@@ -402,8 +508,13 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         print(json.dumps(record.to_dict()))
         return 0
+    names = list(args.names)
+    if args.crucible_seeds:
+        if not names:
+            names = sorted(benchmark_factories())
+        names += crucible_names(args.crucible_seeds)
     report = run_batch(
-        args.names,
+        names,
         mode=args.mode,
         timeout=args.timeout,
         deadline=args.deadline,

@@ -2,11 +2,17 @@
 the oracle for validating synthesized predicates against real heaps."""
 
 from repro.concrete.heap import ConcreteHeap, MemoryError_
-from repro.concrete.interp import ExecutionResult, Interpreter, InterpreterError
+from repro.concrete.interp import (
+    ExecutionResult,
+    FuelExhausted,
+    Interpreter,
+    InterpreterError,
+)
 
 __all__ = [
     "ConcreteHeap",
     "ExecutionResult",
+    "FuelExhausted",
     "Interpreter",
     "InterpreterError",
     "MemoryError_",

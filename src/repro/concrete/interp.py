@@ -27,13 +27,54 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program
 from repro.ir.values import Global, IntConst, Null, Operand, Register
+from repro.analysis.resilience import (
+    CONCRETE_DIVERGENCE,
+    SEVERITY_ERROR,
+    Diagnostic,
+)
 from repro.concrete.heap import ConcreteHeap, MemoryError_
 
-__all__ = ["Interpreter", "ExecutionResult", "InterpreterError"]
+__all__ = [
+    "Interpreter",
+    "ExecutionResult",
+    "InterpreterError",
+    "FuelExhausted",
+]
 
 
 class InterpreterError(Exception):
-    """Fuel exhaustion or a dynamic error (bad jump, missing proc...)."""
+    """A dynamic error of the interpreter itself (bad jump, missing
+    procedure, unknown instruction).  An instance of this *base* class
+    reaching a caller means the interpreter hit a bug-shaped condition;
+    resource exhaustion is the :class:`FuelExhausted` subclass."""
+
+
+class FuelExhausted(InterpreterError):
+    """The concrete execution exceeded its fuel or call-depth allowance.
+
+    This is a structured *divergence* verdict, not a bug: the program
+    (as far as the budget can tell) does not terminate.  It converts to
+    a :class:`~repro.analysis.resilience.Diagnostic` with the
+    ``concrete-divergence`` code so batch drivers and the differential
+    oracle can classify it alongside analysis diagnostics instead of
+    parsing exception strings.
+    """
+
+    def __init__(self, message: str, *, resource: str, steps: int, limit: int):
+        super().__init__(message)
+        #: ``"fuel"`` or ``"call-depth"``.
+        self.resource = resource
+        self.steps = steps
+        self.limit = limit
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            code=CONCRETE_DIVERGENCE,
+            message=str(self),
+            phase="concrete",
+            severity=SEVERITY_ERROR,
+            detail=f"resource={self.resource} steps={self.steps} limit={self.limit}",
+        )
 
 
 @dataclass
@@ -49,15 +90,25 @@ class ExecutionResult:
 class Interpreter:
     """Direct interpreter over :class:`~repro.ir.program.Program`."""
 
-    def __init__(self, program: Program, fuel: int = 1_000_000):
+    def __init__(
+        self,
+        program: Program,
+        fuel: int = 1_000_000,
+        max_call_depth: int = 400,
+    ):
         program.validate()
         self.program = program
         self.fuel = fuel
+        #: Guards the interpreter's own Python recursion: a runaway
+        #: recursive program diverges with :class:`FuelExhausted`
+        #: instead of crashing the host with ``RecursionError``.
+        self.max_call_depth = max_call_depth
         self.heap = ConcreteHeap()
         self.global_cells: dict[str, int] = {
             name: self.heap.malloc() for name in program.globals
         }
         self._steps = 0
+        self._depth = 0
 
     # ------------------------------------------------------------------
     def run(self, *args: int) -> ExecutionResult:
@@ -68,6 +119,21 @@ class Interpreter:
         )
 
     def call(self, name: str, args: list[int]) -> int:
+        self._depth += 1
+        try:
+            if self._depth > self.max_call_depth:
+                raise FuelExhausted(
+                    f"call depth of {self.max_call_depth} exceeded "
+                    f"entering {name}",
+                    resource="call-depth",
+                    steps=self._steps,
+                    limit=self.max_call_depth,
+                )
+            return self._call(name, args)
+        finally:
+            self._depth -= 1
+
+    def _call(self, name: str, args: list[int]) -> int:
         proc = self.program.proc(name)
         if len(args) != len(proc.params):
             raise InterpreterError(
@@ -78,7 +144,12 @@ class Interpreter:
         while True:
             self._steps += 1
             if self._steps > self.fuel:
-                raise InterpreterError("fuel exhausted")
+                raise FuelExhausted(
+                    f"fuel of {self.fuel} steps exhausted in {name}",
+                    resource="fuel",
+                    steps=self._steps,
+                    limit=self.fuel,
+                )
             if index >= len(proc.instrs):
                 return 0
             instr = proc.instrs[index]

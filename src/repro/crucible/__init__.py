@@ -1,0 +1,66 @@
+"""The crucible: adversarial validation of the analysis pipeline.
+
+Four cooperating parts (see the module docstrings for detail):
+
+* :mod:`repro.crucible.generator` -- a seeded, deterministic generator
+  of well-formed heap-manipulating IR programs, composed from a pool
+  of traversal/insert/delete/rotate skeletons over recursive types
+  plus random mutations (block reordering, branch flipping, dead
+  stores, statement deletion);
+* :mod:`repro.crucible.oracle` -- a differential oracle that runs the
+  shape analysis and the concrete interpreter on the same program and
+  cross-checks soundness claims between them;
+* :mod:`repro.crucible.faults` -- a deterministic fault-injection
+  layer (:class:`FaultPlan`) that raises exceptions, budget
+  exhaustion, and synthetic timeouts at the engine's phase boundaries
+  to chaos-test the resilience layer's containment;
+* :mod:`repro.crucible.minimize` -- a delta-debugging minimizer that
+  shrinks a failing program to a minimal textual-IR reproducer.
+
+:mod:`repro.crucible.harness` ties them into a campaign runner with a
+reproducible JSON report, a corpus directory of minimized reproducers,
+and a determinism guard (same seed => byte-identical report).
+"""
+
+from repro.crucible.generator import (
+    SKELETONS,
+    GeneratedProgram,
+    generate_program,
+    mutate_program,
+)
+from repro.crucible.oracle import (
+    ConcreteOutcome,
+    Oracle,
+    OracleReport,
+    Violation,
+)
+from repro.crucible.faults import FaultPlan, FaultSpec, FaultyShapeEngine
+from repro.crucible.minimize import compact_program, minimize_program
+from repro.crucible.harness import (
+    CampaignReport,
+    replay_corpus_file,
+    run_campaign,
+    verify_determinism,
+    write_reproducer,
+)
+
+__all__ = [
+    "SKELETONS",
+    "CampaignReport",
+    "ConcreteOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyShapeEngine",
+    "GeneratedProgram",
+    "Oracle",
+    "OracleReport",
+    "Violation",
+    "compact_program",
+    "generate_program",
+    "minimize_program",
+    "mutate_program",
+    "replay_corpus_file",
+    "run_campaign",
+    "verify_determinism",
+    "write_reproducer",
+]

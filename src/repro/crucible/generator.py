@@ -1,0 +1,449 @@
+"""Seeded, deterministic generator of heap-manipulating IR programs.
+
+Programs are composed from a pool of *skeletons* -- parameterized
+traversal/insert/delete/rotate kernels over the recursive types the
+paper's analysis targets (singly and doubly linked lists, binary
+trees) -- and then optionally perturbed with random *mutations*:
+
+* **block reordering** -- basic blocks are shuffled with explicit
+  ``goto``\\ s preserving the control flow (semantics-preserving, but a
+  completely different instruction layout for the analysis);
+* **branch flipping** -- a branch condition is negated (semantics-
+  *changing*: loops may exit immediately or never);
+* **dead stores** -- a fresh never-read register assignment is
+  inserted at a random point;
+* **statement deletion** -- a random non-control instruction is
+  replaced with ``nop`` (unlinking list nodes, dropping initializing
+  stores, ...).
+
+Everything is driven by one ``random.Random(seed)`` instance, so a
+seed fully determines the generated program; the same seed always
+reproduces the same bytes of textual IR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    Assign,
+    Branch,
+    Cond,
+    Goto,
+    Nop,
+    Return,
+)
+from repro.ir.program import IRError, Procedure, Program
+from repro.ir.textual import parse_program, print_program
+from repro.ir.values import NULL, IntConst, Register
+
+__all__ = [
+    "SKELETONS",
+    "MUTATIONS",
+    "GeneratedProgram",
+    "generate_program",
+    "mutate_program",
+    "clone_program",
+]
+
+
+# ----------------------------------------------------------------------
+# Skeleton pool
+# ----------------------------------------------------------------------
+
+_BUILD_PROC = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+_TREE_BUILD_PROC = """
+proc build(%n):
+    if %n > 0 goto rec
+    return null
+rec:
+    %t = malloc()
+    %m = sub %n, 1
+    %l = call build(%m)
+    [%t.left] = %l
+    %r = call build(%m)
+    [%t.right] = %r
+    return %t
+"""
+
+
+def _list_build(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    return %head
+"""
+
+
+def _list_traverse(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    %c = %head
+T:
+    if %c == null goto out
+    %c = [%c.next]
+    goto T
+out:
+    return %head
+"""
+
+
+def _list_reverse(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    %prev = null
+R:
+    if %head == null goto out
+    %next = [%head.next]
+    [%head.next] = %prev
+    %prev = %head
+    %head = %next
+    goto R
+out:
+    return %prev
+"""
+
+
+def _list_delete(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    if %head == null goto out
+    %victim = [%head.next]
+    if %victim == null goto out
+    %rest = [%victim.next]
+    [%head.next] = %rest
+    free(%victim)
+out:
+    return %head
+"""
+
+
+def _list_insert(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    if %head == null goto out
+    %new = malloc()
+    %rest = [%head.next]
+    [%new.next] = %rest
+    [%head.next] = %new
+out:
+    return %head
+"""
+
+
+def _list_rotate(n: int) -> str:
+    return _BUILD_PROC + f"""
+proc main():
+    %head = call build({n})
+    if %head == null goto out
+    %first = %head
+    %head = [%first.next]
+    [%first.next] = null
+    if %head == null goto lone
+    %c = %head
+walk:
+    %t = [%c.next]
+    if %t == null goto splice
+    %c = %t
+    goto walk
+splice:
+    [%c.next] = %first
+out:
+    return %head
+lone:
+    return %first
+"""
+
+
+def _doubly_build(n: int) -> str:
+    return f"""
+proc main():
+    %n = {n}
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    [%p.prev] = null
+    if %head == null goto skip
+    [%head.prev] = %p
+skip:
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+
+def _tree_build(n: int) -> str:
+    return _TREE_BUILD_PROC + f"""
+proc main():
+    %root = call build({n})
+    return %root
+"""
+
+
+def _tree_sum(n: int) -> str:
+    return _TREE_BUILD_PROC + f"""
+proc walk(%t):
+    if %t != null goto rec
+    return 0
+rec:
+    %l = [%t.left]
+    %a = call walk(%l)
+    %r = [%t.right]
+    %b = call walk(%r)
+    %s = add %a, %b
+    return %s
+
+proc main():
+    %root = call build({n})
+    %total = call walk(%root)
+    return %root
+"""
+
+
+def _tree_rotate(n: int) -> str:
+    return _TREE_BUILD_PROC + f"""
+proc main():
+    %root = call build({n})
+    if %root == null goto out
+    %l = [%root.left]
+    if %l == null goto out
+    %lr = [%l.right]
+    [%root.left] = %lr
+    [%l.right] = %root
+    %root = %l
+out:
+    return %root
+"""
+
+
+#: name -> (source builder, (min size, max size)).  List sizes are node
+#: counts; tree sizes are depths (kept small: a depth-``d`` build
+#: allocates ``2^d - 1`` nodes).
+SKELETONS: dict[str, tuple] = {
+    "list-build": (_list_build, (1, 12)),
+    "list-traverse": (_list_traverse, (1, 12)),
+    "list-reverse": (_list_reverse, (1, 12)),
+    "list-delete": (_list_delete, (1, 12)),
+    "list-insert": (_list_insert, (1, 12)),
+    "list-rotate": (_list_rotate, (1, 12)),
+    "doubly-build": (_doubly_build, (1, 12)),
+    "tree-build": (_tree_build, (1, 6)),
+    "tree-sum": (_tree_sum, (1, 6)),
+    "tree-rotate": (_tree_rotate, (2, 6)),
+}
+
+
+@dataclass
+class GeneratedProgram:
+    """One generator output: the program plus its full provenance."""
+
+    seed: int
+    skeleton: str
+    size: int
+    program: Program
+    mutations: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        suffix = f"+{len(self.mutations)}mut" if self.mutations else ""
+        return f"crucible-{self.seed}-{self.skeleton}{suffix}"
+
+    def source(self) -> str:
+        """The program as replayable textual IR."""
+        return print_program(self.program)
+
+
+def generate_program(seed: int, mutations: int = 0) -> GeneratedProgram:
+    """Deterministically generate one program from *seed*.
+
+    ``mutations`` random mutations are applied on top of the chosen
+    skeleton (0 = the pure skeleton pool).
+    """
+    rng = random.Random(seed)
+    skeleton = rng.choice(sorted(SKELETONS))
+    maker, (lo, hi) = SKELETONS[skeleton]
+    size = rng.randint(lo, hi)
+    program = parse_program(maker(size))
+    generated = GeneratedProgram(seed, skeleton, size, program)
+    if mutations:
+        mutate_program(generated, rng, mutations)
+    return generated
+
+
+def clone_program(program: Program) -> Program:
+    """A structurally independent copy (instructions are immutable and
+    shared; instruction lists and label maps are fresh)."""
+    clone = Program(entry=program.entry, globals=program.globals)
+    for proc in program.procedures.values():
+        clone.add(
+            Procedure(proc.name, proc.params, list(proc.instrs), dict(proc.labels))
+        )
+    return clone
+
+
+# ----------------------------------------------------------------------
+# Mutations
+# ----------------------------------------------------------------------
+
+
+def _pick_proc(program: Program, rng: random.Random) -> Procedure:
+    return program.procedures[rng.choice(sorted(program.procedures))]
+
+
+def _flip_branch(program: Program, rng: random.Random) -> str | None:
+    proc = _pick_proc(program, rng)
+    branches = [
+        i for i, instr in enumerate(proc.instrs) if isinstance(instr, Branch)
+    ]
+    if not branches:
+        return None
+    index = rng.choice(branches)
+    old = proc.instrs[index]
+    proc.instrs[index] = Branch(old.cond.negated(), old.target)
+    return f"branch-flip {proc.name}@{index}"
+
+
+_DEAD_COUNTER_FIELDS = ("next", "prev", "left", "right", "val")
+
+
+def _dead_store(program: Program, rng: random.Random) -> str | None:
+    proc = _pick_proc(program, rng)
+    index = rng.randrange(len(proc.instrs) + 1)
+    regs = sorted(r.name for r in proc.registers())
+    if regs and rng.random() < 0.5:
+        src = Register(rng.choice(regs))
+    elif rng.random() < 0.5:
+        src = NULL
+    else:
+        src = IntConst(rng.randint(0, 99))
+    dead = Register(f"dead{rng.randint(0, 9999)}")
+    proc.instrs.insert(index, Assign(dead, src))
+    # Labels at or after the insertion point shift by one.
+    for label, target in proc.labels.items():
+        if target >= index:
+            proc.labels[label] = target + 1
+    return f"dead-store {proc.name}@{index}"
+
+
+def _delete_statement(program: Program, rng: random.Random) -> str | None:
+    proc = _pick_proc(program, rng)
+    candidates = [
+        i
+        for i, instr in enumerate(proc.instrs)
+        if not isinstance(instr, (Branch, Goto, Return, Nop))
+    ]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    proc.instrs[index] = Nop()
+    return f"stmt-delete {proc.name}@{index}"
+
+
+def _reorder_blocks(program: Program, rng: random.Random) -> str | None:
+    """Shuffle the basic blocks of one procedure, making every implicit
+    fallthrough explicit first so the control flow is preserved."""
+    proc = _pick_proc(program, rng)
+    leaders = {0} | set(proc.labels.values())
+    for i, instr in enumerate(proc.instrs):
+        if isinstance(instr, (Branch, Goto)):
+            leaders.add(i + 1)
+    leaders = sorted(i for i in leaders if i < len(proc.instrs))
+    if len(leaders) < 3:
+        return None
+    bounds = leaders + [len(proc.instrs)]
+    blocks = [
+        list(proc.instrs[bounds[i]:bounds[i + 1]]) for i in range(len(leaders))
+    ]
+    # Name every leader so explicit gotos can target it.
+    index_to_label: dict[int, str] = {}
+    for label, target in proc.labels.items():
+        index_to_label.setdefault(target, label)
+    names = []
+    for i, leader in enumerate(leaders):
+        label = index_to_label.get(leader)
+        if label is None:
+            label = f"blk{i}"
+            while label in proc.labels:
+                label = f"blk{i}_{rng.randint(0, 999)}"
+        names.append(label)
+    # Make fallthrough into the next block explicit.
+    for i, block in enumerate(blocks[:-1]):
+        if not block or not isinstance(block[-1], (Goto, Return)):
+            block.append(Goto(names[i + 1]))
+    if not blocks[-1] or not isinstance(blocks[-1][-1], (Goto, Return)):
+        blocks[-1].append(Return())
+    order = list(range(1, len(blocks)))
+    rng.shuffle(order)
+    order = [0] + order
+    instrs: list = []
+    labels: dict[str, int] = {}
+    for i in order:
+        labels[names[i]] = len(instrs)
+        instrs.extend(blocks[i])
+    # Labels that pointed one past the end (implicit epilogue) keep
+    # pointing one past the end.
+    for label, target in proc.labels.items():
+        if label not in labels and target >= len(proc.instrs):
+            labels[label] = len(instrs)
+    proc.instrs[:] = instrs
+    proc.labels.clear()
+    proc.labels.update(labels)
+    return f"block-reorder {proc.name} order={order}"
+
+
+MUTATIONS = (
+    ("branch-flip", _flip_branch),
+    ("dead-store", _dead_store),
+    ("stmt-delete", _delete_statement),
+    ("block-reorder", _reorder_blocks),
+)
+
+
+def mutate_program(
+    generated: GeneratedProgram, rng: random.Random, count: int
+) -> GeneratedProgram:
+    """Apply *count* random mutations in place, recording each one.
+
+    A mutation that does not apply (no branch to flip...) or that
+    leaves the program malformed is rolled back and retried with a
+    different pick; the program is always valid afterwards.
+    """
+    applied = 0
+    attempts = 0
+    while applied < count and attempts < count * 8:
+        attempts += 1
+        _mutname, mutate = rng.choice(MUTATIONS)
+        candidate = clone_program(generated.program)
+        note = mutate(candidate, rng)
+        if note is None:
+            continue
+        try:
+            candidate.validate()
+        except IRError:
+            continue
+        generated.program = candidate
+        generated.mutations.append(note)
+        applied += 1
+    return generated

@@ -1,0 +1,217 @@
+"""Campaign runner: generate -> oracle -> minimize -> corpus.
+
+``run_campaign(seeds=N)`` drives the whole crucible loop for seeds
+``base_seed .. base_seed+N-1``: each seed deterministically generates a
+program (optionally mutated), the differential oracle cross-checks the
+analysis against the concrete interpreter, and any violation is
+delta-debugged down to a minimal reproducer written into the corpus
+directory as replayable textual IR.
+
+The report is **reproducible**: it contains no timestamps or timings,
+and the logic-variable counter is reset up front, so the same seed set
+produces byte-identical JSON across runs in one process (the
+determinism guard, :func:`verify_determinism`, asserts exactly that;
+across processes set ``PYTHONHASHSEED`` for stable set ordering).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ir.program import Program
+from repro.ir.textual import parse_program, print_program
+from repro.logic.heapnames import reset_fresh_counter
+from repro.crucible.generator import GeneratedProgram, generate_program
+from repro.crucible.minimize import minimize_program
+from repro.crucible.oracle import Oracle, OracleReport
+
+__all__ = [
+    "CampaignReport",
+    "replay_corpus_file",
+    "run_campaign",
+    "verify_determinism",
+    "write_reproducer",
+]
+
+#: Default corpus directory, relative to the working directory.
+DEFAULT_CORPUS_DIR = Path("crucible") / "corpus"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated, JSON-round-trippable outcome of one campaign."""
+
+    base_seed: int
+    seeds: int
+    mutations: int
+    runs: list[dict] = field(default_factory=list)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(run["oracle"]["violations"]) for run in self.runs)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for run in self.runs:
+            outcome = run["oracle"]["analysis_outcome"]
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "base_seed": self.base_seed,
+            "seeds": self.seeds,
+            "mutations": self.mutations,
+            "counts": self.counts,
+            "violations": self.violation_count,
+            "runs": self.runs,
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes for the determinism guard: sorted keys, no
+        whitespace variance."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        lines = [
+            f"crucible campaign: seeds {self.base_seed}.."
+            f"{self.base_seed + self.seeds - 1}, "
+            f"{self.mutations} mutation(s) per program"
+        ]
+        for run in self.runs:
+            oracle = run["oracle"]
+            mark = "VIOLATION" if oracle["violations"] else "ok"
+            lines.append(
+                f"  seed {run['seed']:>6} {run['skeleton']:<14} "
+                f"analysis={oracle['analysis_outcome']:<8} "
+                f"concrete={oracle['concrete']['status']:<10} {mark}"
+            )
+            for violation in oracle["violations"]:
+                lines.append(
+                    f"      {violation['claim']}: {violation['message']}"
+                )
+                if run.get("reproducer"):
+                    lines.append(f"      reproducer: {run['reproducer']}")
+        counts = "  ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        lines.append(f"outcomes: {counts}")
+        lines.append(f"violations: {self.violation_count}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+
+
+def write_reproducer(
+    generated: GeneratedProgram,
+    report: OracleReport,
+    program: Program,
+    corpus_dir: "Path | str" = DEFAULT_CORPUS_DIR,
+) -> Path:
+    """Write *program* (usually the minimized form) as a replayable
+    textual-IR corpus file with full provenance in comments."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    claims = "+".join(sorted({v.claim for v in report.violations})) or "manual"
+    path = corpus_dir / f"seed{generated.seed:08d}-{claims}.ir"
+    header = [
+        "# crucible reproducer",
+        f"# seed: {generated.seed}",
+        f"# skeleton: {generated.skeleton} (size {generated.size})",
+    ]
+    for mutation in generated.mutations:
+        header.append(f"# mutation: {mutation}")
+    for violation in report.violations:
+        header.append(f"# violation: {violation.claim}: {violation.message}")
+    header.append(
+        "# replay: python -m repro --crucible --replay " + path.as_posix()
+    )
+    path.write_text("\n".join(header) + "\n\n" + print_program(program))
+    return path
+
+
+def replay_corpus_file(
+    path: "Path | str", oracle: "Oracle | None" = None
+) -> OracleReport:
+    """Re-run the differential oracle on a corpus file (``#`` comment
+    lines are ignored by the textual parser)."""
+    path = Path(path)
+    program = parse_program(path.read_text())
+    oracle = oracle or Oracle()
+    return oracle.check(program, name=path.stem)
+
+
+# ----------------------------------------------------------------------
+# Campaign
+# ----------------------------------------------------------------------
+
+
+def run_campaign(
+    seeds: int = 20,
+    base_seed: int = 1,
+    mutations: int = 0,
+    oracle: "Oracle | None" = None,
+    corpus_dir: "Path | str | None" = DEFAULT_CORPUS_DIR,
+    minimize: bool = True,
+) -> CampaignReport:
+    """The full loop: generate, cross-check, minimize, write corpus."""
+    oracle = oracle or Oracle()
+    report = CampaignReport(base_seed=base_seed, seeds=seeds, mutations=mutations)
+    reset_fresh_counter()
+    for seed in range(base_seed, base_seed + seeds):
+        generated = generate_program(seed, mutations=mutations)
+        oracle_report = oracle.check(generated.program, name=generated.name)
+        run: dict = {
+            "seed": seed,
+            "skeleton": generated.skeleton,
+            "size": generated.size,
+            "mutations": list(generated.mutations),
+            "instructions": generated.program.instruction_count(),
+            "oracle": oracle_report.to_dict(),
+            "reproducer": None,
+        }
+        if not oracle_report.ok:
+            program = generated.program
+            if minimize:
+                program = minimize_program(
+                    generated.program,
+                    lambda p: not oracle.check(p, name=generated.name).ok,
+                )
+                run["minimized_instructions"] = program.instruction_count()
+            if corpus_dir is not None:
+                path = write_reproducer(
+                    generated, oracle_report, program, corpus_dir
+                )
+                run["reproducer"] = path.as_posix()
+        report.runs.append(run)
+    return report
+
+
+def verify_determinism(
+    seeds: int = 5,
+    base_seed: int = 1,
+    mutations: int = 0,
+    oracle_factory=Oracle,
+) -> tuple[bool, str, str]:
+    """Run the same campaign twice and require byte-identical JSON.
+
+    Returns ``(identical, first_json, second_json)``.  Corpus writing
+    and minimization are disabled so the check is side-effect free.
+    """
+    first = run_campaign(
+        seeds, base_seed, mutations, oracle=oracle_factory(),
+        corpus_dir=None, minimize=False,
+    ).to_json()
+    second = run_campaign(
+        seeds, base_seed, mutations, oracle=oracle_factory(),
+        corpus_dir=None, minimize=False,
+    ).to_json()
+    return first == second, first, second

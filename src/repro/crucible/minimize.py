@@ -1,0 +1,165 @@
+"""Delta-debugging minimizer for failing IR programs.
+
+Given a program and a predicate ``still_failing(program) -> bool``
+(typically "the differential oracle still reports a violation"), the
+minimizer shrinks the program while keeping the predicate true:
+
+1. **ddmin over instructions** -- chunks of instructions (halving
+   chunk sizes down to single instructions) are replaced with ``nop``;
+   a replacement that keeps the program failing is kept.  Replacing
+   with ``nop`` rather than deleting keeps every label and jump index
+   stable, so any subset of replacements is well-formed by
+   construction.
+2. **compaction** -- runs of ``nop`` are deleted for real (labels are
+   re-indexed), procedures unreachable from the entry are dropped, and
+   labels no jump targets are removed.  Compaction preserves semantics
+   exactly; if the predicate nevertheless flips (it may consult
+   instruction indices), the uncompacted form is kept.
+
+The result is written as a replayable textual-IR reproducer by the
+harness (:func:`repro.crucible.harness.write_reproducer`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.instructions import Branch, Goto, Nop, Return
+from repro.ir.program import IRError, Procedure, Program
+from repro.crucible.generator import clone_program
+
+__all__ = ["compact_program", "minimize_program"]
+
+
+def _nop_out(
+    program: Program,
+    proc_name: str,
+    indices: list[int],
+) -> Program:
+    candidate = clone_program(program)
+    proc = candidate.procedures[proc_name]
+    for index in indices:
+        proc.instrs[index] = Nop()
+    return candidate
+
+
+def _check(program: Program, still_failing: Callable[[Program], bool]) -> bool:
+    try:
+        program.validate()
+    except IRError:
+        return False
+    try:
+        return bool(still_failing(program))
+    except Exception:
+        # A predicate that crashes on a candidate rejects it: the
+        # minimizer must never turn one failure into a different one.
+        return False
+
+
+def minimize_program(
+    program: Program,
+    still_failing: Callable[[Program], bool],
+    max_rounds: int = 8,
+) -> Program:
+    """Shrink *program* while ``still_failing`` stays true.
+
+    The input program itself must satisfy the predicate; the returned
+    program always does.
+    """
+    if not _check(clone_program(program), still_failing):
+        raise ValueError("the input program does not satisfy the predicate")
+    current = clone_program(program)
+    for _round in range(max_rounds):
+        changed = False
+        for proc_name in sorted(current.procedures):
+            proc = current.procedures[proc_name]
+            candidates = [
+                i
+                for i, instr in enumerate(proc.instrs)
+                if not isinstance(instr, Nop)
+            ]
+            chunk = max(len(candidates) // 2, 1)
+            while chunk >= 1:
+                index = 0
+                progressed = False
+                while index < len(candidates):
+                    subset = candidates[index:index + chunk]
+                    trial = _nop_out(current, proc_name, subset)
+                    if _check(trial, still_failing):
+                        current = trial
+                        del candidates[index:index + chunk]
+                        progressed = True
+                        changed = True
+                    else:
+                        index += chunk
+                if chunk == 1:
+                    break
+                chunk = chunk // 2 if not progressed else max(chunk // 2, 1)
+        if not changed:
+            break
+    compacted = compact_program(current)
+    if _check(compacted, still_failing):
+        return compacted
+    return current
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+
+
+def compact_program(program: Program) -> Program:
+    """Delete ``nop``\\ s (re-indexing labels), drop procedures the
+    entry cannot reach, and drop labels nothing jumps to.  Semantics
+    preserving."""
+    compacted = Program(entry=program.entry, globals=program.globals)
+    reachable = _reachable_procedures(program)
+    for name, proc in program.procedures.items():
+        if name not in reachable:
+            continue
+        compacted.add(_compact_procedure(proc))
+    compacted.validate()
+    return compacted
+
+
+def _reachable_procedures(program: Program) -> set[str]:
+    seen = {program.entry}
+    frontier = [program.entry]
+    while frontier:
+        name = frontier.pop()
+        proc = program.procedures.get(name)
+        if proc is None:
+            continue
+        for callee in proc.callees():
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return seen
+
+
+def _compact_procedure(proc: Procedure) -> Procedure:
+    keep = [i for i, instr in enumerate(proc.instrs) if not isinstance(instr, Nop)]
+    # new index of old index i = number of kept instructions before i
+    remap: dict[int, int] = {}
+    for new_index, old_index in enumerate(keep):
+        remap[old_index] = new_index
+    def new_index_of(old: int) -> int:
+        # A label may point at a nop (or past the end): it moves to the
+        # next kept instruction, or one past the new end.
+        while old < len(proc.instrs) and old not in remap:
+            old += 1
+        return remap.get(old, len(keep))
+    used_labels = {
+        instr.target
+        for instr in proc.instrs
+        if isinstance(instr, (Goto, Branch))
+    }
+    labels = {
+        label: new_index_of(old)
+        for label, old in proc.labels.items()
+        if label in used_labels
+    }
+    instrs = [proc.instrs[i] for i in keep]
+    if not instrs or not isinstance(instrs[-1], (Return, Goto)):
+        instrs.append(Return())
+    return Procedure(proc.name, proc.params, instrs, labels)

@@ -40,7 +40,34 @@ from repro.logic.heapnames import HeapName
 from repro.logic.state import AbstractState
 from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
 
-__all__ = ["subsumes", "equivalent", "Mapping"]
+__all__ = ["subsumes", "equivalent", "Mapping", "MATCH_STEP_LIMIT"]
+
+#: Cap on backtracking steps (atom-unification attempts) per query.
+#: The search is worst-case exponential in the number of spatial atoms;
+#: on malformed states (e.g. fuzzed programs that leak unlinked cells)
+#: it can otherwise run unboundedly, outliving every cooperative budget
+#: check.  Giving up is conservative: the query answers "not subsumed",
+#: which at worst costs precision (another widening round, a recomputed
+#: summary), never soundness.  Well-formed states match in well under a
+#: thousand steps.
+MATCH_STEP_LIMIT = 100_000
+
+
+class _MatchBudget:
+    __slots__ = ("steps", "limit")
+
+    def __init__(self, limit: int):
+        self.steps = 0
+        self.limit = limit
+
+    def charge(self) -> None:
+        self.steps += 1
+        if self.steps > self.limit:
+            raise _MatchBudgetExceeded
+
+
+class _MatchBudgetExceeded(Exception):
+    pass
 
 
 @dataclass
@@ -86,12 +113,14 @@ def subsumes(
     concrete: AbstractState,
     live: set[Register] | None = None,
     env=None,
+    step_limit: int = MATCH_STEP_LIMIT,
 ) -> Mapping | None:
     """Return a witness mapping if *concrete* <= *general*, else None.
 
     With a predicate environment, instances of *different* predicates
     match when the concrete one's definition implies the general one's
-    (see :mod:`repro.logic.implication`)."""
+    (see :mod:`repro.logic.implication`).  A query exceeding
+    *step_limit* backtracking steps conservatively answers None."""
     mapping = Mapping()
     registers = set(general.rho) & set(concrete.rho)
     if live is not None:
@@ -105,7 +134,17 @@ def subsumes(
             return None
     general_atoms = sorted(_spatial_atoms(general), key=_match_priority)
     concrete_atoms = _spatial_atoms(concrete)
-    result = _match_atoms(general_atoms, concrete_atoms, mapping, concrete, env)
+    try:
+        result = _match_atoms(
+            general_atoms,
+            concrete_atoms,
+            mapping,
+            concrete,
+            env,
+            _MatchBudget(step_limit),
+        )
+    except _MatchBudgetExceeded:
+        return None
     if result is None:
         return None
     if not _pure_atoms_hold(general, concrete, result):
@@ -140,6 +179,7 @@ def _match_atoms(
     mapping: Mapping,
     concrete_state: AbstractState,
     env=None,
+    budget: "_MatchBudget | None" = None,
 ) -> Mapping | None:
     """Backtracking search for a bijective spatial match."""
     if not general_atoms:
@@ -153,16 +193,20 @@ def _match_atoms(
         if isinstance(root_image, NullVal) and not atom.truncs:
             # The base case constrains nothing beyond the root.
             result = _match_atoms(
-                rest, concrete_atoms, mapping.copy(), concrete_state, env
+                rest, concrete_atoms, mapping.copy(), concrete_state, env, budget
             )
             if result is not None:
                 return result
 
     for index, candidate in enumerate(concrete_atoms):
+        if budget is not None:
+            budget.charge()
         trial = mapping.copy()
         if _unify_atom(atom, candidate, trial, env):
             remaining = concrete_atoms[:index] + concrete_atoms[index + 1:]
-            result = _match_atoms(rest, remaining, trial, concrete_state, env)
+            result = _match_atoms(
+                rest, remaining, trial, concrete_state, env, budget
+            )
             if result is not None:
                 return result
     return None

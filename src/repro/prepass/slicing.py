@@ -109,6 +109,21 @@ def slice_program(
                     need(name, instr.addr)
                     if isinstance(instr, Store):
                         need(name, instr.src)
+                elif isinstance(instr.addr, Register) and not (
+                    pointers.has_allocation(name, instr.addr)
+                ):
+                    # No allocation site flows into the address: the
+                    # slice retains no other access through which the
+                    # analysis could validate this dereference, so
+                    # pruning it would hide a guaranteed-or-possible
+                    # fault (a null or junk pointer) and unsoundly
+                    # upgrade the verdict to "pass".  Keep it; the
+                    # abstract execution will go stuck on it unless a
+                    # guard proves it unreachable.
+                    kept.add((name, i))
+                    need(name, instr.addr)
+                    if isinstance(instr, Store):
+                        need(name, instr.src)
 
     # ------------------------------------------------------------------
     # Backward closure over definitions of needed registers.

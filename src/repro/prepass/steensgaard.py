@@ -212,6 +212,12 @@ class PointerAnalysis:
     def is_pointer_register(self, proc: str, register: Register) -> bool:
         return self.is_pointer_class(self._reg(proc, register))
 
+    def has_allocation(self, proc: str, register: Register) -> bool:
+        """Does any allocation site flow into *register*?  False for
+        registers whose class merely picked up fields from being
+        dereferenced (e.g. a register that only ever holds null)."""
+        return self._ecrs.is_alloc(self._reg(proc, register))
+
     def same_class(self, a: InferredType, b: InferredType) -> bool:
         return (
             self._ecrs.find(a.ecr) == self._ecrs.find(b.ecr)

@@ -88,6 +88,10 @@ def render_batch_report(report: Mapping) -> str:
         ),
         f"outcomes: {counts_line}",
     ]
+    signals = report.get("signals", {})
+    if signals:
+        signals_line = "  ".join(f"{k}={v}" for k, v in sorted(signals.items()))
+        parts.append(f"signals:  {signals_line}")
     if budget:
         parts.append(f"budget:   {budget_line}")
     return "\n".join(parts)

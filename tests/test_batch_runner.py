@@ -142,3 +142,69 @@ class TestRenderBatchReport:
         assert "invariant-failure" in text
         assert "boom" in text
         assert "pass=1" in text and "degraded=1" in text and "crashed=1" in text
+
+
+class TestCrucibleBenchmarks:
+    def test_crucible_names_helper(self):
+        from repro.benchsuite.runner import crucible_names
+
+        assert crucible_names(2) == ["crucible:1", "crucible:2"]
+        assert crucible_names(1, base_seed=7, mutations=2) == ["crucible:7+2"]
+
+    def test_run_one_resolves_crucible_name(self):
+        record = run_one("crucible:1")
+        assert record.outcome == "pass"
+        assert record.result["benchmark"] == "crucible:1"
+
+    def test_crucible_name_regenerates_in_subprocess(self):
+        # The name alone must carry enough to rebuild the program on
+        # the child side of the isolation boundary.
+        report = run_batch(["crucible:2"], isolate=True, timeout=120.0)
+        assert report.counts["pass"] == 1
+
+    def test_malformed_crucible_name_is_crash_record(self):
+        record = run_one("crucible:not-a-seed")
+        assert record.outcome == "crashed"
+
+
+class TestSignalClassification:
+    def test_killed_child_is_crashed_with_signal_name(self, monkeypatch):
+        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+
+        monkeypatch.setenv(CHILD_CHAOS_ENV, "kill:9")
+        report = run_batch(["treeadd"], isolate=True, timeout=120.0)
+        (record,) = report.records
+        assert record.outcome == "crashed"
+        assert record.signal == "SIGKILL"
+        assert report.signals == {"SIGKILL": 1}
+        assert "signals" in report.to_dict()
+        assert not report.ok
+
+    def test_slow_child_is_timeout_not_signal(self, monkeypatch):
+        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+
+        monkeypatch.setenv(CHILD_CHAOS_ENV, "sleep:60")
+        report = run_batch(["treeadd"], isolate=True, timeout=0.5)
+        (record,) = report.records
+        assert record.outcome == "timeout"
+        assert record.signal is None
+        assert report.signals == {}
+
+    def test_signal_survives_json_round_trip(self):
+        record = RunRecord(
+            name="x", outcome="crashed", seconds=0.0, signal="SIGSEGV"
+        )
+        clone = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert clone.signal == "SIGSEGV"
+
+    def test_render_batch_report_shows_signals(self):
+        report = BatchReport(
+            records=[
+                RunRecord(
+                    name="a", outcome="crashed", seconds=0.0, signal="SIGKILL"
+                ),
+                RunRecord(name="b", outcome="pass", seconds=0.1),
+            ]
+        )
+        text = render_batch_report(report.to_dict())
+        assert "SIGKILL=1" in text

@@ -152,3 +152,49 @@ proc main():
     def test_run_with_arguments(self):
         program = parse_program("proc main(%a):\n    return %a")
         assert Interpreter(program).run(42).value == 42
+
+
+class TestFuelExhausted:
+    def test_fuel_exhaustion_is_structured(self):
+        from repro.concrete.interp import FuelExhausted
+
+        program = parse_program("proc main():\nL:\n    goto L")
+        with pytest.raises(FuelExhausted) as excinfo:
+            Interpreter(program, fuel=100).run()
+        exc = excinfo.value
+        assert exc.resource == "fuel"
+        assert exc.limit == 100
+        assert exc.steps >= 100
+
+    def test_call_depth_exhaustion_is_structured(self):
+        from repro.concrete.interp import FuelExhausted
+
+        program = parse_program(
+            "proc spin():\n    %v = call spin()\n    return %v\n"
+            "\n"
+            "proc main():\n    %v = call spin()\n    return %v"
+        )
+        with pytest.raises(FuelExhausted) as excinfo:
+            Interpreter(program, max_call_depth=10).run()
+        assert excinfo.value.resource == "call-depth"
+        assert excinfo.value.limit == 10
+
+    def test_to_diagnostic_is_documented(self):
+        from repro.analysis.resilience import (
+            CONCRETE_DIVERGENCE,
+            DIAGNOSTIC_CODES,
+            DIAGNOSTIC_PHASES,
+            SEVERITY_ERROR,
+        )
+        from repro.concrete.interp import FuelExhausted
+
+        program = parse_program("proc main():\nL:\n    goto L")
+        with pytest.raises(FuelExhausted) as excinfo:
+            Interpreter(program, fuel=50).run()
+        diagnostic = excinfo.value.to_diagnostic()
+        assert diagnostic.code == CONCRETE_DIVERGENCE
+        assert diagnostic.code in DIAGNOSTIC_CODES
+        assert diagnostic.phase == "concrete"
+        assert diagnostic.phase in DIAGNOSTIC_PHASES
+        assert diagnostic.severity == SEVERITY_ERROR
+        assert "resource=fuel" in diagnostic.detail

@@ -204,3 +204,83 @@ class TestModel:
 
         with pytest.raises(ModelError):
             satisfies(PredicateEnv(), "ghost", (1,), {})
+
+
+class TestSatisfiesTruncatedEdgeCases:
+    """Boundary behavior of the truncated model relation: the cases the
+    engine's truncation-point bookkeeping leans on."""
+
+    def _env(self):
+        env = PredicateEnv()
+        env.add(LIST_DEF)
+        env.add(TREE_DEF)
+        return env
+
+    def test_truncation_point_equals_root(self):
+        # Truncating at the root cuts out the *entire* structure: the
+        # instance holds with an empty footprint, regardless of what
+        # (if anything) the cells contain at that address.
+        cells = {1: {"next": 2}, 2: {"next": 0}}
+        footprint = satisfies_truncated(
+            self._env(), "list", (1,), frozenset({1}), cells
+        )
+        assert footprint == set()
+
+    def test_truncation_point_equals_root_no_cell_needed(self):
+        # The truncated-out root need not even be allocated.
+        footprint = satisfies_truncated(
+            self._env(), "list", (7,), frozenset({7}), {}
+        )
+        assert footprint == set()
+
+    def test_null_truncation_point_hit_by_list_tail(self):
+        # Truncation takes precedence over the null base case: a null
+        # truncation point is "reached" where the list ends.
+        cells = {1: {"next": 0}}
+        footprint = satisfies_truncated(
+            self._env(), "list", (1,), frozenset({0}), cells
+        )
+        assert footprint == {1}
+
+    def test_null_truncation_point_reached_twice_rejected(self):
+        # Both leaves of the tree reach null; a null truncation point
+        # can only be consumed once, so the second reach fails the
+        # disjointness requirement.
+        cells = {1: {"left": 0, "right": 0}}
+        assert (
+            satisfies_truncated(
+                self._env(), "tree", (1,), frozenset({0}), cells
+            )
+            is None
+        )
+
+    def test_overlapping_truncation_footprints_rejected(self):
+        # Two edges converge on the same truncation point: the cut-out
+        # sub-structures would overlap, which the model rejects.
+        cells = {1: {"left": 2, "right": 2}}
+        assert (
+            satisfies_truncated(
+                self._env(), "tree", (1,), frozenset({2}), cells
+            )
+            is None
+        )
+
+    def test_disjoint_truncation_points_accepted(self):
+        # The well-formed counterpart: distinct truncation points on
+        # distinct branches are each consumed exactly once.
+        cells = {1: {"left": 2, "right": 3}}
+        footprint = satisfies_truncated(
+            self._env(), "tree", (1,), frozenset({2, 3}), cells
+        )
+        assert footprint == {1}
+
+    def test_unreached_truncation_point_rejected_even_if_shape_holds(self):
+        # The list models fine on its own, but the truncation point is
+        # never reached -- the truncated instance must not hold.
+        cells = {1: {"next": 2}, 2: {"next": 0}}
+        assert (
+            satisfies_truncated(
+                self._env(), "list", (1,), frozenset({99}), cells
+            )
+            is None
+        )
