@@ -1,11 +1,18 @@
 """Command-line interface: ``python -m repro <file>``.
 
-Analyzes a mini-C file (``.c``) or a textual-IR file (``.ir``) and
-prints the inferred recursive predicates, the exit states, and the
-timing breakdown.  ``--run`` additionally executes the program with the
+Analyzes a mini-C file (``.c``), a textual-IR file (``.ir``), or a
+built-in benchmark by name (``python -m repro treeadd``) and prints
+the inferred recursive predicates, the exit states, and the timing
+breakdown.  ``--run`` additionally executes the program with the
 concrete interpreter and model-checks every tree/list predicate whose
 root the program returned.  ``--batch`` instead drives the built-in
 benchmark suite through the crash-isolating batch runner.
+
+Observability: ``--trace FILE`` writes a hierarchical span trace of
+the run as JSONL (with ``--batch``, a *directory* of one trace per
+benchmark), ``--metrics`` prints the canonical engine metrics, and
+``python -m repro trace-summary FILE`` aggregates a trace into the
+top-down time/count tree.
 
 Exit codes (stable, for batch drivers):
 
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -59,7 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "file",
         nargs="?",
-        help="a mini-C (.c) or textual-IR (.ir) file",
+        help=(
+            "a mini-C (.c) or textual-IR (.ir) file, or a built-in "
+            "benchmark name (e.g. treeadd; see "
+            "python -m repro.benchsuite.runner --list)"
+        ),
     )
     parser.add_argument(
         "--no-slicing", action="store_true", help="disable the slicing pre-pass"
@@ -99,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="write the structured result record to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "write a hierarchical span trace (JSONL) to PATH; with "
+            "--batch, PATH is a directory holding one trace per "
+            "benchmark (explore either with 'trace-summary')"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the canonical engine metrics after the analysis",
     )
     parser.add_argument(
         "--dump-ir", action="store_true", help="print the (lowered) IR and exit"
@@ -187,6 +213,81 @@ def load_program(path: Path):
     return parse_program(text)
 
 
+def _trace_summary(argv: list[str]) -> int:
+    """The ``trace-summary`` subcommand: aggregate one or more trace
+    files into the top-down time/count tree."""
+    from repro.obs.summary import load_trace, render_trace_summary
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace-summary",
+        description="aggregate a span trace (JSONL) into a time/count tree",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE", help="trace files")
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="collapse the tree below depth N",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="hide spans totalling less than S seconds",
+    )
+    args = parser.parse_args(argv)
+    status = EXIT_OK
+    for name in args.files:
+        path = Path(name)
+        if not path.exists():
+            print(f"repro: no such trace: {path}", file=sys.stderr)
+            status = EXIT_USAGE
+            continue
+        records = load_trace(path)
+        print(
+            render_trace_summary(
+                records,
+                max_depth=args.max_depth,
+                min_seconds=args.min_seconds,
+                title=f"Trace summary: {path} ({len(records)} records)",
+            )
+        )
+    return status
+
+
+def _resolve_input(args, parser) -> "tuple[object, str, object] | int":
+    """Turn the positional argument into (program, name, reload):
+    an existing file wins; otherwise the name is looked up among the
+    built-in benchmarks (so ``python -m repro treeadd --trace t.jsonl``
+    works without a checkout of the suite as files).  ``reload`` yields
+    a fresh program for the concrete interpreter (``--run``)."""
+    if args.file is None:
+        parser.print_usage(sys.stderr)
+        print("repro: a file argument (or --batch) is required", file=sys.stderr)
+        return EXIT_USAGE
+    path = Path(args.file)
+    if path.exists():
+        try:
+            return load_program(path), path.stem, lambda: load_program(path)
+        except FRONTEND_ERRORS as exc:
+            print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return EXIT_FRONTEND
+    from repro.benchsuite.runner import benchmark_factories
+
+    factories = benchmark_factories()
+    factory = factories.get(args.file)
+    if factory is not None:
+        return factory(), args.file, factory
+    print(
+        f"repro: no such file: {path} "
+        f"(and not a built-in benchmark; known: {', '.join(sorted(factories))})",
+        file=sys.stderr,
+    )
+    return EXIT_USAGE
+
+
 def _run_batch(args) -> int:
     from repro.benchsuite.runner import run_batch
 
@@ -198,6 +299,7 @@ def _run_batch(args) -> int:
         unroll=args.unroll,
         state_budget=args.state_budget,
         isolate=not args.no_isolate,
+        trace_dir=args.trace,
     )
     print(report.render())
     if args.json:
@@ -259,7 +361,25 @@ def _run_crucible(args) -> int:
     return EXIT_OK if report.ok else EXIT_ANALYSIS_FAILED
 
 
+def _render_metrics(stats: dict) -> str:
+    from repro.reporting import render_table
+
+    rows = [
+        [key, value]
+        for key, value in sorted(stats.items())
+        if "." in key  # canonical names only; legacy aliases duplicate
+    ]
+    return render_table(["Metric", "Value"], rows, title="Engine metrics")
+
+
 def main(argv: list[str] | None = None) -> int:
+    # ``trace-summary`` is a subcommand with its own flags; intercept it
+    # before the main parser would mistake it for an input file.
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace-summary":
+        return _trace_summary(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -267,19 +387,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_crucible(args)
     if args.batch:
         return _run_batch(args)
-    if args.file is None:
-        parser.print_usage(sys.stderr)
-        print("repro: a file argument (or --batch) is required", file=sys.stderr)
-        return EXIT_USAGE
-    path = Path(args.file)
-    if not path.exists():
-        print(f"repro: no such file: {path}", file=sys.stderr)
-        return EXIT_USAGE
-    try:
-        program = load_program(path)
-    except FRONTEND_ERRORS as exc:
-        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return EXIT_FRONTEND
+    resolved = _resolve_input(args, parser)
+    if isinstance(resolved, int):
+        return resolved
+    program, name, reload_program = resolved
 
     if args.dump_ir:
         print(print_program(program))
@@ -287,15 +398,20 @@ def main(argv: list[str] | None = None) -> int:
 
     result = ShapeAnalysis(
         program,
-        name=path.stem,
+        name=name,
         max_unroll=args.unroll,
         enable_slicing=not args.no_slicing,
         mode=args.mode,
         deadline_seconds=args.deadline,
         state_budget=args.state_budget,
+        trace_path=args.trace,
     ).run()
 
     print(result.describe())
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print(_render_metrics(result.stats))
     if args.json:
         payload = json.dumps(result.to_record(), indent=2)
         if args.json == "-":
@@ -315,7 +431,7 @@ def main(argv: list[str] | None = None) -> int:
             print("   ", line)
 
     if args.run:
-        run = Interpreter(load_program(path)).run()
+        run = Interpreter(reload_program()).run()
         print(f"\nconcrete execution returned {run.value} "
               f"({len(run.heap.cells)} cells allocated)")
         if run.value in run.heap.cells:
@@ -334,4 +450,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `trace-summary
+        # t.jsonl | head`); point stdout at devnull so the interpreter
+        # does not raise again while flushing at shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = EXIT_OK
+    raise SystemExit(code)

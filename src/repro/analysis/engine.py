@@ -32,12 +32,16 @@ caller.  A wall-clock ``deadline_seconds`` bounds the whole run
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.ir.program import Program
 from repro.logic.predicates import PredicateEnv
+from repro.obs import Metrics, NULL_TRACER, Tracer, with_legacy_aliases
 from repro.prepass.rectypes import recursive_types
 from repro.prepass.slicing import slice_program
 from repro.prepass.steensgaard import PointerAnalysis
@@ -46,6 +50,10 @@ from repro.analysis.resilience import Budget, BudgetExhausted, Diagnostic
 from repro.analysis.results import AnalysisResult
 
 __all__ = ["ShapeAnalysis"]
+
+#: Reusable no-op context manager for the unguarded side of
+#: ``with tracer.span(..) if tracer.enabled else _NO_SPAN:`` sites.
+_NO_SPAN = contextlib.nullcontext()
 
 
 @dataclass
@@ -72,11 +80,36 @@ class ShapeAnalysis:
     #: Injectable engine constructor -- lets tests and fault-injection
     #: harnesses swap the engine without monkeypatching.
     engine_factory: Callable[..., ShapeEngine] | None = None
+    #: Write a hierarchical span trace (JSONL) of the run to this path.
+    trace_path: "str | Path | None" = None
+    #: Pre-built tracer (overrides ``trace_path``); useful when a batch
+    #: harness wants to share a sink or stub the clock.
+    tracer: "Tracer | None" = None
+    #: Pre-built metrics registry; a fresh one is created per ``run()``
+    #: otherwise.  Passing one in lets callers aggregate across runs.
+    metrics: "Metrics | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
         the paper's halt-and-report becomes ``result.failure`` plus a
         structured ``result.diagnostics`` list."""
+        tracer = self.tracer
+        owns_tracer = False
+        if tracer is None:
+            if self.trace_path is not None:
+                tracer = Tracer.to_path(self.trace_path)
+                owns_tracer = True
+            else:
+                tracer = NULL_TRACER
+        metrics = self.metrics if self.metrics is not None else Metrics()
+        try:
+            with obs.activate(tracer, metrics):
+                return self._run(tracer, metrics)
+        finally:
+            if owns_tracer:
+                tracer.close()
+
+    def _run(self, tracer, metrics: Metrics) -> AnalysisResult:
         self.program.validate()
         budget = Budget(
             deadline_seconds=self.deadline_seconds,
@@ -86,20 +119,28 @@ class ShapeAnalysis:
         )
         budget.start()
 
-        start = time.perf_counter()
-        pointers = PointerAnalysis(self.program)
-        pointer_seconds = time.perf_counter() - start
+        root = tracer.span(
+            "analysis", benchmark=self.name, mode=self.mode
+        ) if tracer.enabled else None
+        if root is not None:
+            root.__enter__()
 
-        start = time.perf_counter()
-        kept = pruned = 0
-        if self.enable_slicing:
-            seeds = recursive_types(self.program, pointers)
-            sliced = slice_program(self.program, pointers, seeds)
-            target = sliced.program
-            kept, pruned = sliced.kept, sliced.pruned
-        else:
-            target = self.program
-        slicing_seconds = time.perf_counter() - start
+        with tracer.span("phase.pointer") if tracer.enabled else _NO_SPAN:
+            start = time.perf_counter()
+            pointers = PointerAnalysis(self.program)
+            pointer_seconds = time.perf_counter() - start
+
+        with tracer.span("phase.slicing") if tracer.enabled else _NO_SPAN:
+            start = time.perf_counter()
+            kept = pruned = 0
+            if self.enable_slicing:
+                seeds = recursive_types(self.program, pointers)
+                sliced = slice_program(self.program, pointers, seeds)
+                target = sliced.program
+                kept, pruned = sliced.kept, sliced.pruned
+            else:
+                target = self.program
+            slicing_seconds = time.perf_counter() - start
 
         plans = self._plans()
         make_engine = self.engine_factory or ShapeEngine
@@ -109,56 +150,76 @@ class ShapeAnalysis:
         engine = None
         attempts = 0
         start = time.perf_counter()
-        for attempt, (unroll, engine_mode) in enumerate(plans, 1):
-            attempts = attempt
-            env = PredicateEnv()
-            engine = make_engine(
-                target,
-                env,
-                max_unroll=unroll,
-                state_budget=self.state_budget,
-                mode=engine_mode,
-                budget=budget,
-            )
-            fatal: BaseException | None = None
-            try:
-                exit_states = engine.analyze()
-            except AnalysisFailure as exc:
-                fatal = exc
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except Exception as exc:
-                # An engine bug must not crash the caller: classify it
-                # as internal-error and report like any other failure.
-                fatal = exc
-            if fatal is None:
-                failure = None
-                break
-            # Budget exhaustion ends the run: retrying against the same
-            # exhausted budget cannot succeed.
-            if attempt == len(plans) or isinstance(fatal, BudgetExhausted):
-                diagnostic = Diagnostic.from_exception(fatal)
-                diagnostics.append(diagnostic)
-                # the diagnostic message carries the exception type for
-                # internal errors ("RecursionError: ...")
-                failure = diagnostic.message
-                exit_states = []
-                break
-            next_unroll, next_mode = plans[attempt]
-            diagnostics.append(
-                Diagnostic.from_exception(
-                    fatal,
-                    recovered=True,
-                    detail=(
-                        f"retrying with unroll={next_unroll}"
-                        if next_mode == "strict"
-                        else "degrading: containing failures"
-                    ),
+        shape_span = tracer.span("phase.shape") if tracer.enabled else _NO_SPAN
+        with shape_span:
+            for attempt, (unroll, engine_mode) in enumerate(plans, 1):
+                attempts = attempt
+                env = PredicateEnv()
+                # The engine picks up the activated obs.TRACER/obs.METRICS
+                # as defaults, so custom engine factories need not accept
+                # (or forward) tracer/metrics keywords.
+                engine = make_engine(
+                    target,
+                    env,
+                    max_unroll=unroll,
+                    state_budget=self.state_budget,
+                    mode=engine_mode,
+                    budget=budget,
                 )
-            )
+                attempt_span = tracer.span(
+                    "attempt", number=attempt, unroll=unroll, mode=engine_mode
+                ) if tracer.enabled else _NO_SPAN
+                fatal: BaseException | None = None
+                with attempt_span:
+                    try:
+                        exit_states = engine.analyze()
+                    except AnalysisFailure as exc:
+                        fatal = exc
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        # An engine bug must not crash the caller: classify it
+                        # as internal-error and report like any other failure.
+                        fatal = exc
+                    if tracer.enabled:
+                        attempt_span["failed"] = fatal is not None
+                if fatal is None:
+                    failure = None
+                    break
+                # Budget exhaustion ends the run: retrying against the same
+                # exhausted budget cannot succeed.
+                if attempt == len(plans) or isinstance(fatal, BudgetExhausted):
+                    diagnostic = Diagnostic.from_exception(fatal)
+                    diagnostics.append(diagnostic)
+                    # the diagnostic message carries the exception type for
+                    # internal errors ("RecursionError: ...")
+                    failure = diagnostic.message
+                    exit_states = []
+                    break
+                next_unroll, next_mode = plans[attempt]
+                diagnostics.append(
+                    Diagnostic.from_exception(
+                        fatal,
+                        recovered=True,
+                        detail=(
+                            f"retrying with unroll={next_unroll}"
+                            if next_mode == "strict"
+                            else "degrading: containing failures"
+                        ),
+                    )
+                )
         shape_seconds = time.perf_counter() - start
         assert engine is not None
         diagnostics.extend(engine.diagnostics)
+
+        metrics.gauge("phase.pointer.seconds", pointer_seconds)
+        metrics.gauge("phase.slicing.seconds", slicing_seconds)
+        metrics.gauge("phase.shape.seconds", shape_seconds)
+        metrics.gauge("analysis.attempts", attempts)
+        if root is not None:
+            root["failed"] = failure is not None
+            root["attempts"] = attempts
+            root.__exit__(None, None, None)
 
         return AnalysisResult(
             benchmark=self.name,
@@ -181,13 +242,7 @@ class ShapeAnalysis:
                 for name, summaries in engine.summaries.items()
                 if summaries
             },
-            stats={
-                "states": engine.stats.states,
-                "instructions": engine.stats.instructions,
-                "invariants": engine.stats.invariants,
-                "summaries_reused": engine.stats.summaries_reused,
-                "procedures": engine.stats.procedures,
-            },
+            stats=with_legacy_aliases(metrics.to_dict()),
         )
 
     def _plans(self) -> list[tuple[int, str]]:

@@ -24,6 +24,7 @@ from folding, as required by the interprocedural analysis (§5.2).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.logic.assertions import PointsTo, PredInstance, Raw
 from repro.logic.heapnames import HeapName, Var
 from repro.logic.predicates import (
@@ -68,13 +69,25 @@ def fold_state(
             if isinstance(resolved, OffsetVal):
                 resolved = resolved.base
             soft.add(resolved)
+    absorbed = wrapped = 0
     changed = True
     while changed:
-        changed = _fold_bottom_up(state, env, soft) or _fold_top_down(
-            state, env, hard, soft
-        )
+        changed = _fold_bottom_up(state, env, soft)
+        if changed:
+            absorbed += 1
+        else:
+            changed = _fold_top_down(state, env, hard, soft)
+            if changed:
+                wrapped += 1
         normalize_nulls(state)
     collect_pure_garbage(state)
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc("fold.calls")
+        if absorbed:
+            metrics.inc("fold.absorbed", absorbed)
+        if wrapped:
+            metrics.inc("fold.wrapped", wrapped)
     return state
 
 

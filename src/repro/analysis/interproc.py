@@ -72,6 +72,8 @@ from repro.analysis.resilience import (
 )
 from repro.analysis.semantics import apply_instruction, filter_condition
 from repro.analysis.unfold import unify_values
+from repro import obs
+from repro.obs import Metrics
 
 __all__ = [
     "ShapeEngine",
@@ -153,13 +155,38 @@ class _Sampler:
         )
 
 
-@dataclass
-class _Stats:
-    instructions: int = 0
-    states: int = 0
-    invariants: int = 0
-    summaries_reused: int = 0
-    procedures: int = 0
+class _StatsView:
+    """Read-only attribute view over the engine's canonical counters.
+
+    Back-compat shim for the old ``_Stats`` dataclass: callers that did
+    ``engine.stats.summaries_reused`` keep working; new code reads
+    ``engine.metrics`` directly (see :mod:`repro.obs.metrics` for the
+    schema)."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: Metrics):
+        self._metrics = metrics
+
+    @property
+    def instructions(self) -> int:
+        return self._metrics.counter("engine.instructions")
+
+    @property
+    def states(self) -> int:
+        return self._metrics.counter("engine.states")
+
+    @property
+    def invariants(self) -> int:
+        return self._metrics.counter("engine.invariants.synthesized")
+
+    @property
+    def summaries_reused(self) -> int:
+        return self._metrics.counter("engine.summaries.reused")
+
+    @property
+    def procedures(self) -> int:
+        return self._metrics.counter("engine.procedures.analyzed")
 
 
 class ShapeEngine:
@@ -175,6 +202,8 @@ class ShapeEngine:
         max_back_arrivals: int = 40,
         mode: str = "strict",
         budget: Budget | None = None,
+        tracer=None,
+        metrics: Metrics | None = None,
     ):
         program.validate()
         if mode not in ("strict", "degrade"):
@@ -207,7 +236,16 @@ class ShapeEngine:
         #: the paper's point that the analysis infers them from scratch
         #: makes them a first-class output.
         self.loop_invariants: dict[tuple[str, int], list[AbstractState]] = {}
-        self.stats = _Stats()
+        #: structured tracing (defaults to whatever instruments are
+        #: *active* -- ``obs.activate`` inside ``ShapeAnalysis.run`` --
+        #: so engine factories need not forward tracer/metrics keywords;
+        #: outside an activated run the null tracer costs one ``enabled``
+        #: check per instrumentation site) and the canonical registry.
+        self.tracer = tracer if tracer is not None else obs.TRACER
+        self.metrics = metrics if metrics is not None else (
+            obs.METRICS if obs.METRICS.enabled else Metrics()
+        )
+        self.stats = _StatsView(self.metrics)
         self._reach_rec: dict[str, set[int]] = {}
 
     # ------------------------------------------------------------------
@@ -301,9 +339,18 @@ class ShapeEngine:
     ) -> list[AbstractState]:
         self.budget.enter_procedure(name)
         try:
-            return self._run_procedure(
-                name, entry, cutpoints, sampler, contracts
-            )
+            if not self.tracer.enabled:
+                return self._run_procedure(
+                    name, entry, cutpoints, sampler, contracts
+                )
+            with self.tracer.span(
+                "procedure", procedure=name, sampled=sampler is not None
+            ) as span:
+                exits = self._run_procedure(
+                    name, entry, cutpoints, sampler, contracts
+                )
+                span["exits"] = len(exits)
+                return exits
         finally:
             self.budget.exit_procedure()
 
@@ -315,7 +362,7 @@ class ShapeEngine:
         sampler: _Sampler | None,
         contracts: dict[str, list[Summary]] | None,
     ) -> list[AbstractState]:
-        self.stats.procedures += 1
+        self.metrics.inc("engine.procedures.analyzed")
         # Canonicalize the entry: fold what the environment already
         # explains (cutpoints protected) so that entry matching against
         # summaries and contracts compares folded forms.
@@ -370,7 +417,7 @@ class ShapeEngine:
                     into.binding.get(c, c) for c in summary.cutpoints
                 )
                 if mapped_cuts == cutpoints:
-                    self.stats.summaries_reused += 1
+                    self.metrics.inc("engine.summaries.reused")
                     return [transplant_state(e, into) for e in summary.exits]
         if self.callgraph.is_recursive(name):
             return self._analyze_recursive(name, entry, cutpoints, contracts)
@@ -395,7 +442,29 @@ class ShapeEngine:
         cutpoints: frozenset[HeapName],
         outer_contracts: dict[str, list[Summary]] | None,
     ) -> list[AbstractState]:
+        if not self.tracer.enabled:
+            return self._analyze_recursive_traced(
+                name, entry, cutpoints, outer_contracts, None
+            )
+        with self.tracer.span(
+            "recursion.synthesize", procedure=name
+        ) as span:
+            return self._analyze_recursive_traced(
+                name, entry, cutpoints, outer_contracts, span
+            )
+
+    def _analyze_recursive_traced(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        outer_contracts: dict[str, list[Summary]] | None,
+        span,
+    ) -> list[AbstractState]:
+        self.metrics.inc("engine.recursion.sccs")
         scc = self.callgraph.scc_of(name)
+        if span is not None:
+            span["scc"] = sorted(scc)
         sampler = _Sampler(scc=scc, max_visits=self.max_unroll)
         sampler.record_entry(name, entry)
         sampler.depth = 1
@@ -416,7 +485,10 @@ class ShapeEngine:
         # contract, and verification restarts -- a bounded Kleene
         # iteration on the exit sets; failure to stabilize means the
         # synthesized invariants do not derive themselves.
+        verify_rounds = 0
         for _round in range(8):
+            verify_rounds += 1
+            self.metrics.inc("engine.recursion.verify_rounds")
             stable = True
             for p in visited:
                 for contract in contracts[p]:
@@ -435,6 +507,9 @@ class ShapeEngine:
             if stable:
                 break
         else:
+            if span is not None:
+                span["verified"] = False
+                span["verify_rounds"] = verify_rounds
             raise AnalysisFailure(
                 f"exit states of {name}'s recursion do not stabilize; "
                 f"the synthesized exit invariants do not derive themselves",
@@ -442,9 +517,13 @@ class ShapeEngine:
                 procedure=name,
             )
         self.phase_boundary("tabulation", name)
+        if span is not None:
+            span["verified"] = True
+            span["verify_rounds"] = verify_rounds
+            span["contracts"] = sum(len(contracts[p]) for p in visited)
         for p in visited:
             self.summaries[p].extend(contracts[p])
-            self.stats.invariants += len(contracts[p])
+            self.metrics.inc("engine.invariants.synthesized", len(contracts[p]))
         for contract in contracts[name]:
             witness = subsumes(contract.entry, entry, env=self.env)
             if witness is not None:
@@ -485,10 +564,19 @@ class ShapeEngine:
                     break
             if witness is None:
                 self.phase_boundary("synthesis", p)
-                group_entry = normalize_state(
-                    seen_entry.copy(), self.env, live=params, hint="R",
-                    protect=act_cuts,
-                )
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        "contract.synthesize", procedure=p, group=len(groups)
+                    ):
+                        group_entry = normalize_state(
+                            seen_entry.copy(), self.env, live=params,
+                            hint="R", protect=act_cuts,
+                        )
+                else:
+                    group_entry = normalize_state(
+                        seen_entry.copy(), self.env, live=params, hint="R",
+                        protect=act_cuts,
+                    )
                 if len(groups) >= 4:
                     raise AnalysisFailure(
                         f"entry states of {p} fall into too many shapes; "
@@ -538,6 +626,23 @@ class ShapeEngine:
         sampler: _Sampler | None,
         contracts: dict[str, Summary] | None,
     ) -> list[AbstractState]:
+        if not self.tracer.enabled:
+            return self._interpret(name, entry, cutpoints, sampler, contracts)
+        with self.tracer.span("fixpoint", procedure=name) as span:
+            states_before = self.metrics.counter("engine.states")
+            exits = self._interpret(name, entry, cutpoints, sampler, contracts)
+            span["states"] = self.metrics.counter("engine.states") - states_before
+            span["exits"] = len(exits)
+            return exits
+
+    def _interpret(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+        sampler: _Sampler | None,
+        contracts: dict[str, Summary] | None,
+    ) -> list[AbstractState]:
         proc = self.program.proc(name)
         cfg = self.cfgs[name]
         liveness = self.liveness[name]
@@ -577,7 +682,7 @@ class ShapeEngine:
         push(0, entry)
         while worklist:
             processed += 1
-            self.stats.states += 1
+            self.metrics.inc("engine.states")
             self.budget.charge_state(name)
             if processed > self.state_budget:
                 raise BudgetExhausted(
@@ -587,7 +692,7 @@ class ShapeEngine:
                 )
             index, state = worklist.popleft()
             instr = proc.instrs[index]
-            self.stats.instructions += 1
+            self.metrics.inc("engine.instructions")
             try:
                 if isinstance(instr, Nop):
                     follow_edge(index, index + 1, state)
@@ -883,6 +988,7 @@ class ShapeEngine:
         state.rho = {r: v for r, v in state.rho.items() if r in live}
         arrivals = back_arrivals.get(header, 0) + 1
         back_arrivals[header] = arrivals
+        self.metrics.inc("engine.loop.back_edges")
         invariants = header_invariants.setdefault(header, [])
         self.phase_boundary("fold", name)
         folded = fold_state(
@@ -892,11 +998,22 @@ class ShapeEngine:
             self.phase_boundary("entailment", name)
         for invariant in invariants:
             if subsumes(invariant, folded, live=live, env=self.env) is not None:
-                return  # converged: derivable from the invariant (WEAKEN)
+                # converged: derivable from the invariant (WEAKEN) --
+                # the hypothesis verified against this back-edge state.
+                self.metrics.inc("engine.loop.converged")
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "loop.converged",
+                        procedure=name,
+                        header=header,
+                        arrivals=arrivals,
+                    )
+                return
         if arrivals < self.max_unroll:
             push(header, state)
             return
         if arrivals > self.max_back_arrivals:
+            self.metrics.inc("engine.invariants.failed")
             raise AnalysisFailure(
                 f"loop at {name}@{header} did not converge; the "
                 f"synthesized invariant does not derive itself",
@@ -905,6 +1022,7 @@ class ShapeEngine:
                 loop_header=header,
             )
         if len(invariants) >= self.max_invariants_per_header:
+            self.metrics.inc("engine.invariants.failed")
             raise AnalysisFailure(
                 f"too many invariant candidates at {name}@{header}; "
                 f"recursion synthesis failed to generalize the loop",
@@ -913,9 +1031,24 @@ class ShapeEngine:
                 loop_header=header,
             )
         self.phase_boundary("synthesis", name)
-        invariant = normalize_state(
-            state.copy(), self.env, live=live, hint="P", protect=cutpoints
-        )
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "loop.synthesize",
+                procedure=name,
+                header=header,
+                arrivals=arrivals,
+                unroll=self.max_unroll,
+                prior_candidates=len(invariants),
+            ) as span:
+                invariant = normalize_state(
+                    state.copy(), self.env, live=live, hint="P",
+                    protect=cutpoints,
+                )
+                span["spatial_atoms"] = sum(1 for _ in invariant.spatial)
+        else:
+            invariant = normalize_state(
+                state.copy(), self.env, live=live, hint="P", protect=cutpoints
+            )
         # A new, more general invariant supersedes older candidates.
         invariants[:] = [
             old
@@ -926,7 +1059,7 @@ class ShapeEngine:
         self.loop_invariants.setdefault((name, header), []).append(
             invariant.copy()
         )
-        self.stats.invariants += 1
+        self.metrics.inc("engine.invariants.synthesized")
         push(header, invariant.copy())
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.logic.predicates import PredicateDef, PredicateEnv
 from repro.logic.state import AbstractState
+from repro.obs import with_legacy_aliases
 from repro.analysis.resilience import Diagnostic
 
 __all__ = ["AnalysisResult"]
@@ -85,7 +86,10 @@ class AnalysisResult:
             "summaries": sum(len(v) for v in self.summaries.values()),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "budget": dict(self.budget_stats),
-            "stats": dict(self.stats),
+            # Records always carry both the canonical dotted metric
+            # names and the legacy flat keys, whichever the result was
+            # built with (idempotent either way).
+            "stats": with_legacy_aliases(dict(self.stats)),
         }
 
     @property

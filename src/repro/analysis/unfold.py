@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
+from repro import obs
 from repro.logic.assertions import PointsTo, PredInstance, Raw
 from repro.logic.heapnames import FieldPath, HeapName, Var, fresh_var
 from repro.logic.predicates import NullArg, ParamArg, PredicateDef, PredicateEnv, RecTarget
@@ -174,9 +175,11 @@ def unfold_root(
         for sub in subs:
             result.spatial.add(sub)
         result.pure.assume("ne", root, NULL_VAL)
+        _record_unfold("unfold.root", instance.pred, 1, 0, 0)
         return [result]
 
     results: list[AbstractState] = []
+    exact = below = 0
     for combo in _placement_combos(state, definition, instance.truncs, anchor=root):
         st = state.copy()
         st.spatial.remove(_find(st, instance))
@@ -186,11 +189,36 @@ def unfold_root(
         ):
             st.pure.assume("ne", root, NULL_VAL)
             results.append(st)
+            exact += sum(1 for p in combo if p.exact)
+            below += sum(1 for p in combo if not p.exact)
     if not results:
         raise AnalysisStuck(
             f"no consistent truncation placement unfolding {instance}"
         )
+    _record_unfold("unfold.root", instance.pred, len(results), exact, below)
     return results
+
+
+def _record_unfold(
+    case: str, pred: str, cases: int, exact: int, below: int
+) -> None:
+    """Report one Figure-6 unfold to the active instruments: which case
+    fired (root vs interior), how many case-split states survived, and
+    how the truncation points were placed (exactly at a sub-structure
+    root vs strictly below one)."""
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc(case)
+        metrics.inc("unfold.cases", cases)
+        if exact:
+            metrics.inc("unfold.placements.exact", exact)
+        if below:
+            metrics.inc("unfold.placements.below", below)
+    tracer = obs.TRACER
+    if tracer.enabled:
+        tracer.event(
+            case, pred=pred, cases=cases, exact=exact, below=below
+        )
 
 
 def _find(state: AbstractState, instance: PredInstance) -> PredInstance:
@@ -437,6 +465,7 @@ def unfold_interior(
         per_piece.append(options)
 
     results: list[AbstractState] = []
+    exact = below = 0
     for combo in product(*per_piece):
         exact_calls = [p.call_index for p in combo if p.exact]
         if len(exact_calls) != len(set(exact_calls)):
@@ -457,8 +486,11 @@ def unfold_interior(
         st.spatial.replace(host_atom, host_atom.with_truncs(new_truncs))
         st.pure.assume("ne", h, NULL_VAL)
         results.append(st)
+        exact += sum(1 for p in combo if p.exact)
+        below += sum(1 for p in combo if not p.exact)
     if not results:
         raise AnalysisStuck(f"no consistent interior unfolding for {h}")
+    _record_unfold("unfold.interior", host.pred, len(results), exact, below)
     return results
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import signal as signal_module
 import subprocess
 import sys
@@ -36,6 +37,7 @@ from pathlib import Path
 from repro.analysis import ShapeAnalysis
 from repro.benchsuite import TABLE4_PROGRAMS, listprogs
 from repro.ir import Program
+from repro.obs import merge_stat_dicts
 from repro.reporting import render_batch_report
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "crucible_names",
     "run_batch",
     "run_one",
+    "trace_file_for",
     "main",
 ]
 
@@ -120,6 +123,10 @@ class RunRecord:
     #: the full :meth:`AnalysisResult.to_record` payload when the
     #: analysis produced a result at all.
     result: dict | None = None
+    #: path of the span trace the run wrote (``--trace DIR`` batches);
+    #: survives the isolation boundary because the *parent* names the
+    #: file and the child just writes to it.
+    trace: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -131,6 +138,7 @@ class RunRecord:
             "signal": self.signal,
             "diagnostics": self.diagnostics,
             "result": self.result,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -144,6 +152,7 @@ class RunRecord:
             signal=data.get("signal"),
             diagnostics=data.get("diagnostics", []),
             result=data.get("result"),
+            trace=data.get("trace"),
         )
 
 
@@ -177,6 +186,21 @@ class BatchReport:
                 signals[record.signal] = signals.get(record.signal, 0) + 1
         return signals
 
+    def metrics_by_outcome(self) -> dict[str, dict]:
+        """Canonical engine metrics aggregated per outcome class, merged
+        across runs (and across the isolation boundary -- each child's
+        metrics ride home inside its result record).  Counters sum;
+        ``phase.*.seconds`` gauges sum (total phase time across the
+        batch); other gauges keep their maximum."""
+        merged: dict[str, dict] = {}
+        for record in self.records:
+            if not record.result:
+                continue
+            stats = record.result.get("stats") or {}
+            bucket = merged.setdefault(record.outcome, {})
+            merge_stat_dicts(bucket, stats)
+        return merged
+
     def budget_totals(self) -> dict:
         """Summed budget accounting across all runs that produced one
         -- the robustness numbers the perf trajectory tracks."""
@@ -208,6 +232,7 @@ class BatchReport:
             "counts": self.counts,
             "signals": self.signals,
             "budget": self.budget_totals(),
+            "metrics": self.metrics_by_outcome(),
             "runs": [record.to_dict() for record in self.records],
         }
 
@@ -226,6 +251,7 @@ def run_one(
     deadline: float | None = None,
     unroll: int = 2,
     state_budget: int = 20000,
+    trace_path: "str | Path | None" = None,
 ) -> RunRecord:
     """Run one benchmark in-process.  ``ShapeAnalysis.run`` already
     contains analysis failures and internal errors; the extra guard
@@ -241,6 +267,7 @@ def run_one(
             deadline_seconds=deadline,
             max_unroll=unroll,
             state_budget=state_budget,
+            trace_path=trace_path,
         ).run()
     except Exception as exc:
         return RunRecord(
@@ -249,6 +276,7 @@ def run_one(
             seconds=time.perf_counter() - start,
             mode=mode,
             error=f"{type(exc).__name__}: {exc}",
+            trace=str(trace_path) if trace_path else None,
         )
     record = result.to_record()
     return RunRecord(
@@ -259,7 +287,17 @@ def run_one(
         error=result.failure,
         diagnostics=record["diagnostics"],
         result=record,
+        trace=str(trace_path) if trace_path else None,
     )
+
+
+def trace_file_for(trace_dir: "str | Path", name: str) -> Path:
+    """Where a benchmark's trace goes under *trace_dir*.  Benchmark
+    names can contain characters hostile to filenames
+    (``crucible:7+2``); everything outside a conservative set becomes
+    ``_``."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)
+    return Path(trace_dir) / f"{safe}.trace.jsonl"
 
 
 def _resolve_benchmark(name: str) -> Program:
@@ -320,6 +358,7 @@ def _run_isolated(
     deadline: float | None,
     unroll: int,
     state_budget: int,
+    trace_path: "Path | None" = None,
 ) -> RunRecord:
     command = [
         sys.executable,
@@ -336,6 +375,8 @@ def _run_isolated(
     ]
     if deadline is not None:
         command += ["--deadline", str(deadline)]
+    if trace_path is not None:
+        command += ["--trace", str(trace_path)]
     start = time.perf_counter()
     try:
         proc = subprocess.run(
@@ -352,6 +393,7 @@ def _run_isolated(
             seconds=time.perf_counter() - start,
             mode=mode,
             error=f"run exceeded the {timeout}s isolation timeout",
+            trace=_surviving_trace(trace_path),
         )
     seconds = time.perf_counter() - start
     # A negative return code means the child was killed by a signal --
@@ -370,6 +412,7 @@ def _run_isolated(
                 f"child killed by {_signal_name(-proc.returncode)} "
                 f"(exit code {proc.returncode})"
             ),
+            trace=_surviving_trace(trace_path),
         )
     # The child prints exactly one JSON record on success; anything
     # else (nonzero exit, garbage stdout) is a crash of the child.
@@ -387,9 +430,19 @@ def _run_isolated(
                 f"child exited with code {proc.returncode}: "
                 + (" | ".join(tail) or "no output")
             ),
+            trace=_surviving_trace(trace_path),
         )
     record.seconds = seconds
     return record
+
+
+def _surviving_trace(trace_path: "Path | None") -> str | None:
+    """A dead child's partial trace is still evidence -- attach it to
+    the record whenever the file made it to disk (the tracer writes
+    line-buffered JSONL, so everything up to the crash is readable)."""
+    if trace_path is not None and trace_path.exists():
+        return str(trace_path)
+    return None
 
 
 def _signal_name(signum: int) -> str:
@@ -407,19 +460,33 @@ def run_batch(
     unroll: int = 2,
     state_budget: int = 20000,
     isolate: bool = True,
+    trace_dir: "str | Path | None" = None,
 ) -> BatchReport:
     """Run *names* (default: every known benchmark), one isolated
-    subprocess each, and aggregate the outcomes."""
+    subprocess each, and aggregate the outcomes.  With *trace_dir*,
+    every run writes a span trace to
+    ``<trace_dir>/<name>.trace.jsonl`` (the parent names the file, the
+    child writes it, so traces survive the isolation boundary and even
+    child death)."""
     if names is None or not names:
         names = sorted(benchmark_factories())
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     records = []
     for name in names:
+        trace_path = (
+            trace_file_for(trace_dir, name) if trace_dir is not None else None
+        )
         if isolate:
             record = _run_isolated(
-                name, mode, timeout, deadline, unroll, state_budget
+                name, mode, timeout, deadline, unroll, state_budget,
+                trace_path=trace_path,
             )
         else:
-            record = run_one(name, mode, deadline, unroll, state_budget)
+            record = run_one(
+                name, mode, deadline, unroll, state_budget,
+                trace_path=trace_path,
+            )
         records.append(record)
     return BatchReport(records, mode=mode, isolated=isolate)
 
@@ -486,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured batch report to PATH ('-' for stdout)",
     )
     parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help=(
+            "write one span trace per benchmark under DIR "
+            "(<name>.trace.jsonl); in --child mode this is the exact "
+            "trace FILE instead"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list known benchmarks and exit"
     )
     return parser
@@ -505,6 +581,7 @@ def main(argv: "list[str] | None" = None) -> int:
             deadline=args.deadline,
             unroll=args.unroll,
             state_budget=args.state_budget,
+            trace_path=args.trace,
         )
         print(json.dumps(record.to_dict()))
         return 0
@@ -521,6 +598,7 @@ def main(argv: "list[str] | None" = None) -> int:
         unroll=args.unroll,
         state_budget=args.state_budget,
         isolate=not args.no_isolate,
+        trace_dir=args.trace,
     )
     print(report.render())
     if args.json:

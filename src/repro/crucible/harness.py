@@ -29,7 +29,9 @@ from repro.crucible.oracle import Oracle, OracleReport
 
 __all__ = [
     "CampaignReport",
+    "capture_failure_trace",
     "replay_corpus_file",
+    "reproducer_path",
     "run_campaign",
     "verify_determinism",
     "write_reproducer",
@@ -99,6 +101,8 @@ class CampaignReport:
                 )
                 if run.get("reproducer"):
                     lines.append(f"      reproducer: {run['reproducer']}")
+                if run.get("trace"):
+                    lines.append(f"      trace:      {run['trace']}")
         counts = "  ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
         lines.append(f"outcomes: {counts}")
         lines.append(f"violations: {self.violation_count}")
@@ -110,18 +114,30 @@ class CampaignReport:
 # ----------------------------------------------------------------------
 
 
+def reproducer_path(
+    generated: GeneratedProgram,
+    report: OracleReport,
+    corpus_dir: "Path | str" = DEFAULT_CORPUS_DIR,
+) -> Path:
+    """Deterministic corpus filename for a violation: seed + claims."""
+    claims = "+".join(sorted({v.claim for v in report.violations})) or "manual"
+    return Path(corpus_dir) / f"seed{generated.seed:08d}-{claims}.ir"
+
+
 def write_reproducer(
     generated: GeneratedProgram,
     report: OracleReport,
     program: Program,
     corpus_dir: "Path | str" = DEFAULT_CORPUS_DIR,
+    trace_path: "Path | None" = None,
 ) -> Path:
     """Write *program* (usually the minimized form) as a replayable
-    textual-IR corpus file with full provenance in comments."""
+    textual-IR corpus file with full provenance in comments.  When the
+    failing run was re-analyzed under tracing, *trace_path* points the
+    investigator at the span trace sitting next to the reproducer."""
     corpus_dir = Path(corpus_dir)
     corpus_dir.mkdir(parents=True, exist_ok=True)
-    claims = "+".join(sorted({v.claim for v in report.violations})) or "manual"
-    path = corpus_dir / f"seed{generated.seed:08d}-{claims}.ir"
+    path = reproducer_path(generated, report, corpus_dir)
     header = [
         "# crucible reproducer",
         f"# seed: {generated.seed}",
@@ -131,11 +147,40 @@ def write_reproducer(
         header.append(f"# mutation: {mutation}")
     for violation in report.violations:
         header.append(f"# violation: {violation.claim}: {violation.message}")
+    if trace_path is not None:
+        header.append(f"# trace: {trace_path.as_posix()}")
     header.append(
         "# replay: python -m repro --crucible --replay " + path.as_posix()
     )
     path.write_text("\n".join(header) + "\n\n" + print_program(program))
     return path
+
+
+def capture_failure_trace(
+    oracle: Oracle,
+    program: Program,
+    name: str,
+    reproducer: Path,
+) -> "Path | None":
+    """Re-run the analysis side of the oracle on *program* with tracing
+    enabled and drop the span trace next to the reproducer
+    (``<stem>.trace.jsonl``).  A trace capture that itself blows up is
+    swallowed -- the reproducer is the artifact that matters."""
+    from repro.analysis import ShapeAnalysis
+
+    trace_path = reproducer.with_suffix(".trace.jsonl")
+    try:
+        ShapeAnalysis(
+            program,
+            name=name,
+            mode="strict",
+            deadline_seconds=getattr(oracle, "deadline_seconds", 20.0),
+            state_budget=getattr(oracle, "state_budget", 20000),
+            trace_path=trace_path,
+        ).run()
+    except Exception:
+        return trace_path if trace_path.exists() else None
+    return trace_path
 
 
 def replay_corpus_file(
@@ -187,10 +232,18 @@ def run_campaign(
                 )
                 run["minimized_instructions"] = program.instruction_count()
             if corpus_dir is not None:
+                trace = capture_failure_trace(
+                    oracle,
+                    program,
+                    generated.name,
+                    reproducer_path(generated, oracle_report, corpus_dir),
+                )
                 path = write_reproducer(
-                    generated, oracle_report, program, corpus_dir
+                    generated, oracle_report, program, corpus_dir,
+                    trace_path=trace,
                 )
                 run["reproducer"] = path.as_posix()
+                run["trace"] = trace.as_posix() if trace else None
         report.runs.append(run)
     return report
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ir.values import Register
 from repro.logic.implication import pred_implies
 from repro.logic.assertions import (
@@ -120,7 +121,47 @@ def subsumes(
     With a predicate environment, instances of *different* predicates
     match when the concrete one's definition implies the general one's
     (see :mod:`repro.logic.implication`).  A query exceeding
-    *step_limit* backtracking steps conservatively answers None."""
+    *step_limit* backtracking steps conservatively answers None.
+
+    Every query reports to the active observability instruments
+    (``obs.METRICS`` counters, and a ``entailment.query`` trace event
+    carrying the match steps consumed and the verdict); outside an
+    active analysis run both are null and the cost is a no-op call."""
+    budget = _MatchBudget(step_limit)
+    capped = False
+    try:
+        result = _subsumes(general, concrete, live, env, budget)
+    except _MatchBudgetExceeded:
+        result = None
+        capped = True
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc("entailment.queries")
+        metrics.inc("entailment.match_steps", budget.steps)
+        metrics.inc(
+            "entailment.subsumed" if result is not None
+            else "entailment.rejected"
+        )
+        if capped:
+            metrics.inc("entailment.step_limit_hits")
+    tracer = obs.TRACER
+    if tracer.enabled:
+        tracer.event(
+            "entailment.query",
+            steps=budget.steps,
+            subsumed=result is not None,
+            step_limit_hit=capped,
+        )
+    return result
+
+
+def _subsumes(
+    general: AbstractState,
+    concrete: AbstractState,
+    live: set[Register] | None,
+    env,
+    budget: _MatchBudget,
+) -> Mapping | None:
     mapping = Mapping()
     registers = set(general.rho) & set(concrete.rho)
     if live is not None:
@@ -134,17 +175,14 @@ def subsumes(
             return None
     general_atoms = sorted(_spatial_atoms(general), key=_match_priority)
     concrete_atoms = _spatial_atoms(concrete)
-    try:
-        result = _match_atoms(
-            general_atoms,
-            concrete_atoms,
-            mapping,
-            concrete,
-            env,
-            _MatchBudget(step_limit),
-        )
-    except _MatchBudgetExceeded:
-        return None
+    result = _match_atoms(
+        general_atoms,
+        concrete_atoms,
+        mapping,
+        concrete,
+        env,
+        budget,
+    )
     if result is None:
         return None
     if not _pure_atoms_hold(general, concrete, result):

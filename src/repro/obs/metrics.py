@@ -1,0 +1,237 @@
+"""Named counters, gauges and histograms -- the canonical metric schema.
+
+This registry replaces the ad-hoc ``_Stats`` dataclass the engine used
+to keep and the undocumented, inconsistently-named keys it leaked into
+``AnalysisResult.stats``.  Every metric the pipeline records is named
+here; batch drivers, the bench JSON and CI treat any name outside this
+table as a schema bug (``Metrics.check_schema``).
+
+Canonical metric names
+======================
+
+======================================  =========  ==========================================
+name                                    kind       meaning
+======================================  =========  ==========================================
+``engine.states``                       counter    worklist states processed
+``engine.instructions``                 counter    abstract instruction executions
+``engine.procedures.analyzed``          counter    procedure bodies analyzed (incl. re-runs)
+``engine.summaries.reused``             counter    call sites answered from a tabulated summary
+``engine.invariants.synthesized``       counter    loop/procedure invariants hypothesized
+``engine.invariants.failed``            counter    invariant hypotheses that failed to verify
+``engine.loop.back_edges``              counter    back-edge arrivals at loop headers
+``engine.loop.converged``               counter    back-edge states subsumed by an invariant
+``engine.recursion.sccs``               counter    recursive SCCs put through §5.2.1
+``engine.recursion.verify_rounds``      counter    contract-verification Kleene rounds
+``entailment.queries``                  counter    ``subsumes`` queries answered
+``entailment.subsumed``                 counter    queries that found a witness
+``entailment.rejected``                 counter    queries that found none
+``entailment.match_steps``              counter    backtracking steps consumed (summed)
+``entailment.step_limit_hits``          counter    queries cut off at the match-step cap
+``unfold.root``                         counter    Figure-6 unfolds from the root
+``unfold.interior``                     counter    Figure-6 bottom-up (interior) unfolds
+``unfold.placements.exact``             counter    truncation points placed exactly at a sub-root
+``unfold.placements.below``             counter    truncation points pushed below a sub-structure
+``unfold.cases``                        counter    case-split states produced by unfolding
+``fold.calls``                          counter    ``fold_state`` invocations
+``fold.absorbed``                       counter    bottom-up absorptions applied
+``fold.wrapped``                        counter    top-down wraps applied
+``synthesis.terms``                     counter    term trees put through recursion synthesis
+``synthesis.segmentations_tried``       counter    candidate segmentations examined
+``synthesis.succeeded``                 counter    terms that yielded a predicate
+``synthesis.failed``                    counter    terms no segmentation explained
+``phase.pointer.seconds``               gauge      pointer-analysis pre-pass wall time
+``phase.slicing.seconds``               gauge      slicing pre-pass wall time
+``phase.shape.seconds``                 gauge      shape-analysis wall time (all attempts)
+``analysis.attempts``                   gauge      engine attempts (1 unless escalation fired)
+======================================  =========  ==========================================
+
+Back-compat: the seed's ``AnalysisResult.stats`` keys (``states``,
+``instructions``, ``invariants``, ``summaries_reused``,
+``procedures``) remain available as aliases of their canonical
+counterparts -- :data:`LEGACY_STAT_ALIASES`, applied by
+:func:`with_legacy_aliases` in ``AnalysisResult.to_record``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LEGACY_STAT_ALIASES",
+    "METRIC_SCHEMA",
+    "Metrics",
+    "NULL_METRICS",
+    "NullMetrics",
+    "merge_stat_dicts",
+    "with_legacy_aliases",
+]
+
+#: name -> kind ("counter" | "gauge" | "histogram") for every canonical
+#: metric; the table rendered in the module docstring, as data.
+METRIC_SCHEMA: dict[str, str] = {
+    "engine.states": "counter",
+    "engine.instructions": "counter",
+    "engine.procedures.analyzed": "counter",
+    "engine.summaries.reused": "counter",
+    "engine.invariants.synthesized": "counter",
+    "engine.invariants.failed": "counter",
+    "engine.loop.back_edges": "counter",
+    "engine.loop.converged": "counter",
+    "engine.recursion.sccs": "counter",
+    "engine.recursion.verify_rounds": "counter",
+    "entailment.queries": "counter",
+    "entailment.subsumed": "counter",
+    "entailment.rejected": "counter",
+    "entailment.match_steps": "counter",
+    "entailment.step_limit_hits": "counter",
+    "unfold.root": "counter",
+    "unfold.interior": "counter",
+    "unfold.placements.exact": "counter",
+    "unfold.placements.below": "counter",
+    "unfold.cases": "counter",
+    "fold.calls": "counter",
+    "fold.absorbed": "counter",
+    "fold.wrapped": "counter",
+    "synthesis.terms": "counter",
+    "synthesis.segmentations_tried": "counter",
+    "synthesis.succeeded": "counter",
+    "synthesis.failed": "counter",
+    "phase.pointer.seconds": "gauge",
+    "phase.slicing.seconds": "gauge",
+    "phase.shape.seconds": "gauge",
+    "analysis.attempts": "gauge",
+}
+
+#: Legacy ``AnalysisResult.stats`` key -> canonical metric name.
+LEGACY_STAT_ALIASES: dict[str, str] = {
+    "states": "engine.states",
+    "instructions": "engine.instructions",
+    "invariants": "engine.invariants.synthesized",
+    "summaries_reused": "engine.summaries.reused",
+    "procedures": "engine.procedures.analyzed",
+}
+
+
+def with_legacy_aliases(stats: dict) -> dict:
+    """Return *stats* plus the legacy keys mirroring their canonical
+    counterparts (idempotent; missing canonical keys alias to 0 so old
+    consumers keep indexing without KeyError)."""
+    out = dict(stats)
+    for legacy, canonical in LEGACY_STAT_ALIASES.items():
+        out[legacy] = out.get(canonical, out.get(legacy, 0))
+    return out
+
+
+def merge_stat_dicts(into: dict, stats: dict) -> dict:
+    """Accumulate one run's canonical stats into *into* (in place).
+
+    Only canonical (dotted) names participate -- legacy aliases would
+    double-count; counters sum, ``.seconds`` gauges sum into totals,
+    other gauges keep the max.  Used by the batch runner to aggregate
+    metrics per outcome across isolated child processes."""
+    for name, value in stats.items():
+        if "." not in name or not isinstance(value, (int, float)):
+            continue
+        if METRIC_SCHEMA.get(name) == "gauge" and not name.endswith(".seconds"):
+            into[name] = max(into.get(name, 0), value)
+        else:
+            into[name] = round(into.get(name, 0) + value, 9)
+    return into
+
+
+class Metrics:
+    """A registry of named counters, gauges and histograms.
+
+    Deliberately tiny: incrementing a counter is one dict operation, so
+    the always-on engine counters (the old ``_Stats`` fields) cost what
+    they always did.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram *name* (count / sum /
+        min / max -- enough for the time/count trees we render)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Metrics") -> None:
+        """Fold *other* into this registry (counters and histogram
+        samples sum; gauges last-write-wins)."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = dict(hist)
+            else:
+                mine["count"] += hist["count"]
+                mine["sum"] += hist["sum"]
+                mine["min"] = min(mine["min"], hist["min"])
+                mine["max"] = max(mine["max"], hist["max"])
+
+    def check_schema(self) -> list[str]:
+        """Names recorded outside :data:`METRIC_SCHEMA` (a bug)."""
+        recorded = set(self.counters) | set(self.gauges) | set(self.histograms)
+        return sorted(recorded - set(METRIC_SCHEMA))
+
+    def to_dict(self) -> dict:
+        """One flat, sorted, JSON-ready dict: counters and gauges by
+        name, histograms flattened to ``name.count`` etc."""
+        out: dict = {}
+        out.update(self.counters)
+        for name, value in self.gauges.items():
+            out[name] = round(value, 6) if isinstance(value, float) else value
+        for name, hist in self.histograms.items():
+            out[f"{name}.count"] = hist["count"]
+            out[f"{name}.sum"] = round(hist["sum"], 6)
+            out[f"{name}.min"] = round(hist["min"], 6)
+            out[f"{name}.max"] = round(hist["max"], 6)
+        return dict(sorted(out.items()))
+
+
+class NullMetrics:
+    """Disabled registry: every recording method is a no-op."""
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,136 @@
+"""Disabled-tracer overhead micro-benchmark (CI-budgeted).
+
+Instrumenting the engine costs something even when tracing is off: one
+``enabled`` attribute check (and branch) per instrumentation site.
+This module puts a number on that cost and holds it to a budget:
+
+1. measure the per-check cost of the guard pattern
+   (``if tracer.enabled: ...``) against the null tracer, baselined
+   against an empty loop of the same shape;
+2. run the Table 4 suite (in-process, tracing disabled) and count how
+   many guard checks the run actually executed, derived from the
+   canonical metrics the run records;
+3. report ``overhead_pct`` = guarded-check time / analysis wall time.
+
+``python -m repro.obs.overhead`` prints the JSON verdict and exits 1
+when the overhead exceeds :data:`BUDGET_PCT` -- the CI step that keeps
+instrumentation honest as spans accrete on hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = ["BUDGET_PCT", "estimate_overhead", "main", "measure_guard_ns"]
+
+#: Maximum tolerated disabled-tracer overhead on the Table 4 suite, in
+#: percent of analysis wall time (the acceptance bound of the issue).
+BUDGET_PCT = 3.0
+
+#: Guard checks executed per recorded unit of work.  The engine guards
+#: roughly: two sites per worklist state (span helpers on the pop path
+#: are avoided, but procedure/fixpoint wrappers and back-edge handling
+#: amortize to about this), two per entailment query (metrics + event),
+#: and one per unfold/fold/synthesis bookkeeping hit.  Deliberately
+#: over-counted -- the budget should survive a pessimistic estimate.
+_GUARDS_PER = {
+    "engine.states": 2.0,
+    "entailment.queries": 2.0,
+    "unfold.root": 1.0,
+    "unfold.interior": 1.0,
+    "fold.calls": 1.0,
+    "synthesis.terms": 2.0,
+    "engine.loop.back_edges": 2.0,
+    "engine.procedures.analyzed": 2.0,
+}
+
+
+def measure_guard_ns(iterations: int = 1_000_000) -> float:
+    """Per-check cost (ns) of ``if tracer.enabled:`` on the null
+    tracer, with an empty loop of the same shape subtracted out."""
+    tracer = NULL_TRACER
+    acc = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if tracer.enabled:
+            acc += 1
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iterations):
+        acc += 0
+    baseline = time.perf_counter() - start
+    return max(0.1, (guarded - baseline) / iterations * 1e9)
+
+
+def estimate_overhead(
+    benchmarks: "list[str] | None" = None,
+    guard_iterations: int = 1_000_000,
+) -> dict:
+    """Run *benchmarks* (default: the Table 4 suite) with tracing
+    disabled and estimate the guard overhead.  Returns the verdict
+    record the CI step prints."""
+    from repro.analysis import ShapeAnalysis
+    from repro.benchsuite import TABLE4_PROGRAMS
+
+    programs = TABLE4_PROGRAMS()
+    names = benchmarks if benchmarks is not None else sorted(programs)
+    guard_ns = measure_guard_ns(guard_iterations)
+    total_seconds = 0.0
+    guard_checks = 0.0
+    per_benchmark = {}
+    for name in names:
+        result = ShapeAnalysis(programs[name], name=name, mode="degrade").run()
+        total_seconds += result.total_seconds
+        checks = sum(
+            weight * result.stats.get(metric, 0)
+            for metric, weight in _GUARDS_PER.items()
+        )
+        guard_checks += checks
+        per_benchmark[name] = {
+            "seconds": round(result.total_seconds, 6),
+            "guard_checks": int(checks),
+            "outcome": result.outcome,
+        }
+    guard_seconds = guard_checks * guard_ns / 1e9
+    overhead_pct = (
+        100.0 * guard_seconds / total_seconds if total_seconds > 0 else 0.0
+    )
+    return {
+        "guard_ns_per_check": round(guard_ns, 2),
+        "guard_checks": int(guard_checks),
+        "guard_seconds": round(guard_seconds, 6),
+        "suite_seconds": round(total_seconds, 6),
+        "overhead_pct": round(overhead_pct, 4),
+        "budget_pct": BUDGET_PCT,
+        "ok": overhead_pct < BUDGET_PCT,
+        "benchmarks": per_benchmark,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.overhead",
+        description="disabled-tracer overhead micro-benchmark",
+    )
+    parser.add_argument(
+        "benchmarks", nargs="*", help="Table 4 benchmarks (default: all)"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=BUDGET_PCT, metavar="PCT",
+        help=f"failure threshold in percent (default {BUDGET_PCT})",
+    )
+    args = parser.parse_args(argv)
+    verdict = estimate_overhead(args.benchmarks or None)
+    verdict["budget_pct"] = args.budget
+    verdict["ok"] = verdict["overhead_pct"] < args.budget
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

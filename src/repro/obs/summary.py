@@ -1,0 +1,136 @@
+"""Trace exploration: aggregate a JSONL trace into a time/count tree.
+
+``python -m repro trace-summary FILE`` renders, top-down, where a run
+spent its time: spans with the same name under the same parent path are
+aggregated (count, total wall time, self time = total minus children),
+and point events show up as count-only rows.  Rendering goes through
+:mod:`repro.reporting` so trace tables read like the rest of the
+harness output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.reporting import render_table
+
+__all__ = ["SummaryNode", "load_trace", "render_trace_summary", "summarize_trace"]
+
+
+@dataclass
+class SummaryNode:
+    """One aggregate row: every span/event named *name* whose parents
+    aggregate to the same path."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    children: "dict[str, SummaryNode]" = field(default_factory=dict)
+
+    @property
+    def self_seconds(self) -> float:
+        return max(
+            0.0,
+            self.total_seconds
+            - sum(c.total_seconds for c in self.children.values()),
+        )
+
+    def child(self, name: str) -> "SummaryNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SummaryNode(name)
+        return node
+
+
+def load_trace(path: "str | Path") -> list[dict]:
+    """Parse a trace file; malformed lines (e.g. the torn tail of a
+    crashed child process) are skipped, not fatal -- a truncated trace
+    is still evidence."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "id" in record:
+                records.append(record)
+    return records
+
+
+def summarize_trace(records: list[dict]) -> SummaryNode:
+    """Fold the span forest into an aggregate tree rooted at a
+    synthetic ``<trace>`` node (traces may have several roots: one per
+    analysis attempt, or per benchmark when files are concatenated)."""
+    by_id = {record["id"]: record for record in records}
+    root = SummaryNode("<trace>")
+    aggregate_of: dict[int, SummaryNode] = {}
+
+    def node_for(record: dict) -> SummaryNode:
+        known = aggregate_of.get(record["id"])
+        if known is not None:
+            return known
+        parent_record = by_id.get(record["parent"])
+        parent_node = root if parent_record is None else node_for(parent_record)
+        node = parent_node.child(record["name"])
+        aggregate_of[record["id"]] = node
+        return node
+
+    for record in records:
+        node = node_for(record)
+        node.count += 1
+        if record.get("type") == "span":
+            node.total_seconds += max(
+                0.0, record.get("end", 0.0) - record.get("start", 0.0)
+            )
+    root.count = 1
+    root.total_seconds = sum(c.total_seconds for c in root.children.values())
+    return root
+
+
+def render_trace_summary(
+    records: list[dict],
+    max_depth: int | None = None,
+    min_seconds: float = 0.0,
+    title: str | None = None,
+) -> str:
+    """The top-down tree as an aligned table: indented span name,
+    count, total and self wall time.  Children sort by total time
+    (descending), name-tie-broken, so the expensive path reads first."""
+    root = summarize_trace(records)
+    rows: list[list[object]] = []
+
+    def emit(node: SummaryNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        ordered = sorted(
+            node.children.values(),
+            key=lambda child: (-child.total_seconds, child.name),
+        )
+        for child in ordered:
+            if child.total_seconds < min_seconds and child.count == 0:
+                continue
+            rows.append(
+                [
+                    "  " * depth + child.name,
+                    child.count,
+                    f"{child.total_seconds:.6f}",
+                    f"{child.self_seconds:.6f}",
+                ]
+            )
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    if not rows:
+        return "empty trace (no span or event records)"
+    table = render_table(
+        ["Span", "Count", "Total (s)", "Self (s)"],
+        rows,
+        title=title or f"Trace summary ({len(records)} records)",
+    )
+    return table

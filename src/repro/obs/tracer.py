@@ -1,0 +1,209 @@
+"""Hierarchical tracing spans, written as JSONL.
+
+One :class:`Tracer` owns one output stream and a stack of open spans.
+``tracer.span(name, **attrs)`` is a context manager; nesting follows
+the dynamic call structure, so a trace reconstructs the engine's
+actual execution tree: phases contain procedure activations, which
+contain fixpoint runs, which contain loop-synthesis attempts and
+entailment queries.
+
+The wire format is one JSON object per line, ``sort_keys`` and compact
+separators, so a trace is byte-deterministic given a deterministic
+clock (the tests stub the monotonic clock and diff raw bytes):
+
+* ``{"type":"span","id":2,"parent":1,"name":"fixpoint",
+  "start":0.25,"end":0.75,"attrs":{"procedure":"main"}}``
+* ``{"type":"event","id":3,"parent":2,"name":"entailment.query",
+  "t":0.5,"attrs":{"steps":12,"subsumed":true}}``
+
+Children are emitted *before* their parents (a span is written when it
+closes), so consumers rebuild the tree from ``parent`` ids rather than
+file order; ``parent`` is 0 for roots.
+
+Balance guarantees: a span closed by an escaping exception records the
+exception type in ``attrs.error``; :meth:`Tracer.close` force-closes
+anything still open (marked ``aborted``), so even a
+:class:`~repro.analysis.resilience.BudgetExhausted` that aborts the
+engine mid-phase leaves a trace in which every opened span has exactly
+one record.
+
+The disabled path is :data:`NULL_TRACER`: ``enabled`` is False and
+every method is a no-op, so instrumentation sites cost one attribute
+check (``if tracer.enabled:``) when tracing is off -- the overhead
+budget :mod:`repro.obs.overhead` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
+
+class Span:
+    """One open span; a context manager handed out by
+    :meth:`Tracer.span`.  Attributes may be added while the span is
+    open with ``span["key"] = value``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "id", "parent", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id = 0
+        self.parent = 0
+        self.start = 0.0
+
+    def __setitem__(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._end_span(self)
+        return False
+
+
+class _NullSpan:
+    """The no-op span: supports the same surface as :class:`Span`."""
+
+    __slots__ = ()
+
+    def __setitem__(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: every operation is a no-op.  Hot paths check
+    ``enabled`` before even building attribute dicts."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Writes spans and point events to *sink* (any object with
+    ``write``) as JSONL.  ``clock`` is injectable -- production uses the
+    monotonic :func:`time.perf_counter`, determinism tests a stub."""
+
+    enabled = True
+
+    def __init__(self, sink, clock=time.perf_counter, owns_sink: bool = False):
+        self._sink = sink
+        self._clock = clock
+        self._owns_sink = owns_sink
+        self._next_id = 1
+        self._stack: list[Span] = []
+
+    @classmethod
+    def to_path(cls, path: "str | Path", clock=time.perf_counter) -> "Tracer":
+        """A tracer writing to *path* (parent directories created);
+        :meth:`close` closes the file.  Line-buffered, so a process
+        killed mid-run (the batch runner's isolation timeout, a
+        segfault) leaves every completed record on disk -- a torn trace
+        is still evidence."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return cls(path.open("w", buffering=1), clock=clock, owns_sink=True)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """A zero-duration point event under the current span."""
+        record = {
+            "type": "event",
+            "id": self._take_id(),
+            "parent": self._stack[-1].id if self._stack else 0,
+            "name": name,
+            "t": round(self._clock(), 9),
+            "attrs": attrs,
+        }
+        self._write(record)
+
+    def close(self) -> None:
+        """Force-close every still-open span (marked ``aborted``) and,
+        when the tracer owns its sink, close the underlying file.  Safe
+        to call twice."""
+        while self._stack:
+            span = self._stack[-1]
+            span.attrs.setdefault("aborted", True)
+            self._end_span(span)
+        if self._owns_sink and not self._sink.closed:
+            self._sink.close()
+        elif hasattr(self._sink, "flush") and not getattr(
+            self._sink, "closed", False
+        ):
+            self._sink.flush()
+
+    # ------------------------------------------------------------------
+    def _take_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _begin_span(self, span: Span) -> None:
+        span.id = self._take_id()
+        span.parent = self._stack[-1].id if self._stack else 0
+        span.start = self._clock()
+        self._stack.append(span)
+
+    def _end_span(self, span: Span) -> None:
+        end = self._clock()
+        # Pop down to (and including) *span*: children leaked open by a
+        # non-local exit are closed first, marked aborted, so the trace
+        # stays balanced whatever path unwound the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is not span:
+                top.attrs.setdefault("aborted", True)
+            self._emit_span(top, end)
+            if top is span:
+                return
+        # Already closed (e.g. close() raced the context manager exit).
+
+    def _emit_span(self, span: Span, end: float) -> None:
+        self._write(
+            {
+                "type": "span",
+                "id": span.id,
+                "parent": span.parent,
+                "name": span.name,
+                "start": round(span.start, 9),
+                "end": round(end, 9),
+                "attrs": span.attrs,
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        self._sink.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )

@@ -57,6 +57,9 @@ def render_batch_report(report: Mapping) -> str:
     """Render a batch runner report dict (see
     :meth:`repro.benchsuite.runner.BatchReport.to_dict`): one row per
     run, then the outcome counts and aggregate budget accounting."""
+    # The Signal column only appears when some child actually died by a
+    # signal -- the common all-clear report stays narrow.
+    with_signals = any(run.get("signal") for run in report.get("runs", ()))
     rows = []
     for run in report.get("runs", ()):
         diagnostics = run.get("diagnostics") or []
@@ -64,22 +67,27 @@ def render_batch_report(report: Mapping) -> str:
         if diagnostics:
             codes = sorted({d.get("code", "?") for d in diagnostics})
             note = ",".join(codes)
-        rows.append(
-            [
-                run.get("name", "?"),
-                run.get("outcome", "?"),
-                f"{run.get('seconds', 0.0):.3f}",
-                len(diagnostics),
-                note[:60],
-            ]
-        )
+        row = [
+            run.get("name", "?"),
+            run.get("outcome", "?"),
+            f"{run.get('seconds', 0.0):.3f}",
+            len(diagnostics),
+        ]
+        if with_signals:
+            row.append(run.get("signal") or "")
+        row.append(_truncate(note, 60))
+        rows.append(row)
     counts = report.get("counts", {})
     counts_line = "  ".join(f"{k}={v}" for k, v in counts.items())
     budget = report.get("budget", {})
     budget_line = "  ".join(f"{k}={v}" for k, v in budget.items())
+    headers = ["Benchmark", "Outcome", "Time (s)", "#Diag"]
+    if with_signals:
+        headers.append("Signal")
+    headers.append("Notes")
     parts = [
         render_table(
-            ["Benchmark", "Outcome", "Time (s)", "#Diag", "Notes"],
+            headers,
             rows,
             title=(
                 f"Batch report (mode={report.get('mode', '?')}, "
@@ -95,6 +103,14 @@ def render_batch_report(report: Mapping) -> str:
     if budget:
         parts.append(f"budget:   {budget_line}")
     return "\n".join(parts)
+
+
+def _truncate(text: str, width: int) -> str:
+    """Clamp to *width* characters, ellipsized so a clipped note is
+    visibly clipped rather than silently cut mid-word."""
+    if len(text) <= width:
+        return text
+    return text[: width - 3] + "..."
 
 
 def render_header(title: str, char: str = "=") -> str:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.logic.heapnames import HeapName
 from repro.logic.predicates import (
     AnyArg,
@@ -84,13 +85,37 @@ class SynthesizedInstance:
 def synthesize_term(
     term: Term, env: PredicateEnv, hint: str = "P"
 ) -> SynthesizedInstance | None:
-    """Synthesize a recursive predicate explaining *term*, or None."""
+    """Synthesize a recursive predicate explaining *term*, or None.
+
+    Each attempt reports to the active observability instruments: how
+    many candidate segmentations were tried before one anti-unified
+    into a predicate (or all were exhausted), and the outcome."""
+    tried = 0
+    instance: SynthesizedInstance | None = None
     for segmentation in find_segmentations(term):
+        tried += 1
         try:
-            return _build(term, segmentation, env, hint)
+            instance = _build(term, segmentation, env, hint)
+            break
         except SynthesisFailure:
             continue
-    return None
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc("synthesis.terms")
+        metrics.inc("synthesis.segmentations_tried", tried)
+        metrics.inc(
+            "synthesis.succeeded" if instance is not None
+            else "synthesis.failed"
+        )
+    tracer = obs.TRACER
+    if tracer.enabled:
+        tracer.event(
+            "synthesis.term",
+            segmentations_tried=tried,
+            synthesized=instance is not None,
+            predicate=instance.definition.name if instance else None,
+        )
+    return instance
 
 
 def synthesize_forest(
