@@ -14,6 +14,11 @@ benchmark), ``--metrics`` prints the canonical engine metrics, and
 ``python -m repro trace-summary FILE`` aggregates a trace into the
 top-down time/count tree.
 
+Performance: ``python -m repro bench`` measures cached vs uncached
+analysis throughput over the suite and writes a ``BENCH_<date>.json``
+baseline; ``--no-cache`` disables the entailment cache for a single
+run.
+
 Exit codes (stable, for batch drivers):
 
 * ``0``   analysis succeeded (possibly degraded -- check the output);
@@ -125,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the canonical engine metrics after the analysis",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the entailment cache (verdicts are identical "
+        "either way; see 'python -m repro bench')",
     )
     parser.add_argument(
         "--dump-ir", action="store_true", help="print the (lowered) IR and exit"
@@ -379,6 +390,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace-summary":
         return _trace_summary(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -405,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         deadline_seconds=args.deadline,
         state_budget=args.state_budget,
         trace_path=args.trace,
+        enable_cache=not args.no_cache,
     ).run()
 
     print(result.describe())

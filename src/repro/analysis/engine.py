@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from repro import obs
+from repro import obs, perf
 from repro.ir.program import Program
 from repro.logic.predicates import PredicateEnv
 from repro.obs import Metrics, NULL_TRACER, Tracer, with_legacy_aliases
@@ -88,6 +88,17 @@ class ShapeAnalysis:
     #: Pre-built metrics registry; a fresh one is created per ``run()``
     #: otherwise.  Passing one in lets callers aggregate across runs.
     metrics: "Metrics | None" = None
+    #: Memoize entailment verdicts on canonical state keys for the
+    #: duration of the run (``--no-cache`` turns this off; verdicts are
+    #: identical either way, see tests/test_perf_properties.py).
+    enable_cache: bool = True
+    #: LRU capacity of the per-run entailment cache.
+    cache_size: int = 4096
+    #: Pre-built entailment cache (overrides ``enable_cache`` /
+    #: ``cache_size``); cache keys are fully structural, so a cache
+    #: passed across runs carries verdicts over -- the bench harness
+    #: uses this to measure warm-cache throughput.
+    cache: "perf.EntailmentCache | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
@@ -102,8 +113,15 @@ class ShapeAnalysis:
             else:
                 tracer = NULL_TRACER
         metrics = self.metrics if self.metrics is not None else Metrics()
+        cache = self.cache
+        if cache is None:
+            cache = (
+                perf.EntailmentCache(self.cache_size)
+                if self.enable_cache
+                else perf.NULL_CACHE
+            )
         try:
-            with obs.activate(tracer, metrics):
+            with obs.activate(tracer, metrics), perf.activate_cache(cache):
                 return self._run(tracer, metrics)
         finally:
             if owns_tracer:

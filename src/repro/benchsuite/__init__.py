@@ -10,6 +10,7 @@ per-run timeouts and structured pass/degraded/failed/crashed reports.
 from repro.benchsuite import (
     bisort,
     csources,
+    entailstress,
     extensions,
     listprogs,
     mcf,
@@ -23,6 +24,7 @@ __all__ = [
     "TABLE4_PROGRAMS",
     "bisort",
     "csources",
+    "entailstress",
     "extensions",
     "listprogs",
     "mcf",

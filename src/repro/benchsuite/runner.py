@@ -31,11 +31,12 @@ import signal as signal_module
 import subprocess
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis import ShapeAnalysis
-from repro.benchsuite import TABLE4_PROGRAMS, listprogs
+from repro.benchsuite import TABLE4_PROGRAMS, entailstress, listprogs
 from repro.ir import Program
 from repro.obs import merge_stat_dicts
 from repro.reporting import render_batch_report
@@ -102,6 +103,7 @@ def benchmark_factories() -> dict[str, "callable[[], Program]"]:
             "list-reverse": listprogs.reverse_program,
             "list-delete": listprogs.delete_program,
             "list-doubly": listprogs.doubly_program,
+            "entail-stress": entailstress.program,
         }
     )
     return factories
@@ -252,6 +254,7 @@ def run_one(
     unroll: int = 2,
     state_budget: int = 20000,
     trace_path: "str | Path | None" = None,
+    cache: bool = True,
 ) -> RunRecord:
     """Run one benchmark in-process.  ``ShapeAnalysis.run`` already
     contains analysis failures and internal errors; the extra guard
@@ -268,6 +271,7 @@ def run_one(
             max_unroll=unroll,
             state_budget=state_budget,
             trace_path=trace_path,
+            enable_cache=cache,
         ).run()
     except Exception as exc:
         return RunRecord(
@@ -359,6 +363,7 @@ def _run_isolated(
     unroll: int,
     state_budget: int,
     trace_path: "Path | None" = None,
+    cache: bool = True,
 ) -> RunRecord:
     command = [
         sys.executable,
@@ -377,6 +382,8 @@ def _run_isolated(
         command += ["--deadline", str(deadline)]
     if trace_path is not None:
         command += ["--trace", str(trace_path)]
+    if not cache:
+        command += ["--no-cache"]
     start = time.perf_counter()
     try:
         proc = subprocess.run(
@@ -461,33 +468,55 @@ def run_batch(
     state_budget: int = 20000,
     isolate: bool = True,
     trace_dir: "str | Path | None" = None,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> BatchReport:
     """Run *names* (default: every known benchmark), one isolated
     subprocess each, and aggregate the outcomes.  With *trace_dir*,
     every run writes a span trace to
     ``<trace_dir>/<name>.trace.jsonl`` (the parent names the file, the
     child writes it, so traces survive the isolation boundary and even
-    child death)."""
+    child death).
+
+    ``jobs > 1`` runs up to that many *child processes* concurrently
+    (a thread per in-flight child blocks on its subprocess, so the
+    parallelism is real OS processes and crash isolation is exactly
+    the serial path's).  Records land in input order regardless of
+    completion order, so the batch JSON is byte-identical to a serial
+    run modulo the timing fields; per-child trace files keep their
+    parent-assigned names.  Parallelism requires the subprocess
+    boundary: ``jobs > 1`` with ``isolate=False`` is rejected."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs > 1 and not isolate:
+        raise ValueError(
+            "parallel batch mode needs crash isolation; "
+            "drop --no-isolate or use --jobs 1"
+        )
     if names is None or not names:
         names = sorted(benchmark_factories())
     if trace_dir is not None:
         Path(trace_dir).mkdir(parents=True, exist_ok=True)
-    records = []
-    for name in names:
+
+    def run_at(name: str) -> RunRecord:
         trace_path = (
             trace_file_for(trace_dir, name) if trace_dir is not None else None
         )
         if isolate:
-            record = _run_isolated(
+            return _run_isolated(
                 name, mode, timeout, deadline, unroll, state_budget,
-                trace_path=trace_path,
+                trace_path=trace_path, cache=cache,
             )
-        else:
-            record = run_one(
-                name, mode, deadline, unroll, state_budget,
-                trace_path=trace_path,
-            )
-        records.append(record)
+        return run_one(
+            name, mode, deadline, unroll, state_budget,
+            trace_path=trace_path, cache=cache,
+        )
+
+    if jobs > 1 and len(names) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            records = list(pool.map(run_at, names))
+    else:
+        records = [run_at(name) for name in names]
     return BatchReport(records, mode=mode, isolated=isolate)
 
 
@@ -541,6 +570,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="run in-process instead of one subprocess per benchmark",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run up to N isolated child processes concurrently "
+            "(default 1; requires isolation, output order stays "
+            "deterministic)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-run entailment cache in every child",
+    )
+    parser.add_argument(
         "--crucible-seeds",
         type=int,
         default=0,
@@ -582,9 +627,17 @@ def main(argv: "list[str] | None" = None) -> int:
             unroll=args.unroll,
             state_budget=args.state_budget,
             trace_path=args.trace,
+            cache=not args.no_cache,
         )
         print(json.dumps(record.to_dict()))
         return 0
+    if args.jobs > 1 and args.no_isolate:
+        print(
+            "repro.benchsuite.runner: --jobs needs the subprocess "
+            "boundary; drop --no-isolate",
+            file=sys.stderr,
+        )
+        return 2
     names = list(args.names)
     if args.crucible_seeds:
         if not names:
@@ -599,6 +652,8 @@ def main(argv: "list[str] | None" = None) -> int:
         state_budget=args.state_budget,
         isolate=not args.no_isolate,
         trace_dir=args.trace,
+        jobs=args.jobs,
+        cache=not args.no_cache,
     )
     print(report.render())
     if args.json:

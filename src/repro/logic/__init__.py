@@ -10,6 +10,7 @@ from repro.logic.assertions import (
     Raw,
     Region,
 )
+from repro.logic.canonical import CanonicalForm, canonical_key, canonicalize
 from repro.logic.entailment import Mapping, equivalent, subsumes
 from repro.logic.formula import PureAtom, PureFormula, SpatialFormula
 from repro.logic.heapnames import (
@@ -54,6 +55,7 @@ __all__ = [
     "AnalysisStuck",
     "AnyArg",
     "ArgExpr",
+    "CanonicalForm",
     "FieldPath",
     "FieldSpec",
     "GlobalLoc",
@@ -82,6 +84,8 @@ __all__ = [
     "SymVal",
     "TREE_DEF",
     "Var",
+    "canonical_key",
+    "canonicalize",
     "equivalent",
     "fresh_var",
     "is_prefix",

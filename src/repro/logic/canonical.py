@@ -1,0 +1,376 @@
+"""Canonical forms for abstract states (the entailment-cache key).
+
+``canonicalize(state)`` computes a deterministic serialization of an
+:class:`AbstractState` that is invariant under alpha-renaming of logic
+variables and (in practice) under reordering of spatial atoms, plus
+the renaming tables needed to translate a subsumption witness between
+alpha-variants.  Two states with the same canonical key are
+alpha-equivalent -- each one renames, through its own index table, onto
+the state the key literally spells out -- so every name-independent
+judgment (``subsumes``, ``equivalent``) is guaranteed to agree on
+them.  That is the soundness contract the entailment cache relies on:
+a key collision between *inequivalent* states is impossible by
+construction, while a missed identification between equivalent states
+merely costs a cache hit.
+
+The construction:
+
+1. registers are visited in sorted (program-fixed) name order and the
+   logic-variable roots of their values are numbered first -- the
+   register frame anchors the traversal exactly like the root
+   parameters anchor the paper's access-path names;
+2. spatial atoms are serialized greedily: at each step the atom with
+   the lexicographically least *partial signature* (computed with the
+   indices assigned so far, unassigned roots rendered as ``?``) is
+   emitted and its fresh roots are numbered -- an iterative refinement
+   that canonicalizes chains and trees hanging off the registers
+   without a full graph-canonization pass;
+3. pure atoms, arithmetic aliases and anchors follow, same discipline.
+
+Global locations and opaque tags are serialized literally: globals are
+program-level names that alpha-renaming never touches, and opaque
+equality patterns are preserved by any bijective re-tagging, so
+keeping tags literal is sound (it only forgoes hits between states
+that differ in opaque provenance).
+
+Keys are :func:`sys.intern`-ed strings: the analysis re-derives the
+same canonical form thousands of times during a fixpoint, and interned
+keys make every later cache-key comparison a pointer check.
+"""
+
+from __future__ import annotations
+
+import heapq
+import sys
+
+from repro.logic.assertions import PointsTo, PredInstance, Raw, Region
+from repro.logic.heapnames import FieldPath, GlobalLoc, HeapName, Var, path_of, root_of
+from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
+
+__all__ = [
+    "CanonicalForm",
+    "UntranslatableWitness",
+    "canonical_key",
+    "canonicalize",
+    "decode_binding",
+    "encode_binding",
+]
+
+
+class UntranslatableWitness(Exception):
+    """A witness mentions a value outside the canonical index tables
+    (should not happen for witnesses produced by ``subsumes``; raised
+    defensively so callers can skip caching instead of mis-caching)."""
+
+
+class CanonicalForm:
+    """A state's canonical key plus its root-renaming tables."""
+
+    __slots__ = ("key", "index", "roots")
+
+    def __init__(self, key: str, index: dict, roots: dict):
+        #: interned canonical serialization of the whole state
+        self.key = key
+        #: logic-variable root -> canonical index
+        self.index = index
+        #: canonical index -> logic-variable root (inverse of ``index``)
+        self.roots = roots
+
+    # -- encoding (state values -> canonical tokens) -------------------
+    def _root_token(self, root) -> tuple:
+        if isinstance(root, GlobalLoc):
+            return ("g", root.name)
+        idx = self.index.get(root)
+        if idx is None:
+            raise UntranslatableWitness(f"unindexed root {root!r}")
+        return ("v", _idx(idx))
+
+    def encode_name(self, name: HeapName) -> tuple:
+        return ("nm", self._root_token(root_of(name)), path_of(name))
+
+    def encode_value(self, value: SymVal) -> tuple:
+        if isinstance(value, NullVal):
+            return ("null",)
+        if isinstance(value, Opaque):
+            return ("?", value.tag)
+        if isinstance(value, OffsetVal):
+            return ("off", self.encode_name(value.base), str(value.delta))
+        return self.encode_name(value)
+
+    # -- decoding (canonical tokens -> this state's names) -------------
+    def _decode_root(self, token: tuple):
+        kind, payload = token
+        if kind == "g":
+            return GlobalLoc(payload)
+        root = self.roots.get(int(payload))
+        if root is None:
+            raise UntranslatableWitness(f"unknown canonical index {payload}")
+        return root
+
+    def decode_name(self, token: tuple) -> HeapName:
+        _, root_token, fields = token
+        name: HeapName = self._decode_root(root_token)
+        for field in fields:
+            name = FieldPath(name, field)
+        return name
+
+    def decode_value(self, token: tuple) -> SymVal:
+        if token[0] == "null":
+            return NULL_VAL
+        if token[0] == "?":
+            return Opaque(token[1])
+        if token[0] == "off":
+            return OffsetVal(self.decode_name(token[1]), int(token[2]))
+        return self.decode_name(token)
+
+
+def _idx(i: int) -> str:
+    # Fixed-width so canonical tokens stay homogeneous strings (tuple
+    # comparison during the greedy pass must never compare str to int).
+    return f"{i:08d}"
+
+
+class _Indexer:
+    """Mutable index table used while a canonical form is being built;
+    unassigned roots render as ``?`` in partial signatures."""
+
+    __slots__ = ("index",)
+
+    def __init__(self):
+        self.index: dict = {}
+
+    def ensure(self, root) -> None:
+        if not isinstance(root, GlobalLoc) and root not in self.index:
+            self.index[root] = len(self.index)
+
+    def root_token(self, root) -> tuple:
+        if isinstance(root, GlobalLoc):
+            return ("g", root.name)
+        idx = self.index.get(root)
+        return ("v", "?") if idx is None else ("v", _idx(idx))
+
+    def name(self, name: HeapName) -> tuple:
+        return ("nm", self.root_token(root_of(name)), path_of(name))
+
+    def value(self, value: SymVal) -> tuple:
+        if isinstance(value, NullVal):
+            return ("null",)
+        if isinstance(value, Opaque):
+            return ("?", value.tag)
+        if isinstance(value, OffsetVal):
+            return ("off", self.name(value.base), str(value.delta))
+        return self.name(value)
+
+
+def _value_roots(value: SymVal) -> list:
+    if isinstance(value, (NullVal, Opaque)):
+        return []
+    if isinstance(value, OffsetVal):
+        return [root_of(value.base)]
+    return [root_of(value)]
+
+
+def _atom_roots(atom) -> list:
+    """The atom's logic roots in its canonical intra-atom order."""
+    if isinstance(atom, PointsTo):
+        return [root_of(atom.src)] + _value_roots(atom.target)
+    if isinstance(atom, PredInstance):
+        roots = []
+        for arg in atom.args:
+            roots.extend(_value_roots(arg))
+        roots.extend(root_of(t) for t in atom.truncs)
+        return roots
+    if isinstance(atom, Raw):
+        return [root_of(atom.loc)]
+    if isinstance(atom, Region):
+        return [root_of(atom.base)]
+    return []
+
+
+def _atom_sig(atom, ix: _Indexer) -> tuple:
+    if isinstance(atom, PointsTo):
+        return ("pt", ix.name(atom.src), atom.field, ix.value(atom.target))
+    if isinstance(atom, PredInstance):
+        return (
+            "pred",
+            atom.pred,
+            tuple(ix.value(a) for a in atom.args),
+            tuple(ix.name(t) for t in atom.truncs),
+        )
+    if isinstance(atom, Raw):
+        return ("raw", ix.name(atom.loc), tuple(sorted(atom.written)))
+    if isinstance(atom, Region):
+        return ("rgn", ix.name(atom.base), tuple(str(c) for c in sorted(atom.carved)))
+    return ("atom", str(atom))
+
+
+def _greedy(items: list, sig, roots, ix: _Indexer) -> tuple:
+    """Emit *items* in least-partial-signature-first order, numbering
+    each emitted item's fresh roots before moving on, and return the
+    fully-indexed signatures in emission order.
+
+    Implemented as a lazy priority queue: an item's partial signature
+    only changes when one of its still-unindexed roots gets numbered,
+    so signatures are recomputed for exactly the items that mention a
+    newly-numbered root (stale heap entries are skipped on pop).  The
+    naive re-minimize-everything loop this replaces recomputed all
+    O(n^2) signatures and dominated cache overhead on large states.
+    Ties on identical partial signatures break by input position, same
+    as ``min`` did.
+    """
+    n = len(items)
+    if n == 0:
+        return ()
+    index = ix.index
+    pending: dict = {}  # unindexed root -> item positions mentioning it
+    item_roots = []
+    for i, item in enumerate(items):
+        rs = roots(item)
+        item_roots.append(rs)
+        for root in rs:
+            if not isinstance(root, GlobalLoc) and root not in index:
+                pending.setdefault(root, []).append(i)
+    current = [sig(item, ix) for item in items]
+    heap = [(current[i], i) for i in range(n)]
+    heapq.heapify(heap)
+    emitted = [False] * n
+    ordered_sigs = []
+    while len(ordered_sigs) < n:
+        s, i = heapq.heappop(heap)
+        if emitted[i] or s != current[i]:
+            continue  # stale entry: superseded by a recomputed signature
+        emitted[i] = True
+        dirty: set = set()
+        for root in item_roots[i]:
+            if not isinstance(root, GlobalLoc) and root not in index:
+                index[root] = len(index)
+                dirty.update(pending.pop(root, ()))
+        ordered_sigs.append(sig(items[i], ix))
+        for j in dirty:
+            if not emitted[j]:
+                current[j] = sig(items[j], ix)
+                heapq.heappush(heap, (current[j], j))
+    return tuple(ordered_sigs)
+
+
+def _pure_sig(item, ix: _Indexer) -> tuple:
+    kind, payload = item
+    if kind == "pa":
+        encoded = sorted((ix.value(payload.lhs), ix.value(payload.rhs)))
+        return ("pa", payload.op, encoded[0], encoded[1])
+    offset_val, name = payload
+    return ("al", ix.value(offset_val), ix.name(name))
+
+
+def _pure_roots(item) -> list:
+    kind, payload = item
+    if kind == "pa":
+        return _value_roots(payload.lhs) + _value_roots(payload.rhs)
+    offset_val, name = payload
+    return _value_roots(offset_val) + [root_of(name)]
+
+
+def canonicalize(state) -> CanonicalForm:
+    """The canonical form of *state* (see the module docstring).
+
+    Memoized on the state object: the hot entailment loops (invariant
+    convergence, exit-state dedup) canonicalize the same unchanged
+    state once per peer, so the form is cached under a cheap validity
+    token -- the identity and revision counter of each formula (every
+    mutating formula method bumps ``revision``), the register frame's
+    sorted contents (``rho`` is the one component mutated without going
+    through methods) and the anchor set.  Holding references to the
+    formula objects in the token makes the identity check immune to
+    ``id()`` reuse.
+    """
+    spatial, pure = state.spatial, state.pure
+    rho_sig = tuple(
+        sorted(
+            ((r.name, v) for r, v in state.rho.items()),
+            key=lambda kv: kv[0],
+        )
+    )
+    memo = getattr(state, "_canon_memo", None)
+    if (
+        memo is not None
+        and memo[0] is spatial
+        and memo[1] == spatial.revision
+        and memo[2] is pure
+        and memo[3] == pure.revision
+        and memo[4] == state.anchors
+        and memo[5] == rho_sig
+    ):
+        return memo[6]
+    ix = _Indexer()
+    for register in sorted(state.rho, key=lambda r: r.name):
+        for root in _value_roots(state.rho[register]):
+            ix.ensure(root)
+    spatial_sigs = _greedy(list(spatial), _atom_sig, _atom_roots, ix)
+    pure_items = [("pa", atom) for atom in pure.atoms()]
+    pure_items += [
+        ("al", (offset_val, name))
+        for offset_val, name in pure.aliases().items()
+    ]
+    pure_sigs = _greedy(pure_items, _pure_sig, _pure_roots, ix)
+    anchors = _greedy(
+        list(state.anchors),
+        lambda a, i: i.name(a),
+        lambda a: [root_of(a)],
+        ix,
+    )
+    rho = tuple(
+        (register.name, ix.value(state.rho[register]))
+        for register in sorted(state.rho, key=lambda r: r.name)
+    )
+    key = sys.intern(
+        repr(("rho", rho, "sp", spatial_sigs, "pure", pure_sigs, "anc", anchors))
+    )
+    roots = {idx: root for root, idx in ix.index.items()}
+    form = CanonicalForm(key, ix.index, roots)
+    state._canon_memo = (
+        spatial, spatial.revision, pure, pure.revision,
+        state.anchors, rho_sig, form,
+    )
+    return form
+
+
+def canonical_key(state) -> str:
+    """Just the interned canonical key of *state*."""
+    return canonicalize(state).key
+
+
+# ----------------------------------------------------------------------
+# Witness translation (general-side names -> concrete-side values)
+# ----------------------------------------------------------------------
+
+
+def encode_binding(
+    binding: dict, general: CanonicalForm, concrete: CanonicalForm
+) -> tuple:
+    """Re-express a subsumption witness in canonical coordinates, so it
+    can be replayed against *any* pair of states with the same keys.
+    Raises :class:`UntranslatableWitness` if the witness escapes the
+    index tables (callers then skip caching that entry)."""
+    items = []
+    for key, value in binding.items():
+        if isinstance(key, Opaque):
+            encoded_key: tuple = ("?", key.tag)
+        else:
+            encoded_key = general.encode_name(key)
+        items.append((encoded_key, concrete.encode_value(value)))
+    return tuple(sorted(items))
+
+
+def decode_binding(
+    payload: tuple, general: CanonicalForm, concrete: CanonicalForm
+) -> dict:
+    """Inverse of :func:`encode_binding` against (possibly different)
+    states sharing the stored canonical keys."""
+    binding: dict = {}
+    for encoded_key, encoded_value in payload:
+        if encoded_key[0] == "?":
+            key: SymVal = Opaque(encoded_key[1])
+        else:
+            key = general.decode_name(encoded_key)
+        binding[key] = concrete.decode_value(encoded_value)
+    return binding

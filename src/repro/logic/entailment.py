@@ -27,8 +27,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import obs, perf
 from repro.ir.values import Register
+from repro.logic.canonical import (
+    UntranslatableWitness,
+    canonicalize,
+    decode_binding,
+    encode_binding,
+)
 from repro.logic.implication import pred_implies
 from repro.logic.assertions import (
     HeapAssertion,
@@ -126,7 +132,45 @@ def subsumes(
     Every query reports to the active observability instruments
     (``obs.METRICS`` counters, and a ``entailment.query`` trace event
     carrying the match steps consumed and the verdict); outside an
-    active analysis run both are null and the cost is a no-op call."""
+    active analysis run both are null and the cost is a no-op call.
+
+    When an :class:`~repro.perf.cache.EntailmentCache` is active
+    (``perf.CACHE``, installed per analysis run), the query is first
+    looked up under the canonical (antecedent, consequent) key pair --
+    see :mod:`repro.logic.canonical` for why equal keys guarantee the
+    same verdict -- and a hit replays the stored witness translated
+    into this query's names instead of re-running the search.  Each
+    public query gets its *own* fresh match budget either way: budgets
+    never leak between top-level calls (or between the two directions
+    of :func:`equivalent`)."""
+    cache = perf.CACHE
+    general_form = concrete_form = cache_key = None
+    if cache.enabled:
+        general_form = canonicalize(general)
+        concrete_form = canonicalize(concrete)
+        cache_key = (
+            general_form.key,
+            concrete_form.key,
+            None if live is None else tuple(sorted(r.name for r in live)),
+            None if env is None else env.cache_token(),
+            step_limit,
+        )
+        found = cache.lookup(cache_key)
+        if found is not None:
+            payload = found[0]
+            if payload is None:
+                result = None
+            else:
+                try:
+                    result = Mapping(
+                        decode_binding(payload, general_form, concrete_form)
+                    )
+                except UntranslatableWitness:
+                    result = None
+                    found = None  # fall through to a real search
+            if found is not None:
+                _report_query(result, steps=0, capped=False, cached=True)
+                return result
     budget = _MatchBudget(step_limit)
     capped = False
     try:
@@ -134,25 +178,47 @@ def subsumes(
     except _MatchBudgetExceeded:
         result = None
         capped = True
+    if cache_key is not None:
+        try:
+            payload = (
+                None
+                if result is None
+                else encode_binding(result.binding, general_form, concrete_form)
+            )
+        except UntranslatableWitness:
+            pass  # uncacheable witness; the verdict itself is still valid
+        else:
+            if cache.store(cache_key, payload) and obs.METRICS.enabled:
+                obs.METRICS.inc("entailment.cache.evictions")
+    _report_query(result, steps=budget.steps, capped=capped, cached=False)
+    return result
+
+
+def _report_query(result, steps: int, capped: bool, cached: bool) -> None:
     metrics = obs.METRICS
     if metrics.enabled:
         metrics.inc("entailment.queries")
-        metrics.inc("entailment.match_steps", budget.steps)
+        metrics.inc("entailment.match_steps", steps)
         metrics.inc(
             "entailment.subsumed" if result is not None
             else "entailment.rejected"
         )
         if capped:
             metrics.inc("entailment.step_limit_hits")
+        if perf.CACHE.enabled:
+            metrics.inc(
+                "entailment.cache.hits" if cached
+                else "entailment.cache.misses"
+            )
     tracer = obs.TRACER
     if tracer.enabled:
         tracer.event(
             "entailment.query",
-            steps=budget.steps,
+            steps=steps,
             subsumed=result is not None,
             step_limit_hit=capped,
+            cached=cached,
         )
-    return result
 
 
 def _subsumes(
@@ -190,9 +256,22 @@ def _subsumes(
     return result
 
 
-def equivalent(a: AbstractState, b: AbstractState) -> bool:
-    """Mutual subsumption (used for summary-context equivalence)."""
-    return subsumes(a, b) is not None and subsumes(b, a) is not None
+def equivalent(
+    a: AbstractState,
+    b: AbstractState,
+    env=None,
+    step_limit: int = MATCH_STEP_LIMIT,
+) -> bool:
+    """Mutual subsumption (used for summary-context equivalence).
+
+    Each direction is a full public :func:`subsumes` query with its own
+    fresh match budget of *step_limit* steps: a first direction that
+    burns most of its budget cannot starve (and thereby flip) the
+    second.  Regression-pinned by ``test_logic_entailment.py``."""
+    return (
+        subsumes(a, b, env=env, step_limit=step_limit) is not None
+        and subsumes(b, a, env=env, step_limit=step_limit) is not None
+    )
 
 
 def _spatial_atoms(state: AbstractState) -> list[HeapAssertion]:

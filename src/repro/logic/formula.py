@@ -32,12 +32,19 @@ __all__ = ["SpatialFormula", "PureFormula", "PureAtom"]
 
 
 class SpatialFormula:
-    """A finite spatial conjunction of atomic heap assertions."""
+    """A finite spatial conjunction of atomic heap assertions.
 
-    __slots__ = ("_atoms",)
+    ``revision`` counts mutations; together with the formula object's
+    identity it lets :func:`repro.logic.canonical.canonicalize` reuse a
+    memoized canonical form exactly as long as the formula has not
+    changed.  Every mutating method must bump it.
+    """
+
+    __slots__ = ("_atoms", "revision")
 
     def __init__(self, atoms: list[HeapAssertion] | None = None):
         self._atoms: list[HeapAssertion] = list(atoms or [])
+        self.revision = 0
 
     def copy(self) -> "SpatialFormula":
         return SpatialFormula(self._atoms)
@@ -55,16 +62,20 @@ class SpatialFormula:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, atom: HeapAssertion) -> None:
+        self.revision += 1
         self._atoms.append(atom)
 
     def remove(self, atom: HeapAssertion) -> None:
+        self.revision += 1
         self._atoms.remove(atom)
 
     def replace(self, old: HeapAssertion, new: HeapAssertion) -> None:
+        self.revision += 1
         self._atoms[self._atoms.index(old)] = new
 
     def rename(self, old: HeapName, new: HeapName) -> None:
         """Replace heap name *old* with *new* in every atom."""
+        self.revision += 1
         self._atoms = [atom.rename(old, new) for atom in self._atoms]
 
     # ------------------------------------------------------------------
@@ -197,7 +208,7 @@ class PureFormula:
     evaluation (Table 1's semantic bracket) consults them.
     """
 
-    __slots__ = ("_aliases", "_atoms")
+    __slots__ = ("_aliases", "_atoms", "revision")
 
     def __init__(
         self,
@@ -206,6 +217,8 @@ class PureFormula:
     ):
         self._aliases: dict[OffsetVal, HeapName] = dict(aliases or {})
         self._atoms: set[PureAtom] = set(atoms or set())
+        #: mutation counter, same contract as ``SpatialFormula.revision``
+        self.revision = 0
 
     def copy(self) -> "PureFormula":
         return PureFormula(self._aliases, self._atoms)
@@ -214,6 +227,7 @@ class PureFormula:
     # Aliases
     # ------------------------------------------------------------------
     def record_alias(self, offset_val: OffsetVal, name: HeapName) -> None:
+        self.revision += 1
         self._aliases[offset_val] = name
 
     def alias_of(self, offset_val: OffsetVal) -> HeapName | None:
@@ -235,12 +249,14 @@ class PureFormula:
     # Conditions
     # ------------------------------------------------------------------
     def assume(self, op: str, lhs: SymVal, rhs: SymVal) -> None:
+        self.revision += 1
         self._atoms.add(PureAtom(op, lhs, rhs).normalized())
 
     def atoms(self) -> set[PureAtom]:
         return set(self._atoms)
 
     def discard(self, atom: PureAtom) -> None:
+        self.revision += 1
         self._atoms.discard(atom)
 
     def holds(self, op: str, lhs: SymVal, rhs: SymVal) -> bool:
@@ -256,6 +272,7 @@ class PureFormula:
 
     # ------------------------------------------------------------------
     def rename(self, old: HeapName, new: HeapName) -> None:
+        self.revision += 1
         self._aliases = {
             OffsetVal(rename_name(k.base, old, new), k.delta): rename_name(
                 v, old, new
@@ -271,6 +288,7 @@ class PureFormula:
         def swap(v: SymVal) -> SymVal:
             return new if v == old else v
 
+        self.revision += 1
         self._atoms = {
             PureAtom(a.op, swap(a.lhs), swap(a.rhs)).normalized()
             for a in self._atoms

@@ -34,11 +34,32 @@ def pred_implies(
     weaker: str,
     _assumed: frozenset[tuple[str, str]] = frozenset(),
 ) -> bool:
-    """Does ``stronger(args)`` entail ``weaker(args)`` for all args?"""
+    """Does ``stronger(args)`` entail ``weaker(args)`` for all args?
+
+    Top-level queries (empty coinductive context) are memoized on the
+    environment; the memo is invalidated whenever a definition is
+    added, so it never answers for a stale ``T``."""
     if stronger == weaker:
         return True
     if stronger not in env or weaker not in env:
         return False
+    if not _assumed:
+        memo = env.implies_memo
+        cached = memo.get((stronger, weaker))
+        if cached is not None:
+            return cached
+        result = _pred_implies_uncached(env, stronger, weaker, _assumed)
+        memo[(stronger, weaker)] = result
+        return result
+    return _pred_implies_uncached(env, stronger, weaker, _assumed)
+
+
+def _pred_implies_uncached(
+    env: PredicateEnv,
+    stronger: str,
+    weaker: str,
+    _assumed: frozenset[tuple[str, str]],
+) -> bool:
     a, b = env[stronger], env[weaker]
     if a.arity != b.arity:
         return False

@@ -225,6 +225,10 @@ class PredicateEnv:
         self._by_structure: dict[tuple, str] = {}
         self._by_fields: dict[tuple[str, ...], list[PredicateDef]] = {}
         self._counter = 0
+        self._token: tuple | None = None
+        #: (stronger, weaker) -> bool memo for ``pred_implies``;
+        #: invalidated whenever a new definition is registered.
+        self.implies_memo: dict[tuple[str, str], bool] = {}
 
     def __contains__(self, name: str) -> bool:
         return name in self._defs
@@ -254,7 +258,28 @@ class PredicateEnv:
         self._by_structure[key] = definition.name
         signature = tuple(sorted(spec.field for spec in definition.fields))
         self._by_fields.setdefault(signature, []).append(definition)
+        self.implies_memo.clear()
+        self._token = None
         return definition
+
+    def cache_token(self) -> tuple:
+        """A *structural* fingerprint of the environment: the sorted
+        ``(name, structure_key)`` pairs, which fully determine every
+        definition (and therefore every entailment judgment made under
+        this environment).  Being structural rather than identity-based
+        lets an entailment cache persist across analysis runs -- two
+        runs that deterministically synthesize the same predicates get
+        the same token and share verdicts.  Recomputed lazily, only
+        after :meth:`add` grew the environment."""
+        token = self._token
+        if token is None:
+            token = self._token = tuple(
+                sorted(
+                    ((name, d.structure_key()) for name, d in self._defs.items()),
+                    key=lambda pair: pair[0],
+                )
+            )
+        return token
 
     def define(
         self,

@@ -27,6 +27,9 @@ name                                    kind       meaning
 ``entailment.rejected``                 counter    queries that found none
 ``entailment.match_steps``              counter    backtracking steps consumed (summed)
 ``entailment.step_limit_hits``          counter    queries cut off at the match-step cap
+``entailment.cache.hits``               counter    queries answered from the entailment cache
+``entailment.cache.misses``             counter    cacheable queries that ran the full search
+``entailment.cache.evictions``          counter    LRU evictions from the entailment cache
 ``unfold.root``                         counter    Figure-6 unfolds from the root
 ``unfold.interior``                     counter    Figure-6 bottom-up (interior) unfolds
 ``unfold.placements.exact``             counter    truncation points placed exactly at a sub-root
@@ -82,6 +85,9 @@ METRIC_SCHEMA: dict[str, str] = {
     "entailment.rejected": "counter",
     "entailment.match_steps": "counter",
     "entailment.step_limit_hits": "counter",
+    "entailment.cache.hits": "counter",
+    "entailment.cache.misses": "counter",
+    "entailment.cache.evictions": "counter",
     "unfold.root": "counter",
     "unfold.interior": "counter",
     "unfold.placements.exact": "counter",

@@ -1,0 +1,58 @@
+"""Performance layer: canonical interning, memoized entailment, bench.
+
+The hot path of the analysis is entailment checking during fixpoint
+iteration: ``subsumes`` re-unifies structurally identical state pairs
+on every join, every dedup round and every summary probe.  This
+package makes those repeats cheap without touching soundness:
+
+* :mod:`repro.logic.canonical` (logic layer) computes deterministic,
+  alpha-renaming-invariant state keys -- equal keys imply
+  alpha-equivalent states, so a cached verdict can never be wrong;
+* :mod:`repro.perf.cache` -- the bounded LRU
+  :class:`~repro.perf.cache.EntailmentCache` the entailment layer
+  consults, with hit/miss/eviction counters surfaced as
+  ``entailment.cache.*`` metrics;
+* :mod:`repro.perf.bench` -- ``python -m repro bench``, the benchmark
+  harness that writes ``BENCH_<date>.json`` perf baselines.
+
+Following the :mod:`repro.obs` pattern, the *active* cache is a
+module-level global (:data:`CACHE`) swapped in per analysis run by
+:func:`activate_cache`; outside a run it is the null cache and
+``subsumes`` pays one attribute check.  Cache keys are fully
+structural -- canonical state keys plus a structural
+predicate-environment token -- so a cache handed to several runs
+(``ShapeAnalysis(cache=...)``) legitimately carries verdicts across
+them; the bench harness measures exactly that warm path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.perf.cache import EntailmentCache, NULL_CACHE, NullCache
+
+__all__ = [
+    "CACHE",
+    "EntailmentCache",
+    "NULL_CACHE",
+    "NullCache",
+    "activate_cache",
+]
+
+#: The active entailment cache (null outside :func:`activate_cache`).
+CACHE: "EntailmentCache | NullCache" = NULL_CACHE
+
+
+@contextmanager
+def activate_cache(cache: "EntailmentCache | NullCache | None"):
+    """Install *cache* as the active entailment cache for the duration
+    of the block (restored on exit, exception or not).  ``None`` leaves
+    the active cache untouched."""
+    global CACHE
+    saved = CACHE
+    if cache is not None:
+        CACHE = cache
+    try:
+        yield
+    finally:
+        CACHE = saved

@@ -1,0 +1,306 @@
+"""``python -m repro bench``: the performance baseline harness.
+
+Measures, for every suite benchmark, *repeated* analysis throughput in
+two configurations -- ``--no-cache`` (every run pays the full
+entailment search) and cached (one :class:`EntailmentCache` shared
+across the benchmark's repetitions, the warm server-style workload the
+roadmap's "heavy traffic" goal cares about; canonical keys and
+predicate-environment tokens are fully structural, so verdicts carry
+across runs) -- and writes a ``BENCH_<date>.json`` baseline recording
+wall times, per-phase seconds and cache hit rates.
+
+Every cached run is differentially checked against its uncached twin:
+the verdict fingerprint (outcome, failure, attempts, exit-state count
+and the engine's trajectory counters) must be identical, otherwise the
+report flags the benchmark and the harness exits nonzero.  The
+entailment cache is a pure memo -- a verdict difference is a soundness
+bug, not a measurement artifact.
+
+``--quick`` restricts the suite to the list staples plus the
+entailment stress program (the CI perf-smoke job runs this);
+``--require-hits`` additionally fails when the list benchmarks see no
+cache hits at all, which would mean cross-run key sharing regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.perf.cache import EntailmentCache
+
+__all__ = ["main", "run_bench", "QUICK_SUITE"]
+
+#: The ``--quick`` suite: the cheap list staples (cross-run hit-rate
+#: canaries) plus the entailment-bound stress workload.
+QUICK_SUITE = (
+    "list-build",
+    "list-traverse",
+    "list-reverse",
+    "list-delete",
+    "list-doubly",
+    "entail-stress",
+)
+
+#: Verdict-fingerprint stat counters: identical between cached and
+#: uncached runs iff the analysis took the same trajectory.  Cache and
+#: timing metrics are deliberately absent.
+_VERDICT_COUNTERS = (
+    "engine.states",
+    "engine.instructions",
+    "engine.invariants.synthesized",
+    "engine.summaries.reused",
+    "engine.procedures.analyzed",
+    "entailment.queries",
+    "entailment.subsumed",
+    "entailment.rejected",
+)
+
+
+def _verdict(result) -> dict:
+    """The verdict fingerprint of one analysis result."""
+    out = {
+        "outcome": result.outcome,
+        "failure": result.failure,
+        "attempts": result.attempts,
+        "exit_states": len(result.exit_states),
+        "predicates": len(result.env),
+    }
+    for name in _VERDICT_COUNTERS:
+        out[name] = result.stats.get(name, 0)
+    return out
+
+
+def _phase_seconds(result) -> dict:
+    return {
+        "pointer": round(result.pointer_seconds, 6),
+        "slicing": round(result.slicing_seconds, 6),
+        "shape": round(result.shape_seconds, 6),
+    }
+
+
+def _run(name: str, mode: str, deadline: float | None, cache) -> tuple:
+    """One analysis run; returns (result, wall seconds)."""
+    from repro.analysis import ShapeAnalysis
+    from repro.benchsuite.runner import _resolve_benchmark
+
+    program = _resolve_benchmark(name)
+    start = time.perf_counter()
+    result = ShapeAnalysis(
+        program,
+        name=name,
+        mode=mode,
+        deadline_seconds=deadline,
+        enable_cache=cache is not None,
+        cache=cache,
+    ).run()
+    return result, time.perf_counter() - start
+
+
+def run_bench(
+    names: "list[str] | None" = None,
+    quick: bool = False,
+    repetitions: int = 3,
+    mode: str = "degrade",
+    deadline: float | None = 60.0,
+    capacity: int = 65536,
+) -> dict:
+    """Run the benchmark comparison and return the report dict.
+
+    Each benchmark is analyzed ``repetitions`` times without a cache
+    and ``repetitions`` times against one shared cache; the shared
+    cache makes repetitions 2..R the warm-path measurement."""
+    if names is None:
+        if quick:
+            names = list(QUICK_SUITE)
+        else:
+            from repro.benchsuite.runner import benchmark_factories
+
+            names = sorted(benchmark_factories())
+    benchmarks = []
+    mismatches = []
+    total_uncached = total_cached = 0.0
+    list_hits = list_misses = 0
+    for name in names:
+        uncached_seconds = []
+        verdict = None
+        verdicts_match = True
+        for _ in range(repetitions):
+            result, seconds = _run(name, mode, deadline, cache=None)
+            uncached_seconds.append(round(seconds, 6))
+            this = _verdict(result)
+            if verdict is None:
+                verdict = this
+                phases = _phase_seconds(result)
+            elif this != verdict:
+                verdicts_match = False
+        shared = EntailmentCache(capacity)
+        cached_seconds = []
+        rep_hit_rates = []
+        for _ in range(repetitions):
+            hits0, misses0 = shared.hits, shared.misses
+            result, seconds = _run(name, mode, deadline, cache=shared)
+            cached_seconds.append(round(seconds, 6))
+            asked = (shared.hits - hits0) + (shared.misses - misses0)
+            rep_hit_rates.append(
+                round((shared.hits - hits0) / asked, 6) if asked else 0.0
+            )
+            if _verdict(result) != verdict:
+                verdicts_match = False
+        if not verdicts_match:
+            mismatches.append(name)
+        if name.startswith("list-"):
+            list_hits += shared.hits
+            list_misses += shared.misses
+        uncached_total = sum(uncached_seconds)
+        cached_total = sum(cached_seconds)
+        total_uncached += uncached_total
+        total_cached += cached_total
+        benchmarks.append(
+            {
+                "name": name,
+                "verdict": verdict,
+                "verdicts_match": verdicts_match,
+                "phase_seconds": phases,
+                "uncached_seconds": uncached_seconds,
+                "cached_seconds": cached_seconds,
+                "speedup": round(uncached_total / cached_total, 4)
+                if cached_total
+                else None,
+                "cache": {**shared.stats(), "rep_hit_rates": rep_hit_rates},
+            }
+        )
+    list_total = list_hits + list_misses
+    return {
+        "schema": "repro-bench-v1",
+        "date": datetime.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "repetitions": repetitions,
+        "mode": mode,
+        "benchmarks": benchmarks,
+        "totals": {
+            "uncached_seconds": round(total_uncached, 6),
+            "cached_seconds": round(total_cached, 6),
+            "speedup": round(total_uncached / total_cached, 4)
+            if total_cached
+            else None,
+            "list_cache_hits": list_hits,
+            "list_hit_rate": round(list_hits / list_total, 6)
+            if list_total
+            else 0.0,
+        },
+        "verdict_mismatches": mismatches,
+    }
+
+
+def default_out_path(report: dict) -> Path:
+    return Path(f"BENCH_{report['date']}.json")
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"bench {report['date']} ({'quick' if report['quick'] else 'full'}, "
+        f"{report['repetitions']} reps)"
+    ]
+    for bench in report["benchmarks"]:
+        cache = bench["cache"]
+        lines.append(
+            f"  {bench['name']:16s} uncached {sum(bench['uncached_seconds']):7.3f}s"
+            f"  cached {sum(bench['cached_seconds']):7.3f}s"
+            f"  x{bench['speedup']:<6}"
+            f" hit_rate {cache.get('hit_rate', 0.0):.2f}"
+            f"{'' if bench['verdicts_match'] else '  VERDICT MISMATCH'}"
+        )
+    totals = report["totals"]
+    lines.append(
+        f"  {'TOTAL':16s} uncached {totals['uncached_seconds']:7.3f}s"
+        f"  cached {totals['cached_seconds']:7.3f}s"
+        f"  x{totals['speedup']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="measure cached vs uncached analysis throughput and "
+        "write a BENCH_<date>.json baseline",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmarks to measure (default: the full suite)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the list staples + entail-stress (the CI smoke suite)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repetitions per configuration (default 3)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-run wall-clock deadline in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="where to write the JSON report (default BENCH_<date>.json; "
+        "'-' for stdout only)",
+    )
+    parser.add_argument(
+        "--require-hits",
+        action="store_true",
+        help="fail (exit 1) when the list benchmarks record zero cache "
+        "hits -- the CI canary for cross-run key sharing",
+    )
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        print("repro bench: --reps must be >= 1", file=sys.stderr)
+        return 2
+    report = run_bench(
+        names=args.names or None,
+        quick=args.quick,
+        repetitions=args.reps,
+        deadline=args.deadline,
+    )
+    print(render(report))
+    payload = json.dumps(report, indent=2)
+    if args.out == "-":
+        print(payload)
+    else:
+        out = Path(args.out) if args.out else default_out_path(report)
+        out.write_text(payload + "\n")
+        print(f"report written to {out}")
+    if report["verdict_mismatches"]:
+        print(
+            "repro bench: cached and uncached verdicts differ for: "
+            + ", ".join(report["verdict_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_hits and report["totals"]["list_cache_hits"] == 0:
+        print(
+            "repro bench: list benchmarks recorded zero cache hits",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""A bounded LRU cache for entailment verdicts.
+
+Deliberately generic: keys and payloads are opaque to the cache (the
+entailment layer builds keys from canonical state forms and stores
+witnesses in canonical coordinates), so this module depends on nothing
+above the standard library and the ``perf`` package stays import-cycle
+free below ``logic``.
+
+The cache stores *both* polarities -- a ``None`` payload records a
+rejected query -- because a negative verdict is exactly as
+deterministic as a positive one once the step limit is part of the
+key.  Eviction is least-recently-used; capacity bounds memory on
+pathological fixpoints that generate unbounded families of states.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["EntailmentCache", "NULL_CACHE", "NullCache"]
+
+
+class EntailmentCache:
+    """LRU map from (canonical) query keys to cached verdicts.
+
+    ``lookup`` returns the stored ``(payload,)`` 1-tuple on a hit and
+    ``None`` on a miss, so that a cached negative verdict (payload
+    ``None``) is distinguishable from absence.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key) -> "tuple | None":
+        try:
+            payload = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return (payload,)
+
+    def store(self, key, payload) -> bool:
+        """Record *payload* under *key*; True when an entry was evicted."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+class NullCache:
+    """Disabled cache: the hot-path guard is one attribute load."""
+
+    enabled = False
+
+    def lookup(self, key) -> None:
+        return None
+
+    def store(self, key, payload) -> bool:
+        return False
+
+    def clear(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {}
+
+
+NULL_CACHE = NullCache()

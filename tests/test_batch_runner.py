@@ -208,3 +208,70 @@ class TestSignalClassification:
         )
         text = render_batch_report(report.to_dict())
         assert "SIGKILL=1" in text
+
+
+def _scrub_timing(obj):
+    """Zero every wall-clock field, recursively: timing is the one
+    thing allowed to differ between a serial and a parallel batch."""
+    if isinstance(obj, dict):
+        return {
+            key: 0 if "seconds" in key else _scrub_timing(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, list):
+        return [_scrub_timing(item) for item in obj]
+    return obj
+
+
+class TestParallelBatch:
+    def test_jobs_matches_serial_modulo_timing(self):
+        names = ["treeadd", "list-build", "crucible:1"]
+        serial = run_batch(names, isolate=True, jobs=1, timeout=120.0)
+        parallel = run_batch(names, isolate=True, jobs=2, timeout=120.0)
+        assert _scrub_timing(serial.to_dict()) == _scrub_timing(
+            parallel.to_dict()
+        )
+
+    def test_records_keep_input_order(self):
+        # Deliberately non-alphabetical; completion order must not
+        # reorder the report.
+        names = ["power", "list-build", "treeadd"]
+        report = run_batch(names, isolate=True, jobs=3, timeout=120.0)
+        assert [record.name for record in report.records] == names
+
+    def test_jobs_requires_isolation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_batch(["treeadd"], isolate=False, jobs=2)
+
+    def test_cli_rejects_jobs_with_no_isolate(self, capsys):
+        assert runner_main(["treeadd", "--jobs", "2", "--no-isolate"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_with_deadline(self):
+        # The cooperative analysis deadline still fires inside each
+        # parallel child and is classified per record.
+        report = run_batch(
+            ["181.mcf", "list-build"],
+            jobs=2,
+            deadline=0.001,
+            mode="strict",
+            timeout=120.0,
+        )
+        assert [r.name for r in report.records] == ["181.mcf", "list-build"]
+        mcf = report.records[0]
+        assert mcf.outcome == "failed"
+        assert any(
+            d["code"] == "budget-exhausted" for d in mcf.diagnostics
+        )
+
+    def test_chaos_killed_children_under_parallelism(self, monkeypatch):
+        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+
+        monkeypatch.setenv(CHILD_CHAOS_ENV, "kill:9")
+        report = run_batch(["treeadd", "power"], jobs=2, timeout=120.0)
+        assert [r.name for r in report.records] == ["treeadd", "power"]
+        assert report.counts["crashed"] == 2
+        assert report.signals == {"SIGKILL": 2}
+        assert not report.ok

@@ -1,0 +1,336 @@
+"""Golden regression suite for ``subsumes`` verdicts.
+
+Twenty-odd hand-written (general, concrete) state pairs with their
+expected verdicts pinned.  The entailment cache memoizes exactly these
+verdicts, so any behavioral drift here -- an atom kind matching more
+or less liberally, truncation points gaining or losing strictness --
+must be a conscious decision, not a silent side effect of a perf
+change.  Each case builds fresh states (states are mutable; sharing
+them across cases would let one query's internal rewrites leak into
+the next).
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import fp
+
+from repro.ir import Register
+from repro.logic import (
+    LIST_DEF,
+    NULL_VAL,
+    AbstractState,
+    Opaque,
+    PointsTo,
+    PredicateEnv,
+    PredInstance,
+    Raw,
+    Region,
+    Var,
+    subsumes,
+)
+
+
+def _state(rho=None, atoms=(), nes=()):
+    state = AbstractState()
+    for register, value in (rho or {}).items():
+        state.rho[Register(register)] = value
+    for atom in atoms:
+        state.spatial.add(atom)
+    for lhs, rhs in nes:
+        state.pure.assume("ne", lhs, rhs)
+    return state
+
+
+#: name -> (builder returning (general, concrete[, kwargs]), expected)
+CASES = {}
+
+
+def case(name, expected):
+    def register(builder):
+        assert name not in CASES
+        CASES[name] = (builder, expected)
+        return builder
+
+    return register
+
+
+# -- plain structural matching -----------------------------------------
+
+
+@case("identical-list-alpha-variant", True)
+def _identical_list():
+    return (
+        _state({"x": Var("a")}, [PredInstance("list", (Var("a"),))]),
+        _state({"x": Var("b")}, [PredInstance("list", (Var("b"),))]),
+    )
+
+
+@case("pointsto-chain-alpha-variant", True)
+def _chain():
+    return (
+        _state(
+            {"x": Var("a")},
+            [
+                PointsTo(Var("a"), "next", fp("a", "next")),
+                PredInstance("list", (fp("a", "next"),)),
+            ],
+        ),
+        _state(
+            {"x": Var("z")},
+            [
+                PointsTo(Var("z"), "next", fp("z", "next")),
+                PredInstance("list", (fp("z", "next"),)),
+            ],
+        ),
+    )
+
+
+@case("pointsto-field-mismatch", False)
+def _field_mismatch():
+    return (
+        _state({"x": Var("a")}, [PointsTo(Var("a"), "next", NULL_VAL)]),
+        _state({"x": Var("b")}, [PointsTo(Var("b"), "prev", NULL_VAL)]),
+    )
+
+
+@case("pointsto-null-target-matches-null", True)
+def _null_target():
+    return (
+        _state({"x": Var("a")}, [PointsTo(Var("a"), "next", NULL_VAL)]),
+        _state({"x": Var("b")}, [PointsTo(Var("b"), "next", NULL_VAL)]),
+    )
+
+
+@case("dangling-target-generalizes-null", True)
+def _dangling_target():
+    # The general state's dangling successor is unconstrained, so it
+    # can bind to the concrete state's null.
+    return (
+        _state({"x": Var("a")}, [PointsTo(Var("a"), "next", Var("t"))]),
+        _state({"x": Var("b")}, [PointsTo(Var("b"), "next", NULL_VAL)]),
+    )
+
+
+@case("null-target-does-not-match-cell", False)
+def _null_vs_cell():
+    # The converse direction: a general null successor is *more*
+    # specific than a concrete allocated one.
+    return (
+        _state({"x": Var("a")}, [PointsTo(Var("a"), "next", NULL_VAL)]),
+        _state(
+            {"x": Var("b")},
+            [PointsTo(Var("b"), "next", Var("c")), Raw(Var("c"))],
+        ),
+    )
+
+
+# -- atom counting (the match is a bijection) --------------------------
+
+
+@case("concrete-extra-atom-leaks", False)
+def _concrete_extra():
+    return (
+        _state({}, [Raw(Var("a"))]),
+        _state({}, [Raw(Var("b")), Raw(Var("c"))]),
+    )
+
+
+@case("general-extra-atom-unmatched", False)
+def _general_extra():
+    return (
+        _state({}, [Raw(Var("a")), Raw(Var("b"))]),
+        _state({}, [Raw(Var("c"))]),
+    )
+
+
+# -- predicate base-case instantiation ---------------------------------
+
+
+@case("list-base-case-null", True)
+def _base_case():
+    return (
+        _state({"x": Var("h")}, [PredInstance("list", (Var("h"),))]),
+        _state({"x": NULL_VAL}),
+    )
+
+
+@case("list-base-case-leftover-cell", False)
+def _base_case_leftover():
+    return (
+        _state({"x": Var("h")}, [PredInstance("list", (Var("h"),))]),
+        _state({"x": NULL_VAL}, [Raw(Var("z"))]),
+    )
+
+
+@case("pred-name-mismatch", False)
+def _pred_name_mismatch():
+    return (
+        _state({"x": Var("a")}, [PredInstance("list", (Var("a"),))]),
+        _state({"x": Var("b")}, [PredInstance("tree", (Var("b"),))]),
+    )
+
+
+@case("pred-implication-identical-structure", True)
+def _pred_implication():
+    # Two distinct names with structurally identical definitions: with
+    # an environment, the concrete instance's definition implies the
+    # general one's, so the atoms match across the name difference.
+    env = PredicateEnv()
+    env.add(LIST_DEF)
+    env.add(dataclasses.replace(LIST_DEF, name="list2"))
+    return (
+        _state({"x": Var("a")}, [PredInstance("list", (Var("a"),))]),
+        _state({"x": Var("b")}, [PredInstance("list2", (Var("b"),))]),
+        {"env": env},
+    )
+
+
+# -- truncation points (the magic-wand shape A(x) --* B(y)) ------------
+
+
+@case("trunc-matched", True)
+def _trunc_matched():
+    return (
+        _state(
+            {"x": Var("a")}, [PredInstance("list", (Var("a"),), (Var("t"),))]
+        ),
+        _state(
+            {"x": Var("b")}, [PredInstance("list", (Var("b"),), (Var("u"),))]
+        ),
+    )
+
+
+@case("trunc-missing-in-concrete", False)
+def _trunc_missing_concrete():
+    return (
+        _state(
+            {"x": Var("a")}, [PredInstance("list", (Var("a"),), (Var("t"),))]
+        ),
+        _state({"x": Var("b")}, [PredInstance("list", (Var("b"),))]),
+    )
+
+
+@case("trunc-missing-in-general", False)
+def _trunc_missing_general():
+    return (
+        _state({"x": Var("a")}, [PredInstance("list", (Var("a"),))]),
+        _state(
+            {"x": Var("b")}, [PredInstance("list", (Var("b"),), (Var("u"),))]
+        ),
+    )
+
+
+@case("two-truncs-matched", True)
+def _two_truncs():
+    return (
+        _state(
+            {"x": Var("a")},
+            [PredInstance("list", (Var("a"),), (Var("t1"), Var("t2")))],
+        ),
+        _state(
+            {"x": Var("b")},
+            [PredInstance("list", (Var("b"),), (Var("u1"), Var("u2")))],
+        ),
+    )
+
+
+@case("trunc-count-mismatch", False)
+def _trunc_count_mismatch():
+    return (
+        _state(
+            {"x": Var("a")},
+            [PredInstance("list", (Var("a"),), (Var("t1"), Var("t2")))],
+        ),
+        _state(
+            {"x": Var("b")}, [PredInstance("list", (Var("b"),), (Var("u1"),))]
+        ),
+    )
+
+
+# -- raw cells and regions ---------------------------------------------
+
+
+@case("raw-matches-raw", True)
+def _raw_raw():
+    return (
+        _state({"x": Var("a")}, [Raw(Var("a"), frozenset({"next"}))]),
+        _state({"x": Var("b")}, [Raw(Var("b"), frozenset({"next"}))]),
+    )
+
+
+@case("raw-does-not-match-pointsto", False)
+def _raw_vs_pointsto():
+    return (
+        _state({"x": Var("a")}, [Raw(Var("a"))]),
+        _state({"x": Var("b")}, [PointsTo(Var("b"), "next", NULL_VAL)]),
+    )
+
+
+@case("region-matches-region", True)
+def _region_region():
+    return (
+        _state({"x": Var("a")}, [Region(Var("a"))]),
+        _state({"x": Var("b")}, [Region(Var("b"))]),
+    )
+
+
+@case("region-does-not-match-raw", False)
+def _region_vs_raw():
+    return (
+        _state({"x": Var("a")}, [Region(Var("a"))]),
+        _state({"x": Var("b")}, [Raw(Var("b"))]),
+    )
+
+
+# -- the register frame and pure constraints ---------------------------
+
+
+@case("register-null-mismatch", False)
+def _register_mismatch():
+    return (
+        _state({"x": Var("a")}, [Raw(Var("a"))]),
+        _state({"x": NULL_VAL}, [Raw(Var("b"))]),
+    )
+
+
+@case("live-restriction-ignores-dead-register", True)
+def _live_restriction():
+    general = _state({"x": Var("a"), "y": Var("a")}, [Raw(Var("a"))])
+    concrete = _state({"x": Var("b"), "y": NULL_VAL}, [Raw(Var("b"))])
+    return general, concrete, {"live": {Register("x")}}
+
+
+@case("dead-register-still-blocks-without-live-set", False)
+def _no_live_restriction():
+    return (
+        _state({"x": Var("a"), "y": Var("a")}, [Raw(Var("a"))]),
+        _state({"x": Var("b"), "y": NULL_VAL}, [Raw(Var("b"))]),
+    )
+
+
+@case("pure-ne-null-blocks-null-binding", False)
+def _ne_blocks():
+    return (
+        _state({"x": Var("a")}, nes=[(Var("a"), NULL_VAL)]),
+        _state({"x": NULL_VAL}),
+    )
+
+
+@case("opaque-tags-equal", True)
+def _opaque_equal():
+    return (
+        _state({"x": Opaque("k")}),
+        _state({"x": Opaque("k")}),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_verdict(name):
+    builder, expected = CASES[name]
+    built = builder()
+    general, concrete = built[0], built[1]
+    kwargs = built[2] if len(built) > 2 else {}
+    witness = subsumes(general, concrete, **kwargs)
+    assert (witness is not None) == expected

@@ -20,6 +20,7 @@ from repro.logic import (
     RecTarget,
     Region,
     Var,
+    equivalent,
     subsumes,
 )
 from repro.logic.implication import pred_implies
@@ -201,3 +202,26 @@ class TestPredicateImplication:
             )
         )
         assert not pred_implies(env, "dll1", "dll2")
+
+
+class TestMatchBudget:
+    def test_equivalent_gives_each_direction_a_fresh_budget(self):
+        # Regression: the two directions of ``equivalent`` once shared
+        # one ``_MatchBudget``, so a first direction that consumed most
+        # of the limit starved the second and flipped the verdict.
+        # Pin the contract empirically: find the exact step cost of one
+        # direction, then run ``equivalent`` at precisely that limit --
+        # a shared budget would need twice as much.
+        k = 6
+        a = _state(atoms=[Raw(Var(f"a{i}")) for i in range(k)])
+        b = _state(atoms=[Raw(Var(f"b{i}")) for i in range(k)])
+        needed = next(
+            limit
+            for limit in range(1, 500)
+            if subsumes(a, b, step_limit=limit) is not None
+        )
+        assert needed > 1
+        assert equivalent(a, b, step_limit=needed)
+        # Sanity: below the one-direction cost the query conservatively
+        # answers False, so the assertion above is actually tight.
+        assert not equivalent(a, b, step_limit=needed - 1)
