@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         "either way; see 'python -m repro bench')",
     )
     parser.add_argument(
+        "--no-wto",
+        action="store_true",
+        help="drive the fixpoint worklist in naive FIFO order instead "
+        "of the weak topological order (verdicts are identical either "
+        "way; see tests/test_wto_schedule.py)",
+    )
+    parser.add_argument(
         "--dump-ir", action="store_true", help="print the (lowered) IR and exit"
     )
     parser.add_argument(
@@ -421,6 +428,7 @@ def main(argv: list[str] | None = None) -> int:
         state_budget=args.state_budget,
         trace_path=args.trace,
         enable_cache=not args.no_cache,
+        schedule="fifo" if args.no_wto else "wto",
     ).run()
 
     print(result.describe())

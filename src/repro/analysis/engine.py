@@ -68,6 +68,13 @@ class ShapeAnalysis:
     #: ``"strict"`` (paper semantics: halt and report) or ``"degrade"``
     #: (retry with escalated unroll, then contain failures).
     mode: str = "strict"
+    #: Fixpoint worklist schedule: ``"wto"`` (default) drives a
+    #: priority worklist over each procedure's weak topological order,
+    #: stabilizing inner loops before their exits; ``"fifo"`` is the
+    #: naive order (``--no-wto``), kept so differential harnesses can
+    #: cross-check the two (verdicts must agree; see
+    #: tests/test_wto_schedule.py).
+    schedule: str = "wto"
     #: Wall-clock deadline for the whole run in seconds (None = off).
     deadline_seconds: float | None = None
     #: Optional global state cap across all procedures and retries.
@@ -120,8 +127,19 @@ class ShapeAnalysis:
                 if self.enable_cache
                 else perf.NULL_CACHE
             )
+        # The unfold/fold memos are per-run (unlike the entailment
+        # cache they hold state objects, so they are not shared across
+        # runs via ``cache=``); ``--no-cache`` disables them together
+        # with the entailment cache.
+        if self.enable_cache:
+            unfold_cache = perf.EntailmentCache(self.cache_size)
+            fold_cache = perf.IdentityMemo(self.cache_size)
+        else:
+            unfold_cache = fold_cache = perf.NULL_CACHE
         try:
-            with obs.activate(tracer, metrics), perf.activate_cache(cache):
+            with obs.activate(tracer, metrics), perf.activate_cache(
+                cache, unfold=unfold_cache, fold=fold_cache
+            ):
                 return self._run(tracer, metrics)
         finally:
             if owns_tracer:
@@ -175,7 +193,12 @@ class ShapeAnalysis:
                 env = PredicateEnv()
                 # The engine picks up the activated obs.TRACER/obs.METRICS
                 # as defaults, so custom engine factories need not accept
-                # (or forward) tracer/metrics keywords.
+                # (or forward) tracer/metrics keywords.  The schedule
+                # keyword is only forwarded when overridden, so factories
+                # with closed signatures keep working under the default.
+                extra = {} if self.schedule == "wto" else {
+                    "schedule": self.schedule
+                }
                 engine = make_engine(
                     target,
                     env,
@@ -183,6 +206,7 @@ class ShapeAnalysis:
                     state_budget=self.state_budget,
                     mode=engine_mode,
                     budget=budget,
+                    **extra,
                 )
                 attempt_span = tracer.span(
                     "attempt", number=attempt, unroll=unroll, mode=engine_mode

@@ -25,6 +25,7 @@ from folding, as required by the interprocedural analysis (§5.2).
 from __future__ import annotations
 
 from repro import obs
+from repro.analysis import memo
 from repro.logic.assertions import PointsTo, PredInstance, Raw
 from repro.logic.heapnames import HeapName, Var
 from repro.logic.predicates import (
@@ -57,7 +58,24 @@ def fold_state(
     live register") are protected from *absorption into the interior*
     of a structure; they may still become the root of an instance or a
     truncation point, both of which keep the location addressable.
+
+    When a fold cache is active, states a previous call returned
+    unchanged are recognized by canonical key and skipped outright:
+    the engine folds at every exit and back edge, and most of those
+    states are already in folded form ("no rule applies" is an
+    alpha-invariant property, so the identity replay is exact).
     """
+    key = memo.fold_memo_key(state, env, protect, keep_registers)
+    if key is not None and memo.lookup_fold_identity(key):
+        metrics = obs.METRICS
+        if metrics.enabled:
+            metrics.inc("fold.calls")
+        return state
+    before = (
+        (state.spatial.revision, state.pure.revision, dict(state.rho), state.anchors)
+        if key is not None
+        else None
+    )
     normalize_nulls(state)
     hard = set(protect)
     soft = set(protect)
@@ -88,6 +106,13 @@ def fold_state(
             metrics.inc("fold.absorbed", absorbed)
         if wrapped:
             metrics.inc("fold.wrapped", wrapped)
+    if before is not None and before == (
+        state.spatial.revision,
+        state.pure.revision,
+        state.rho,
+        state.anchors,
+    ):
+        memo.store_fold_identity(key)
     return state
 
 

@@ -1,0 +1,295 @@
+"""Memoization of rearrangement: unfold case analyses and identity folds.
+
+The fixpoint engine re-runs ``unfold``'s Figure-6 case analysis and
+``fold``'s absorb/wrap search at every loop revisit, usually on states
+it has rearranged before (alpha-variants of them, at least).  Both are
+pure functions of the state, the focus address and the predicate
+environment, so their outcomes can be replayed from a cache: the
+unfold memo keys on the PR-4 canonical form plus
+``PredicateEnv.cache_token()`` (alpha-variants share entries, which
+the replay renaming below depends on); the fold memo keys on exact
+revision-memoized content tokens instead (see :func:`fold_memo_key`
+for the measured rationale).
+
+Two subtleties make the unfold memo more than a dict lookup:
+
+* **Name translation.**  A cached result mentions the *stored* input's
+  variable names.  Equal canonical keys mean the new input is an exact
+  alpha-variant, so the stored form's ``index`` (root -> canonical
+  slot) composed with the new form's ``roots`` (slot -> root) is a
+  total renaming between the two namespaces; replay copies the stored
+  result states and pushes that renaming through them (two-phase, via
+  temporaries, when the namespaces overlap).
+
+* **Fresh-counter alignment.**  The original unfold minted fresh
+  variables from the process-global counter; a replay that minted none
+  would leave the counter behind an uncached run and desynchronize
+  every later fresh name -- breaking the cache-on/off verdict
+  differential, whose failure messages embed heap names.  The memo
+  therefore records the counter window the original consumed;  replay
+  advances the counter by the same width and maps each stored
+  in-window name positionally onto the replay window, which is exactly
+  the set of names ``fresh_var`` would have produced.
+
+Only *successful* unfolds are cached.  Negative outcomes
+(``AnalysisStuck``) are cheap to recompute and their messages embed
+namespace-specific names; recomputing keeps diagnostics byte-identical
+with the uncached run.
+
+The fold memo is deliberately identity-only: it records keys of states
+a prior ``fold_state`` call returned unchanged ("no rule applies"),
+which is an alpha/order-invariant property, and replays by doing
+nothing.  Caching *productive* folds would have to replay a mutation
+sequence; identity hits already remove the bulk of the cost because
+the engine folds at every exit and back edge, and almost all of those
+states are already folded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs, perf
+from repro.logic.canonical import (
+    CanonicalForm,
+    UntranslatableWitness,
+    canonicalize,
+)
+from repro.logic.heapnames import (
+    GlobalLoc,
+    Var,
+    advance_fresh_counter,
+    fresh_counter_value,
+)
+from repro.logic.state import AbstractState
+from repro.logic.stateset import content_key
+
+__all__ = [
+    "unfold_memo_key",
+    "lookup_unfold",
+    "store_unfold",
+    "fold_memo_key",
+    "lookup_fold_identity",
+    "store_fold_identity",
+]
+
+
+def _report(name: str) -> None:
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc(name)
+
+
+# ----------------------------------------------------------------------
+# Unfold memo
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _StoredResult:
+    """One result state plus the renaming recipe for its Var roots.
+
+    ``renames`` maps each Var root occurring anywhere in ``state`` to
+    either ``("idx", i)`` -- canonical slot *i* of the input form -- or
+    ``("fresh", hint, n)`` -- the *n*-th fresh name of the recorded
+    counter window, to be re-aimed at the replay window.
+    """
+
+    state: AbstractState
+    renames: tuple
+
+
+@dataclass(frozen=True)
+class _UnfoldEntry:
+    results: tuple[_StoredResult, ...]
+    fresh_base: int
+    fresh_used: int
+    stats: tuple  # (case, pred, cases, exact, below) for re-emission
+
+
+def unfold_memo_key(
+    case: str, state: AbstractState, focus, env, extra=None
+) -> tuple | None:
+    """Cache key for one unfold call, or None when not keyable.
+
+    *focus* (and the optional *extra* address) are encoded through the
+    state's canonical form, so alpha-variant states asking about the
+    corresponding location produce the same key.
+    """
+    if not perf.UNFOLD_CACHE.enabled:
+        return None
+    form = canonicalize(state)
+    try:
+        tokens = [form.encode_name(focus)]
+        if extra is not None:
+            tokens.append(form.encode_name(extra))
+    except UntranslatableWitness:
+        return None
+    return (case, form.key, tuple(tokens), env.cache_token())
+
+
+def lookup_unfold(key: tuple, state: AbstractState) -> list[AbstractState] | None:
+    """Replay a cached unfold against *state*, or None on miss."""
+    hit = perf.UNFOLD_CACHE.lookup(key)
+    if hit is None:
+        _report("unfold.cache.misses")
+        return None
+    entry: _UnfoldEntry = hit[0]
+    form = canonicalize(state)
+    replay_base = advance_fresh_counter(entry.fresh_used)
+    results = []
+    for stored in entry.results:
+        results.append(
+            _replay_state(stored, form, entry.fresh_base, replay_base)
+        )
+    _report("unfold.cache.hits")
+    case, pred, cases, exact, below = entry.stats
+    _record = _unfold_recorder()
+    _record(case, pred, cases, exact, below)
+    return results
+
+
+def _unfold_recorder():
+    from repro.analysis.unfold import _record_unfold
+
+    return _record_unfold
+
+
+def _replay_state(
+    stored: _StoredResult,
+    form: CanonicalForm,
+    fresh_base: int,
+    replay_base: int,
+) -> AbstractState:
+    state = stored.state.copy()
+    mapping = []
+    for root, how in stored.renames:
+        if how[0] == "idx":
+            target = form.roots[how[1]]
+        else:
+            _, hint, n = how
+            target = Var(f"{hint}{replay_base + n}")
+        if target != root:
+            mapping.append((root, target))
+    if not mapping:
+        return state
+    targets = {target for _, target in mapping}
+    sources = {root for root, _ in mapping}
+    if targets & sources:
+        # Namespaces overlap: rename through unique temporaries first.
+        for i, (root, _) in enumerate(mapping):
+            state.rename(root, Var(f"~memo{i}"))
+        for i, (_, target) in enumerate(mapping):
+            state.rename(Var(f"~memo{i}"), target)
+    else:
+        for root, target in mapping:
+            state.rename(root, target)
+    return state
+
+
+def store_unfold(
+    key: tuple,
+    state: AbstractState,
+    results: list[AbstractState],
+    fresh_base: int,
+    stats: tuple,
+) -> None:
+    """Record a successful unfold of *state* for later replay.
+
+    Refuses (silently) when some result mentions a Var root that is
+    neither an input root nor a fresh name from the recorded counter
+    window -- such a name could not be translated at replay time.
+    """
+    form = canonicalize(state)
+    fresh_used = fresh_counter_value() - fresh_base
+    stored_results = []
+    for result in results:
+        renames = _result_renames(result, form, fresh_base, fresh_used)
+        if renames is None:
+            return
+        stored_results.append(_StoredResult(result.copy(), renames))
+    perf.UNFOLD_CACHE.store(
+        key,
+        _UnfoldEntry(tuple(stored_results), fresh_base, fresh_used, stats),
+    )
+
+
+def _result_renames(
+    result: AbstractState, form: CanonicalForm, fresh_base: int, fresh_used: int
+) -> tuple | None:
+    renames = []
+    for root in canonicalize(result).index:
+        if not isinstance(root, Var):
+            continue
+        slot = form.index.get(root)
+        if slot is not None:
+            renames.append((root, ("idx", slot)))
+            continue
+        parsed = _parse_fresh(root.name, fresh_base, fresh_used)
+        if parsed is None:
+            return None
+        renames.append((root, ("fresh",) + parsed))
+    return tuple(renames)
+
+
+def _parse_fresh(name: str, fresh_base: int, fresh_used: int) -> tuple | None:
+    """Split ``hint<N>`` and check N lies in the recorded window.
+
+    Returns ``(hint, offset)`` with ``offset`` 1-based inside the
+    window, so the replay name is ``hint + (replay_base + offset)``.
+    """
+    i = len(name)
+    while i > 0 and name[i - 1].isdigit():
+        i -= 1
+    if i == len(name) or i == 0:
+        return None
+    n = int(name[i:])
+    if fresh_base < n <= fresh_base + fresh_used:
+        return (name[:i], n - fresh_base)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fold identity memo
+# ----------------------------------------------------------------------
+
+
+def fold_memo_key(
+    state: AbstractState, env, protect, keep_registers: bool
+) -> tuple | None:
+    """Cache key for one ``fold_state`` call, or None when disabled.
+
+    The key is the state's *exact* content (spatial and pure content
+    tokens, register frame, anchors) plus the fold parameters -- not
+    the canonical form.  Profiling showed the canonical key's greedy
+    ordering costing more than the identity folds it skipped; the
+    content tokens are revision-memoized on the formula objects, so
+    the key is a handful of dict freezes at worst and three integer
+    compares when the state has not mutated since the last token.
+    Exact keys are a sound refinement: equal keys mean equal states
+    (same names), for which the identity-fold property transfers
+    trivially.  The engine re-folds copies of states along loop
+    revisits and exit paths, and copies share names, so exactness
+    keeps nearly all of the hits alpha-keys would see.
+    """
+    if not perf.FOLD_CACHE.enabled:
+        return None
+    return (
+        content_key(state),
+        frozenset(protect),
+        bool(keep_registers),
+        env.cache_token(),
+    )
+
+
+def lookup_fold_identity(key: tuple) -> bool:
+    """True when *key* is a known identity fold (state already folded)."""
+    if perf.FOLD_CACHE.lookup(key) is None:
+        _report("fold.cache.misses")
+        return False
+    _report("fold.cache.hits")
+    return True
+
+
+def store_fold_identity(key: tuple) -> None:
+    perf.FOLD_CACHE.store(key, True)

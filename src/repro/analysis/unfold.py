@@ -41,8 +41,15 @@ from dataclasses import dataclass
 from itertools import product
 
 from repro import obs
+from repro.analysis import memo
 from repro.logic.assertions import PointsTo, PredInstance, Raw
-from repro.logic.heapnames import FieldPath, HeapName, Var, fresh_var
+from repro.logic.heapnames import (
+    FieldPath,
+    HeapName,
+    Var,
+    fresh_counter_value,
+    fresh_var,
+)
 from repro.logic.predicates import NullArg, ParamArg, PredicateDef, PredicateEnv, RecTarget
 from repro.logic.state import AbstractState, AnalysisStuck
 from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
@@ -155,9 +162,33 @@ class _Placement:
 def unfold_root(
     state: AbstractState, instance: PredInstance, env: PredicateEnv
 ) -> list[AbstractState]:
-    """Peel ``instance`` from the top; enumerate truncation placements."""
+    """Peel ``instance`` from the top; enumerate truncation placements.
+
+    Memoized on (canonical state, root address, predicate environment)
+    when an unfold cache is active: the fixpoint engine re-unfolds
+    alpha-variants of the same state at every loop revisit, and the
+    case analysis is a pure function of the key.  Only successful
+    unfolds are replayed; ``AnalysisStuck`` is always recomputed so its
+    message quotes the live namespace.
+    """
     if instance.pred not in env:
         raise AnalysisStuck(f"unknown predicate {instance.pred}")
+    key = memo.unfold_memo_key("root", state, instance.root, env)
+    if key is None:
+        results, _ = _unfold_root_cases(state, instance, env)
+        return results
+    cached = memo.lookup_unfold(key, state)
+    if cached is not None:
+        return cached
+    fresh_base = fresh_counter_value()
+    results, stats = _unfold_root_cases(state, instance, env)
+    memo.store_unfold(key, state, results, fresh_base, stats)
+    return results
+
+
+def _unfold_root_cases(
+    state: AbstractState, instance: PredInstance, env: PredicateEnv
+) -> tuple[list[AbstractState], tuple]:
     definition = env[instance.pred]
     root = instance.root
     if isinstance(root, (NullVal, OffsetVal, Opaque)):
@@ -175,8 +206,9 @@ def unfold_root(
         for sub in subs:
             result.spatial.add(sub)
         result.pure.assume("ne", root, NULL_VAL)
-        _record_unfold("unfold.root", instance.pred, 1, 0, 0)
-        return [result]
+        stats = ("unfold.root", instance.pred, 1, 0, 0)
+        _record_unfold(*stats)
+        return [result], stats
 
     results: list[AbstractState] = []
     exact = below = 0
@@ -195,8 +227,9 @@ def unfold_root(
         raise AnalysisStuck(
             f"no consistent truncation placement unfolding {instance}"
         )
-    _record_unfold("unfold.root", instance.pred, len(results), exact, below)
-    return results
+    stats = ("unfold.root", instance.pred, len(results), exact, below)
+    _record_unfold(*stats)
+    return results, stats
 
 
 def _record_unfold(
@@ -445,7 +478,31 @@ def unfold_interior(
     h: HeapName,
     env: PredicateEnv,
 ) -> list[AbstractState]:
-    """Expose the cells of *h*, an interior node of the truncated *host*."""
+    """Expose the cells of *h*, an interior node of the truncated *host*.
+
+    Memoized like :func:`unfold_root`, additionally keyed on the host
+    instance's root so the cache distinguishes which truncated
+    structure *h* is carved out of.
+    """
+    key = memo.unfold_memo_key("interior", state, host.root, env, extra=h)
+    if key is None:
+        results, _ = _unfold_interior_cases(state, host, h, env)
+        return results
+    cached = memo.lookup_unfold(key, state)
+    if cached is not None:
+        return cached
+    fresh_base = fresh_counter_value()
+    results, stats = _unfold_interior_cases(state, host, h, env)
+    memo.store_unfold(key, state, results, fresh_base, stats)
+    return results
+
+
+def _unfold_interior_cases(
+    state: AbstractState,
+    host: PredInstance,
+    h: HeapName,
+    env: PredicateEnv,
+) -> tuple[list[AbstractState], tuple]:
     definition = env[host.pred]
     pieces = [t for t in host.truncs if _references(state, t, h)]
 
@@ -490,8 +547,9 @@ def unfold_interior(
         below += sum(1 for p in combo if not p.exact)
     if not results:
         raise AnalysisStuck(f"no consistent interior unfolding for {h}")
-    _record_unfold("unfold.interior", host.pred, len(results), exact, below)
-    return results
+    stats = ("unfold.interior", host.pred, len(results), exact, below)
+    _record_unfold(*stats)
+    return results, stats
 
 
 def _piece_constraints(

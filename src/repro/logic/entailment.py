@@ -47,7 +47,40 @@ from repro.logic.heapnames import HeapName
 from repro.logic.state import AbstractState
 from repro.logic.symvals import NULL_VAL, NullVal, OffsetVal, Opaque, SymVal
 
-__all__ = ["subsumes", "equivalent", "Mapping", "MATCH_STEP_LIMIT"]
+__all__ = [
+    "subsumes",
+    "equivalent",
+    "Mapping",
+    "MATCH_STEP_LIMIT",
+    "structural_signature",
+    "signatures_compatible",
+]
+
+def structural_signature(state: AbstractState) -> tuple:
+    """Cheap subsumption-invariant shape of *state*'s spatial formula.
+
+    Returns ``(pointsto field multiset, raw count, region count, pred
+    count)``, memoized on the formula's revision counter.  Used as a
+    necessary-condition pre-filter: see :func:`signatures_compatible`.
+    """
+    return state.spatial.structural_signature()
+
+
+def signatures_compatible(general: tuple, concrete: tuple) -> bool:
+    """Can a state with signature *general* subsume one with *concrete*?
+
+    Necessary condition only (cheap pre-filter): ``_match_atoms`` pairs
+    spatial atoms bijectively, and the only atom allowed to "vanish" is
+    a general ``PredInstance`` without truncations whose mapped root is
+    null.  A successful match therefore forces equality of the PointsTo
+    field multiset, the Raw count and the Region count, and requires
+    the general side to carry at least as many predicate instances as
+    the concrete side.  Root counts are deliberately not compared:
+    ``Mapping.unify`` does not require an injective binding, so the
+    number of distinct roots is not preserved by matching.
+    """
+    return general[:3] == concrete[:3] and general[3] >= concrete[3]
+
 
 #: Cap on backtracking steps (atom-unification attempts) per query.
 #: The search is worst-case exponential in the number of spatial atoms;
@@ -143,6 +176,15 @@ def subsumes(
     public query gets its *own* fresh match budget either way: budgets
     never leak between top-level calls (or between the two directions
     of :func:`equivalent`)."""
+    if not signatures_compatible(
+        structural_signature(general), structural_signature(concrete)
+    ):
+        # Incompatible spatial shapes cannot match; answer "not
+        # subsumed" without searching (and without paying for a
+        # canonical cache key -- the signatures are revision-memoized,
+        # the verdict deterministic either way).
+        _report_query(None, steps=0, capped=False, cached=False, sig=True)
+        return None
     cache = perf.CACHE
     general_form = concrete_form = cache_key = None
     if cache.enabled:
@@ -194,7 +236,9 @@ def subsumes(
     return result
 
 
-def _report_query(result, steps: int, capped: bool, cached: bool) -> None:
+def _report_query(
+    result, steps: int, capped: bool, cached: bool, sig: bool = False
+) -> None:
     metrics = obs.METRICS
     if metrics.enabled:
         metrics.inc("entailment.queries")
@@ -203,9 +247,13 @@ def _report_query(result, steps: int, capped: bool, cached: bool) -> None:
             "entailment.subsumed" if result is not None
             else "entailment.rejected"
         )
+        if sig:
+            # Signature pre-filter rejections never consult the cache,
+            # so they stay out of the hit/miss accounting.
+            metrics.inc("entailment.sig_rejects")
         if capped:
             metrics.inc("entailment.step_limit_hits")
-        if perf.CACHE.enabled:
+        if perf.CACHE.enabled and not sig:
             metrics.inc(
                 "entailment.cache.hits" if cached
                 else "entailment.cache.misses"

@@ -40,14 +40,64 @@ class SpatialFormula:
     changed.  Every mutating method must bump it.
     """
 
-    __slots__ = ("_atoms", "revision")
+    __slots__ = ("_atoms", "revision", "_token", "_token_rev", "_sig", "_sig_rev")
 
     def __init__(self, atoms: list[HeapAssertion] | None = None):
         self._atoms: list[HeapAssertion] = list(atoms or [])
         self.revision = 0
+        self._token = None
+        self._token_rev = -1
+        self._sig = None
+        self._sig_rev = -1
 
     def copy(self) -> "SpatialFormula":
-        return SpatialFormula(self._atoms)
+        copied = SpatialFormula(self._atoms)
+        if self._token_rev == self.revision:
+            # Same content, so the token transfers (against the copy's
+            # fresh revision counter).
+            copied._token = self._token
+            copied._token_rev = copied.revision
+        if self._sig_rev == self.revision:
+            copied._sig = self._sig
+            copied._sig_rev = copied.revision
+        return copied
+
+    def structural_signature(self) -> tuple:
+        """``(pointsto field multiset, raw count, region count, pred
+        count)`` -- the subsumption-invariant shape of the conjunction
+        (see ``repro.logic.entailment.signatures_compatible`` for what
+        it may be used to conclude).  Memoized on ``revision``."""
+        if self._sig_rev != self.revision:
+            fields: dict[str, int] = {}
+            raws = regions = preds = 0
+            for atom in self._atoms:
+                if isinstance(atom, PointsTo):
+                    fields[atom.field] = fields.get(atom.field, 0) + 1
+                elif isinstance(atom, Raw):
+                    raws += 1
+                elif isinstance(atom, Region):
+                    regions += 1
+                elif isinstance(atom, PredInstance):
+                    preds += 1
+            self._sig = (tuple(sorted(fields.items())), raws, regions, preds)
+            self._sig_rev = self.revision
+        return self._sig
+
+    def content_token(self) -> tuple:
+        """A hashable snapshot of the conjunction's exact content,
+        order-insensitive and multiplicity-exact (atoms are frozen
+        dataclasses).  Memoized on ``revision``, so rebuilding the token
+        for an unchanged formula is one integer compare -- cheap enough
+        to key the fold memo on every call (unlike the canonical form,
+        whose greedy ordering costs more than an identity fold; see
+        ``repro.analysis.memo``)."""
+        if self._token_rev != self.revision:
+            counts: dict = {}
+            for atom in self._atoms:
+                counts[atom] = counts.get(atom, 0) + 1
+            self._token = frozenset(counts.items())
+            self._token_rev = self.revision
+        return self._token
 
     def __iter__(self):
         return iter(self._atoms)
@@ -208,7 +258,7 @@ class PureFormula:
     evaluation (Table 1's semantic bracket) consults them.
     """
 
-    __slots__ = ("_aliases", "_atoms", "revision")
+    __slots__ = ("_aliases", "_atoms", "revision", "_token", "_token_rev")
 
     def __init__(
         self,
@@ -219,9 +269,26 @@ class PureFormula:
         self._atoms: set[PureAtom] = set(atoms or set())
         #: mutation counter, same contract as ``SpatialFormula.revision``
         self.revision = 0
+        self._token = None
+        self._token_rev = -1
 
     def copy(self) -> "PureFormula":
-        return PureFormula(self._aliases, self._atoms)
+        copied = PureFormula(self._aliases, self._atoms)
+        if self._token_rev == self.revision:
+            copied._token = self._token
+            copied._token_rev = copied.revision
+        return copied
+
+    def content_token(self) -> tuple:
+        """Hashable exact-content snapshot (same contract and caching
+        discipline as :meth:`SpatialFormula.content_token`)."""
+        if self._token_rev != self.revision:
+            self._token = (
+                frozenset(self._atoms),
+                frozenset(self._aliases.items()),
+            )
+            self._token_rev = self.revision
+        return self._token
 
     # ------------------------------------------------------------------
     # Aliases

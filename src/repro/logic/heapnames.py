@@ -14,7 +14,6 @@ Names are immutable; renaming produces new names.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 __all__ = [
@@ -24,6 +23,8 @@ __all__ = [
     "FieldPath",
     "fresh_var",
     "reset_fresh_counter",
+    "fresh_counter_value",
+    "advance_fresh_counter",
     "root_of",
     "path_of",
     "is_prefix",
@@ -64,7 +65,7 @@ class FieldPath:
 
 HeapName = GlobalLoc | Var | FieldPath
 
-_counter = itertools.count(1)
+_counter = 0
 
 
 def fresh_var(hint: str = "a") -> Var:
@@ -73,13 +74,40 @@ def fresh_var(hint: str = "a") -> Var:
     Freshness is process-global so that names never collide across
     states, frames and procedure summaries.
     """
-    return Var(f"{hint}{next(_counter)}")
+    global _counter
+    _counter += 1
+    return Var(f"{hint}{_counter}")
 
 
 def reset_fresh_counter() -> None:
     """Reset the fresh-name counter (tests only, for stable output)."""
     global _counter
-    _counter = itertools.count(1)
+    _counter = 0
+
+
+def fresh_counter_value() -> int:
+    """The number of fresh variables minted so far.
+
+    The unfold memo records the counter window a cached rearrangement
+    consumed so a replay can re-advance the counter identically; both
+    sides of the cache-on/off differential then mint the same names for
+    everything downstream.
+    """
+    return _counter
+
+
+def advance_fresh_counter(count: int) -> int:
+    """Consume *count* fresh numbers without minting variables.
+
+    Returns the counter value before advancing.  Used when replaying a
+    memoized unfold: the cached case analysis originally consumed a
+    window of the counter, and the replay must consume a window of the
+    same width to keep later fresh names aligned with an uncached run.
+    """
+    global _counter
+    before = _counter
+    _counter += count
+    return before
 
 
 def root_of(name: HeapName) -> GlobalLoc | Var:

@@ -1,0 +1,229 @@
+"""Canonically indexed sets of abstract states.
+
+Every join point in the fixpoint engine maintains "a set of states with
+no member subsuming another" -- exit-state dedup, loop-header invariant
+lists, contract exit accumulation.  The naive representation is a flat
+list scanned pairwise with ``subsumes``, which PR 4's profiling showed
+to be quadratic in disjunct count (``interproc.py`` said as much in a
+comment).  ``StateSet`` replaces the flat list with two indexes built
+on the PR-4 canonical machinery:
+
+* an **exact index** keyed by :func:`content_key` -- the state's exact
+  content (revision-memoized tokens, see
+  ``SpatialFormula.content_token``): equal keys mean identical states,
+  which trivially subsume each other in both directions, so an arriving
+  duplicate is dropped in O(1) with *zero* entailment queries.  The
+  index was first keyed on the PR-4 ``canonical_key``, which also drops
+  alpha-variant duplicates, but profiling showed its greedy ordering
+  costing more per insert than the pairwise queries it replaced on
+  typical (2-5 disjunct) exit sets; duplicates in practice arrive as
+  *copies* -- identical names -- so the exact-content index keeps
+  nearly all the drops at a fraction of the key cost.  Alpha-variant
+  duplicates that do differ in names fall through to the bucket scan
+  below, whose ``subsumes`` verdicts the entailment cache memoizes on
+  canonical keys anyway;
+* **signature buckets** keyed by a cheap structural signature; the
+  pairwise ``subsumes`` dedup only runs against members of compatible
+  buckets, because incompatible signatures provably cannot subsume.
+
+The signature must be *subsumption-invariant*: if ``subsumes(g, c)``
+can succeed, ``g`` and ``c`` must land in compatible buckets.  The
+signature and its compatibility relation live in
+:mod:`repro.logic.entailment` (:func:`structural_signature` /
+:func:`signatures_compatible`, re-exported here), where ``subsumes``
+itself also applies them as a per-query fast-reject; the bucket index
+additionally saves the call overhead for members it never visits.
+
+Order independence: ``insert_maximal`` keeps the maximal elements of
+the subsumption preorder, and the set of maximal *equivalence
+classes* is independent of arrival order.  (That makes the *dedup*
+order-independent; the fixpoint as a whole is not, because invariant
+synthesis generalizes whichever state reaches the unroll threshold
+first -- different worklist schedules may legitimately reach the same
+verdict through differently granular abstractions.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro import obs
+from repro.logic.entailment import (
+    signatures_compatible,
+    structural_signature,
+    subsumes,
+)
+from repro.logic.state import AbstractState
+
+__all__ = ["StateSet", "content_key", "structural_signature", "any_subsumes"]
+
+Signature = tuple
+
+
+def content_key(state: AbstractState) -> tuple:
+    """Hashable exact-content key: equal keys mean identical states.
+
+    Built from the formulas' revision-memoized content tokens plus the
+    register frame and anchors, so computing it for a state that has
+    not mutated since the last call is three integer compares and one
+    small dict freeze."""
+    return (
+        state.spatial.content_token(),
+        state.pure.content_token(),
+        frozenset(state.rho.items()),
+        state.anchors,
+    )
+
+
+def _report(name: str, value: int = 1) -> None:
+    metrics = obs.METRICS
+    if metrics.enabled:
+        metrics.inc(name, value)
+
+
+class StateSet:
+    """A deduplicated set of abstract states at one join point.
+
+    Not a drop-in ``set``: insertion (``insert_maximal``) enforces the
+    "no member subsumes another" invariant, dropping the newcomer when
+    covered and evicting members the newcomer covers.  Iteration order
+    is insertion order of the surviving members (deterministic).
+    """
+
+    def __init__(
+        self,
+        env=None,
+        *,
+        live: frozenset | None = None,
+        deadline_poll: Callable[[], None] | None = None,
+    ):
+        self._env = env
+        self._live = live
+        self._poll = deadline_poll
+        self._order: list[AbstractState] = []
+        self._exact: dict = {}  # content key -> state
+        self._buckets: dict[Signature, list[AbstractState]] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[AbstractState]:
+        return iter(self._order)
+
+    def states(self) -> list[AbstractState]:
+        return list(self._order)
+
+    # ------------------------------------------------------------------
+    def covers(self, state: AbstractState) -> bool:
+        """Is *state* subsumed by some member (without inserting it)?"""
+        key = content_key(state)
+        if key in self._exact:
+            _report("engine.dedup.exact_drops")
+            return True
+        sig = structural_signature(state)
+        for member in self._candidates_over(sig):
+            if self._poll is not None:
+                self._poll()
+            _report("engine.dedup.checks")
+            if subsumes(member, state, live=self._live, env=self._env) is not None:
+                return True
+        return False
+
+    def insert_maximal(self, state: AbstractState) -> bool:
+        """Insert *state* unless covered; evict members it covers.
+
+        Returns True when the state was kept.
+        """
+        key = content_key(state)
+        if key in self._exact:
+            _report("engine.dedup.exact_drops")
+            return False
+        sig = structural_signature(state)
+        for member in self._candidates_over(sig):
+            if self._poll is not None:
+                self._poll()
+            _report("engine.dedup.checks")
+            if subsumes(member, state, live=self._live, env=self._env) is not None:
+                _report("engine.dedup.dropped")
+                return False
+        evicted = [
+            member
+            for member in self._candidates_under(sig)
+            if self._check(state, member)
+        ]
+        for member in evicted:
+            self._remove(member)
+            _report("engine.dedup.dropped")
+        self._order.append(state)
+        self._exact[key] = state
+        self._buckets.setdefault(sig, []).append(state)
+        return True
+
+    def _check(self, general: AbstractState, concrete: AbstractState) -> bool:
+        if self._poll is not None:
+            self._poll()
+        _report("engine.dedup.checks")
+        return subsumes(general, concrete, live=self._live, env=self._env) is not None
+
+    # ------------------------------------------------------------------
+    def _candidates_over(self, sig: Signature) -> Iterable[AbstractState]:
+        """Members whose signature could subsume signature *sig*."""
+        matched = 0
+        for member_sig, members in self._buckets.items():
+            if signatures_compatible(member_sig, sig):
+                matched += len(members)
+                yield from members
+        _report("engine.dedup.bucket_skips", len(self._order) - matched)
+
+    def _candidates_under(self, sig: Signature) -> list[AbstractState]:
+        """Members whose signature signature *sig* could subsume."""
+        out: list[AbstractState] = []
+        matched = 0
+        for member_sig, members in self._buckets.items():
+            if signatures_compatible(sig, member_sig):
+                matched += len(members)
+                out.extend(members)
+        _report("engine.dedup.bucket_skips", len(self._order) - matched)
+        return out
+
+    def _remove(self, state: AbstractState) -> None:
+        self._order.remove(state)
+        sig = structural_signature(state)
+        bucket = self._buckets.get(sig, [])
+        if state in bucket:
+            bucket.remove(state)
+            if not bucket:
+                del self._buckets[sig]
+        key = content_key(state)
+        if self._exact.get(key) is state:
+            del self._exact[key]
+
+
+def any_subsumes(
+    candidates: Iterable[AbstractState],
+    state: AbstractState,
+    *,
+    env=None,
+    live: frozenset | None = None,
+    deadline_poll: Callable[[], None] | None = None,
+) -> bool:
+    """Does any candidate subsume *state*?  Signature-prefiltered scan.
+
+    A StateSet-free helper for call sites that keep their own list but
+    want the same exact-key / bucket short-circuits on a single query.
+    """
+    state_key = content_key(state)
+    state_sig = structural_signature(state)
+    for candidate in candidates:
+        if deadline_poll is not None:
+            deadline_poll()
+        if content_key(candidate) == state_key:
+            _report("engine.dedup.exact_drops")
+            return True
+        if not signatures_compatible(structural_signature(candidate), state_sig):
+            _report("engine.dedup.bucket_skips")
+            continue
+        _report("engine.dedup.checks")
+        if subsumes(candidate, state, live=live, env=env) is not None:
+            return True
+    return False

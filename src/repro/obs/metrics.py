@@ -22,10 +22,17 @@ name                                    kind       meaning
 ``engine.loop.converged``               counter    back-edge states subsumed by an invariant
 ``engine.recursion.sccs``               counter    recursive SCCs put through §5.2.1
 ``engine.recursion.verify_rounds``      counter    contract-verification Kleene rounds
+``engine.worklist.pushes``              counter    states pushed onto the fixpoint worklist
+``engine.worklist.revisits``            counter    worklist pops of an already-seen block
+``engine.dedup.exact_drops``            counter    states dropped by exact canonical key, O(1)
+``engine.dedup.checks``                 counter    ``subsumes`` calls issued by state-set dedup
+``engine.dedup.dropped``                counter    states removed as subsumed during dedup
+``engine.dedup.bucket_skips``           counter    pairs skipped by signature-bucket pre-filter
 ``entailment.queries``                  counter    ``subsumes`` queries answered
 ``entailment.subsumed``                 counter    queries that found a witness
 ``entailment.rejected``                 counter    queries that found none
 ``entailment.match_steps``              counter    backtracking steps consumed (summed)
+``entailment.sig_rejects``              counter    queries rejected by the signature pre-filter
 ``entailment.step_limit_hits``          counter    queries cut off at the match-step cap
 ``entailment.cache.hits``               counter    queries answered from the entailment cache
 ``entailment.cache.misses``             counter    cacheable queries that ran the full search
@@ -35,9 +42,13 @@ name                                    kind       meaning
 ``unfold.placements.exact``             counter    truncation points placed exactly at a sub-root
 ``unfold.placements.below``             counter    truncation points pushed below a sub-structure
 ``unfold.cases``                        counter    case-split states produced by unfolding
+``unfold.cache.hits``                   counter    unfolds replayed from the unfold memo
+``unfold.cache.misses``                 counter    keyable unfolds that ran the case analysis
 ``fold.calls``                          counter    ``fold_state`` invocations
 ``fold.absorbed``                       counter    bottom-up absorptions applied
 ``fold.wrapped``                        counter    top-down wraps applied
+``fold.cache.hits``                     counter    identity folds skipped via the fold memo
+``fold.cache.misses``                   counter    keyable folds that ran the rule search
 ``synthesis.terms``                     counter    term trees put through recursion synthesis
 ``synthesis.segmentations_tried``       counter    candidate segmentations examined
 ``synthesis.succeeded``                 counter    terms that yielded a predicate
@@ -80,10 +91,17 @@ METRIC_SCHEMA: dict[str, str] = {
     "engine.loop.converged": "counter",
     "engine.recursion.sccs": "counter",
     "engine.recursion.verify_rounds": "counter",
+    "engine.worklist.pushes": "counter",
+    "engine.worklist.revisits": "counter",
+    "engine.dedup.exact_drops": "counter",
+    "engine.dedup.checks": "counter",
+    "engine.dedup.dropped": "counter",
+    "engine.dedup.bucket_skips": "counter",
     "entailment.queries": "counter",
     "entailment.subsumed": "counter",
     "entailment.rejected": "counter",
     "entailment.match_steps": "counter",
+    "entailment.sig_rejects": "counter",
     "entailment.step_limit_hits": "counter",
     "entailment.cache.hits": "counter",
     "entailment.cache.misses": "counter",
@@ -93,9 +111,13 @@ METRIC_SCHEMA: dict[str, str] = {
     "unfold.placements.exact": "counter",
     "unfold.placements.below": "counter",
     "unfold.cases": "counter",
+    "unfold.cache.hits": "counter",
+    "unfold.cache.misses": "counter",
     "fold.calls": "counter",
     "fold.absorbed": "counter",
     "fold.wrapped": "counter",
+    "fold.cache.hits": "counter",
+    "fold.cache.misses": "counter",
     "synthesis.terms": "counter",
     "synthesis.segmentations_tried": "counter",
     "synthesis.succeeded": "counter",

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.perf.cache import EntailmentCache, NULL_CACHE, NullCache
+from repro.perf.cache import EntailmentCache, IdentityMemo, NULL_CACHE, NullCache
 
 __all__ = [
     "CACHE",
+    "UNFOLD_CACHE",
+    "FOLD_CACHE",
     "EntailmentCache",
+    "IdentityMemo",
     "NULL_CACHE",
     "NullCache",
     "activate_cache",
@@ -42,17 +45,33 @@ __all__ = [
 #: The active entailment cache (null outside :func:`activate_cache`).
 CACHE: "EntailmentCache | NullCache" = NULL_CACHE
 
+#: The active unfold-memo cache (rearrangement case analyses keyed on
+#: canonical state + focus address; see :mod:`repro.analysis.memo`).
+UNFOLD_CACHE: "EntailmentCache | NullCache" = NULL_CACHE
+
+#: The active fold identity-memo cache (states a prior ``fold_state``
+#: left untouched; see :mod:`repro.analysis.memo`).
+FOLD_CACHE: "EntailmentCache | NullCache" = NULL_CACHE
+
 
 @contextmanager
-def activate_cache(cache: "EntailmentCache | NullCache | None"):
-    """Install *cache* as the active entailment cache for the duration
-    of the block (restored on exit, exception or not).  ``None`` leaves
-    the active cache untouched."""
-    global CACHE
-    saved = CACHE
+def activate_cache(
+    cache: "EntailmentCache | NullCache | None",
+    unfold: "EntailmentCache | NullCache | None" = None,
+    fold: "EntailmentCache | NullCache | None" = None,
+):
+    """Install the given caches for the duration of the block (restored
+    on exit, exception or not).  ``None`` leaves the corresponding
+    active cache untouched."""
+    global CACHE, UNFOLD_CACHE, FOLD_CACHE
+    saved = (CACHE, UNFOLD_CACHE, FOLD_CACHE)
     if cache is not None:
         CACHE = cache
+    if unfold is not None:
+        UNFOLD_CACHE = unfold
+    if fold is not None:
+        FOLD_CACHE = fold
     try:
         yield
     finally:
-        CACHE = saved
+        CACHE, UNFOLD_CACHE, FOLD_CACHE = saved

@@ -20,6 +20,25 @@ bug, not a measurement artifact.
 entailment stress program (the CI perf-smoke job runs this);
 ``--require-hits`` additionally fails when the list benchmarks see no
 cache hits at all, which would mean cross-run key sharing regressed.
+
+Two more differentials ride along since the scheduling overhaul:
+
+* every benchmark is also analyzed once under the FIFO worklist
+  (``schedule="fifo"``); its *core* verdict (outcome, failure,
+  attempts, exit-state and predicate counts -- not the trajectory
+  counters, which legitimately depend on visit order) must match the
+  WTO run, else exit nonzero;
+* when a committed ``BENCH_*.json`` baseline exists (or ``--baseline``
+  names one), the report embeds a delta section: stored totals, the
+  uncached-total ratio, and per-benchmark phase-seconds deltas.  Treat
+  cross-*time* wall-clock ratios with suspicion -- they compare
+  different machine loads; the honest speedup measurement is an
+  interleaved A/B against a checkout of the baseline commit (see
+  EXPERIMENTS.md).
+
+The default output path never overwrites an existing report: when
+``BENCH_<date>.json`` is taken, ``BENCH_<date>-2.json`` (then ``-3``,
+...) is used, so re-running on the baseline's date cannot clobber it.
 """
 
 from __future__ import annotations
@@ -27,13 +46,21 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import re
 import sys
 import time
 from pathlib import Path
 
 from repro.perf.cache import EntailmentCache
 
-__all__ = ["main", "run_bench", "QUICK_SUITE"]
+__all__ = [
+    "main",
+    "run_bench",
+    "QUICK_SUITE",
+    "attach_baseline",
+    "default_out_path",
+    "find_baseline",
+]
 
 #: The ``--quick`` suite: the cheap list staples (cross-run hit-rate
 #: canaries) plus the entailment-bound stress workload.
@@ -61,6 +88,16 @@ _VERDICT_COUNTERS = (
 )
 
 
+#: Core-verdict keys: what the analysis *concluded*, independent of the
+#: trajectory it took.  The FIFO/WTO schedule differential compares
+#: exactly these -- visit order legitimately changes the trajectory
+#: counters, and can change synthesis *granularity* (on 181.mcf the
+#: WTO funnel generalizes to a single invariant where FIFO tabulates
+#: two predicates and three exit disjuncts -- both sound), but must
+#: never change the conclusion.
+_CORE_KEYS = ("outcome", "failure", "attempts")
+
+
 def _verdict(result) -> dict:
     """The verdict fingerprint of one analysis result."""
     out = {
@@ -75,6 +112,10 @@ def _verdict(result) -> dict:
     return out
 
 
+def _core(verdict: dict) -> dict:
+    return {k: verdict[k] for k in _CORE_KEYS}
+
+
 def _phase_seconds(result) -> dict:
     return {
         "pointer": round(result.pointer_seconds, 6),
@@ -83,7 +124,13 @@ def _phase_seconds(result) -> dict:
     }
 
 
-def _run(name: str, mode: str, deadline: float | None, cache) -> tuple:
+def _run(
+    name: str,
+    mode: str,
+    deadline: float | None,
+    cache,
+    schedule: str = "wto",
+) -> tuple:
     """One analysis run; returns (result, wall seconds)."""
     from repro.analysis import ShapeAnalysis
     from repro.benchsuite.runner import _resolve_benchmark
@@ -97,6 +144,7 @@ def _run(name: str, mode: str, deadline: float | None, cache) -> tuple:
         deadline_seconds=deadline,
         enable_cache=cache is not None,
         cache=cache,
+        schedule=schedule,
     ).run()
     return result, time.perf_counter() - start
 
@@ -123,6 +171,7 @@ def run_bench(
             names = sorted(benchmark_factories())
     benchmarks = []
     mismatches = []
+    schedule_mismatches = []
     total_uncached = total_cached = 0.0
     list_hits = list_misses = 0
     for name in names:
@@ -153,6 +202,13 @@ def run_bench(
                 verdicts_match = False
         if not verdicts_match:
             mismatches.append(name)
+        # Schedule differential: one uncached FIFO run; the core
+        # verdict must match the WTO runs above.
+        fifo_result, _ = _run(name, mode, deadline, cache=None, schedule="fifo")
+        fifo_core = _core(_verdict(fifo_result))
+        schedules_match = fifo_core == _core(verdict)
+        if not schedules_match:
+            schedule_mismatches.append(name)
         if name.startswith("list-"):
             list_hits += shared.hits
             list_misses += shared.misses
@@ -172,6 +228,10 @@ def run_bench(
                 if cached_total
                 else None,
                 "cache": {**shared.stats(), "rep_hit_rates": rep_hit_rates},
+                "schedule_differential": {
+                    "fifo_core": fifo_core,
+                    "matches": schedules_match,
+                },
             }
         )
     list_total = list_hits + list_misses
@@ -195,11 +255,99 @@ def run_bench(
             else 0.0,
         },
         "verdict_mismatches": mismatches,
+        "schedule_mismatches": schedule_mismatches,
     }
 
 
-def default_out_path(report: dict) -> Path:
-    return Path(f"BENCH_{report['date']}.json")
+_BENCH_NAME = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})(?:-(\d+))?\.json$")
+
+
+def default_out_path(report: dict, directory: "Path | str" = ".") -> Path:
+    """``BENCH_<date>.json``, suffixed ``-2``/``-3``/... if taken.
+
+    Never returns an existing path: re-running the harness on the same
+    date as a committed baseline must not overwrite it."""
+    directory = Path(directory)
+    path = directory / f"BENCH_{report['date']}.json"
+    suffix = 2
+    while path.exists():
+        path = directory / f"BENCH_{report['date']}-{suffix}.json"
+        suffix += 1
+    return path
+
+
+def find_baseline(directory: "Path | str" = ".") -> "Path | None":
+    """The most recent committed ``BENCH_<date>[-N].json``, or None.
+
+    Ordered by (date, run-suffix) parsed from the name, not by mtime
+    (checkouts rewrite mtimes) or raw string order (``-2`` sorts before
+    ``.json`` in ASCII)."""
+    candidates = []
+    for path in Path(directory).iterdir():
+        match = _BENCH_NAME.match(path.name)
+        if match:
+            candidates.append(
+                (match.group(1), int(match.group(2) or 1), path)
+            )
+    if not candidates:
+        return None
+    return max(candidates)[2]
+
+
+def attach_baseline(report: dict, baseline_path: Path) -> None:
+    """Embed a delta-vs-baseline section into *report* (in place)."""
+    baseline = json.loads(baseline_path.read_text())
+    base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    # Per-rep means, so reports taken with different --reps compare.
+    reps = max(report.get("repetitions", 1), 1)
+    base_reps = max(baseline.get("repetitions", 1), 1)
+    deltas = []
+    for bench in report["benchmarks"]:
+        base = base_by_name.get(bench["name"])
+        if base is None:
+            continue
+        phase_delta = {
+            phase: round(
+                bench["phase_seconds"][phase]
+                - base["phase_seconds"].get(phase, 0.0),
+                6,
+            )
+            for phase in bench["phase_seconds"]
+        }
+        uncached = sum(bench["uncached_seconds"]) / reps
+        base_uncached = sum(base["uncached_seconds"]) / base_reps
+        deltas.append(
+            {
+                "name": bench["name"],
+                "phase_seconds_delta": phase_delta,
+                "uncached_ratio": round(base_uncached / uncached, 4)
+                if uncached
+                else None,
+            }
+        )
+    shared = {d["name"] for d in deltas}
+    ours = sum(
+        sum(b["uncached_seconds"]) / reps
+        for b in report["benchmarks"]
+        if b["name"] in shared
+    )
+    theirs = sum(
+        sum(b["uncached_seconds"]) / base_reps
+        for b in baseline.get("benchmarks", [])
+        if b["name"] in shared
+    )
+    report["baseline"] = {
+        "path": str(baseline_path),
+        "date": baseline.get("date"),
+        "totals": baseline.get("totals"),
+        "shared_benchmarks": sorted(shared),
+        "uncached_speedup_vs_baseline": round(theirs / ours, 4)
+        if ours
+        else None,
+        "benchmarks": deltas,
+        "caveat": "wall-clock ratio across different runs/machine "
+        "loads; see EXPERIMENTS.md for the interleaved A/B protocol",
+    }
 
 
 def render(report: dict) -> str:
@@ -209,12 +357,14 @@ def render(report: dict) -> str:
     ]
     for bench in report["benchmarks"]:
         cache = bench["cache"]
+        sched = bench.get("schedule_differential", {})
         lines.append(
             f"  {bench['name']:16s} uncached {sum(bench['uncached_seconds']):7.3f}s"
             f"  cached {sum(bench['cached_seconds']):7.3f}s"
             f"  x{bench['speedup']:<6}"
             f" hit_rate {cache.get('hit_rate', 0.0):.2f}"
             f"{'' if bench['verdicts_match'] else '  VERDICT MISMATCH'}"
+            f"{'' if sched.get('matches', True) else '  SCHEDULE MISMATCH'}"
         )
     totals = report["totals"]
     lines.append(
@@ -222,6 +372,14 @@ def render(report: dict) -> str:
         f"  cached {totals['cached_seconds']:7.3f}s"
         f"  x{totals['speedup']}"
     )
+    baseline = report.get("baseline")
+    if baseline:
+        lines.append(
+            f"  vs baseline {baseline['path']} ({baseline['date']}): "
+            f"uncached x{baseline['uncached_speedup_vs_baseline']} over "
+            f"{len(baseline['shared_benchmarks'])} shared benchmarks "
+            f"(cross-run wall clock; see EXPERIMENTS.md)"
+        )
     return "\n".join(lines)
 
 
@@ -268,6 +426,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="fail (exit 1) when the list benchmarks record zero cache "
         "hits -- the CI canary for cross-run key sharing",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed BENCH_*.json to diff against (default: the "
+        "most recent one in the working directory; 'none' to disable)",
+    )
     args = parser.parse_args(argv)
     if args.reps < 1:
         print("repro bench: --reps must be >= 1", file=sys.stderr)
@@ -278,6 +442,18 @@ def main(argv: "list[str] | None" = None) -> int:
         repetitions=args.reps,
         deadline=args.deadline,
     )
+    if args.baseline != "none":
+        baseline_path = (
+            Path(args.baseline) if args.baseline else find_baseline()
+        )
+        if baseline_path is not None and baseline_path.exists():
+            attach_baseline(report, baseline_path)
+        elif args.baseline:
+            print(
+                f"repro bench: baseline {args.baseline} not found",
+                file=sys.stderr,
+            )
+            return 2
     print(render(report))
     payload = json.dumps(report, indent=2)
     if args.out == "-":
@@ -290,6 +466,13 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             "repro bench: cached and uncached verdicts differ for: "
             + ", ".join(report["verdict_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if report["schedule_mismatches"]:
+        print(
+            "repro bench: fifo and wto core verdicts differ for: "
+            + ", ".join(report["schedule_mismatches"]),
             file=sys.stderr,
         )
         return 1

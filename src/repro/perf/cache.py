@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-__all__ = ["EntailmentCache", "NULL_CACHE", "NullCache"]
+__all__ = ["EntailmentCache", "IdentityMemo", "NULL_CACHE", "NullCache"]
 
 
 class EntailmentCache:
@@ -76,6 +76,64 @@ class EntailmentCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "entries": len(self._entries),
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+class IdentityMemo:
+    """A set of keys known to denote identity (no-op) operations.
+
+    The fold memo only needs membership -- there is no payload to
+    replay and no negative polarity worth recording, so a plain set
+    beats :class:`EntailmentCache`'s ``OrderedDict`` bookkeeping on a
+    path hot enough that ``move_to_end`` showed up in profiles.  The
+    capacity bound is kept (pathological fixpoints can mint unbounded
+    state families); overflow clears the whole set, which is sound for
+    a pure memo and cheaper than tracking recency.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("memo capacity must be positive")
+        self.capacity = capacity
+        self._keys: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def lookup(self, key) -> "tuple | None":
+        if key in self._keys:
+            self.hits += 1
+            return (True,)
+        self.misses += 1
+        return None
+
+    def store(self, key, payload=True) -> bool:
+        if len(self._keys) >= self.capacity and key not in self._keys:
+            self.evictions += len(self._keys)
+            self._keys.clear()
+        self._keys.add(key)
+        return False
+
+    def clear(self) -> None:
+        self._keys.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._keys),
             "hit_rate": round(self.hit_rate, 6),
         }
 
