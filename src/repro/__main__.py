@@ -19,6 +19,11 @@ analysis throughput over the suite and writes a ``BENCH_<date>.json``
 baseline; ``--no-cache`` disables the entailment cache for a single
 run.
 
+Serving: ``python -m repro serve`` runs the supervised analysis daemon
+(persistent warm-cache workers behind a bounded queue; see
+:mod:`repro.serve`), ``submit`` sends it one job, ``serve-bench``
+load-tests it, and ``serve-smoke`` is the CI chaos gate.
+
 Exit codes (stable, for batch drivers):
 
 * ``0``   analysis succeeded (possibly degraded -- check the output);
@@ -401,6 +406,22 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.serve.client import main as submit_main
+
+        return submit_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from repro.serve.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
+    if argv and argv[0] == "serve-smoke":
+        from repro.serve.smoke import main as smoke_main
+
+        return smoke_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

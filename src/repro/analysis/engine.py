@@ -106,6 +106,14 @@ class ShapeAnalysis:
     #: passed across runs carries verdicts over -- the bench harness
     #: uses this to measure warm-cache throughput.
     cache: "perf.EntailmentCache | None" = None
+    #: Pre-built unfold memo / fold identity memo (override the
+    #: per-run ones).  Like ``cache``, their keys are canonical forms
+    #: plus the structural ``PredicateEnv.cache_token()``, so a memo
+    #: handed to several runs legitimately replays across them -- the
+    #: serve worker keeps one of each warm across jobs.  Stored states
+    #: are replayed through renaming tables, never shared by identity.
+    unfold_cache: "perf.EntailmentCache | None" = None
+    fold_cache: "perf.IdentityMemo | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
@@ -127,15 +135,25 @@ class ShapeAnalysis:
                 if self.enable_cache
                 else perf.NULL_CACHE
             )
-        # The unfold/fold memos are per-run (unlike the entailment
-        # cache they hold state objects, so they are not shared across
-        # runs via ``cache=``); ``--no-cache`` disables them together
-        # with the entailment cache.
-        if self.enable_cache:
-            unfold_cache = perf.EntailmentCache(self.cache_size)
-            fold_cache = perf.IdentityMemo(self.cache_size)
-        else:
-            unfold_cache = fold_cache = perf.NULL_CACHE
+        # The unfold/fold memos default to per-run instances (they
+        # hold state objects, so sharing is opt-in via the
+        # ``unfold_cache`` / ``fold_cache`` fields rather than riding
+        # along with ``cache=``); ``--no-cache`` disables them
+        # together with the entailment cache.
+        unfold_cache = self.unfold_cache
+        fold_cache = self.fold_cache
+        if unfold_cache is None:
+            unfold_cache = (
+                perf.EntailmentCache(self.cache_size)
+                if self.enable_cache
+                else perf.NULL_CACHE
+            )
+        if fold_cache is None:
+            fold_cache = (
+                perf.IdentityMemo(self.cache_size)
+                if self.enable_cache
+                else perf.NULL_CACHE
+            )
         try:
             with obs.activate(tracer, metrics), perf.activate_cache(
                 cache, unfold=unfold_cache, fold=fold_cache

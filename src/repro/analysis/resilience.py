@@ -56,6 +56,7 @@ __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_FATAL",
     "SEVERITY_WARNING",
+    "WORKER_CRASHED",
 ]
 
 
@@ -75,6 +76,14 @@ BUDGET_EXHAUSTED = "budget-exhausted"
 INTERNAL_ERROR = "internal-error"
 #: The input program failed to parse, type-check, or lower.
 FRONTEND_ERROR = "frontend-error"
+#: The OS process running the analysis died before producing a result
+#: (killed by a signal, OOM, or a torn pipe).  Emitted by *parents* --
+#: the batch runner and the serve supervisor -- never by the analysis
+#: itself, which cannot outlive its own process to report it.  A
+#: supervisor retries the victim job a bounded number of times and
+#: returns this diagnostic when retries are exhausted, so a job is
+#: never silently lost.
+WORKER_CRASHED = "worker-crashed"
 #: The *concrete* reference interpreter exhausted its fuel or
 #: call-depth allowance: the program diverged (or ran long enough that
 #: we treat it as divergent).  Distinct from ``internal-error`` so a
@@ -91,6 +100,7 @@ DIAGNOSTIC_CODES = (
     BUDGET_EXHAUSTED,
     INTERNAL_ERROR,
     FRONTEND_ERROR,
+    WORKER_CRASHED,
     CONCRETE_DIVERGENCE,
 )
 
@@ -102,6 +112,7 @@ DIAGNOSTIC_PHASES = (
     "frontend",
     "shape",
     "concrete",
+    "serve",
     "rearrange",
     "fold",
     "entailment",

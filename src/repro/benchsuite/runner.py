@@ -25,9 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import re
-import signal as signal_module
 import subprocess
 import sys
 import time
@@ -37,6 +35,15 @@ from pathlib import Path
 
 from repro.analysis import ShapeAnalysis
 from repro.benchsuite import TABLE4_PROGRAMS, entailstress, listprogs
+from repro.childproc import (
+    CHILD_CHAOS_ENV,
+    apply_child_chaos,
+    child_env,
+    classify_exit,
+    surviving_trace,
+    timeout_diagnostic,
+    worker_crash_diagnostic,
+)
 from repro.ir import Program
 from repro.obs import merge_stat_dicts
 from repro.reporting import render_batch_report
@@ -70,24 +77,9 @@ OUTCOMES = ("pass", "degraded", "failed", "crashed", "timeout")
 #: programs run under the same crash isolation as the curated suite.
 CRUCIBLE_PREFIX = "crucible:"
 
-#: Chaos hook for the isolation boundary itself: when this environment
-#: variable is set to ``kill:<signum>`` or ``sleep:<seconds>``, a child
-#: process performs that action before analyzing.  It rides through
-#: :func:`_child_env`'s environment inheritance, which is exactly what
-#: lets the tests simulate signal deaths and hangs inside *real*
-#: children instead of mocking the subprocess layer.
-CHILD_CHAOS_ENV = "REPRO_CHILD_CHAOS"
-
-
-def _apply_child_chaos() -> None:
-    spec = os.environ.get(CHILD_CHAOS_ENV)
-    if not spec:
-        return
-    action, _, value = spec.partition(":")
-    if action == "kill":
-        os.kill(os.getpid(), int(value))
-    elif action == "sleep":
-        time.sleep(float(value))
+# CHILD_CHAOS_ENV and the process-boundary helpers now live in
+# :mod:`repro.childproc`, shared with the serve supervisor; the
+# re-export keeps this module's historical public surface.
 
 
 def benchmark_factories() -> dict[str, "callable[[], Program]"]:
@@ -340,21 +332,6 @@ def crucible_names(seeds: int, base_seed: int = 1, mutations: int = 0) -> list[s
 # ----------------------------------------------------------------------
 
 
-def _child_env() -> dict[str, str]:
-    """Child processes must resolve the same ``repro`` package as the
-    parent, wherever it was imported from."""
-    import repro
-
-    package_root = str(Path(repro.__file__).resolve().parent.parent)
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        package_root if not existing
-        else package_root + os.pathsep + existing
-    )
-    return env
-
-
 def _run_isolated(
     name: str,
     mode: str,
@@ -391,16 +368,19 @@ def _run_isolated(
             capture_output=True,
             text=True,
             timeout=timeout,
-            env=_child_env(),
+            env=child_env(),
         )
     except subprocess.TimeoutExpired:
+        trace = surviving_trace(trace_path)
+        diagnostic = timeout_diagnostic(timeout, trace=trace)
         return RunRecord(
             name=name,
             outcome="timeout",
             seconds=time.perf_counter() - start,
             mode=mode,
-            error=f"run exceeded the {timeout}s isolation timeout",
-            trace=_surviving_trace(trace_path),
+            error=diagnostic.message,
+            diagnostics=[diagnostic.to_dict()],
+            trace=trace,
         )
     seconds = time.perf_counter() - start
     # A negative return code means the child was killed by a signal --
@@ -408,18 +388,23 @@ def _run_isolated(
     # child exits normally with a traceback) and a timeout (the parent
     # killed it): segfaults and OOM kills point at the platform, not
     # the analyzer, so the signal is classified and reported separately.
-    if proc.returncode is not None and proc.returncode < 0:
+    killed_by = classify_exit(proc.returncode)
+    if killed_by is not None:
+        trace = surviving_trace(trace_path)
+        diagnostic = worker_crash_diagnostic(
+            f"child killed by {killed_by} (exit code {proc.returncode})",
+            signal=killed_by,
+            trace=trace,
+        )
         return RunRecord(
             name=name,
             outcome="crashed",
             seconds=seconds,
             mode=mode,
-            signal=_signal_name(-proc.returncode),
-            error=(
-                f"child killed by {_signal_name(-proc.returncode)} "
-                f"(exit code {proc.returncode})"
-            ),
-            trace=_surviving_trace(trace_path),
+            signal=killed_by,
+            error=diagnostic.message,
+            diagnostics=[diagnostic.to_dict()],
+            trace=trace,
         )
     # The child prints exactly one JSON record on success; anything
     # else (nonzero exit, garbage stdout) is a crash of the child.
@@ -437,26 +422,10 @@ def _run_isolated(
                 f"child exited with code {proc.returncode}: "
                 + (" | ".join(tail) or "no output")
             ),
-            trace=_surviving_trace(trace_path),
+            trace=surviving_trace(trace_path),
         )
     record.seconds = seconds
     return record
-
-
-def _surviving_trace(trace_path: "Path | None") -> str | None:
-    """A dead child's partial trace is still evidence -- attach it to
-    the record whenever the file made it to disk (the tracer writes
-    line-buffered JSONL, so everything up to the crash is readable)."""
-    if trace_path is not None and trace_path.exists():
-        return str(trace_path)
-    return None
-
-
-def _signal_name(signum: int) -> str:
-    try:
-        return signal_module.Signals(signum).name
-    except ValueError:
-        return f"signal {signum}"
 
 
 def run_batch(
@@ -619,7 +588,7 @@ def main(argv: "list[str] | None" = None) -> int:
             print(name)
         return 0
     if args.child:
-        _apply_child_chaos()
+        apply_child_chaos()
         record = run_one(
             args.child,
             mode=args.mode,

@@ -126,6 +126,27 @@ METRIC_SCHEMA: dict[str, str] = {
     "phase.slicing.seconds": "gauge",
     "phase.shape.seconds": "gauge",
     "analysis.attempts": "gauge",
+    # serve.* -- recorded by the analysis *service* (repro.serve), not
+    # by the engine: job-queue accounting, worker supervision and the
+    # overload-degradation ladder.  They share the registry so batch
+    # aggregation, trace-summary and the schema check treat service
+    # telemetry exactly like engine telemetry.
+    "serve.jobs.submitted": "counter",
+    "serve.jobs.completed": "counter",
+    "serve.jobs.rejected": "counter",
+    "serve.jobs.retried": "counter",
+    "serve.jobs.crashed": "counter",
+    "serve.jobs.timeout": "counter",
+    "serve.jobs.degraded": "counter",
+    "serve.workers.spawned": "counter",
+    "serve.workers.restarts": "counter",
+    "serve.degrade.entered": "counter",
+    "serve.degrade.exited": "counter",
+    "serve.queue.depth": "gauge",
+    "serve.queue.peak": "gauge",
+    "serve.state": "gauge",
+    "serve.job.seconds": "histogram",
+    "serve.job.queue_wait_seconds": "histogram",
 }
 
 #: Legacy ``AnalysisResult.stats`` key -> canonical metric name.

@@ -294,22 +294,57 @@ def find_baseline(directory: "Path | str" = ".") -> "Path | None":
     return max(candidates)[2]
 
 
-def attach_baseline(report: dict, baseline_path: Path) -> None:
-    """Embed a delta-vs-baseline section into *report* (in place)."""
-    baseline = json.loads(baseline_path.read_text())
-    base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+def attach_baseline(report: dict, baseline_path: Path) -> bool:
+    """Embed a delta-vs-baseline section into *report* (in place).
+
+    Baselines are committed artifacts from *other* machines and other
+    versions of the harness, so anything missing from one -- a
+    benchmark the current run has but the baseline lacks, a record
+    without timing arrays, or a file that is not a bench report at all
+    -- is a *warning* on stderr, never a crash: a fresh machine with
+    no usable BENCH history must still be able to write its first
+    baseline.  Returns True when a delta section was attached."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"repro bench: warning: unreadable baseline "
+            f"{baseline_path}: {exc}; skipping deltas",
+            file=sys.stderr,
+        )
+        return False
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("benchmarks"), list
+    ):
+        print(
+            f"repro bench: warning: {baseline_path} is not a bench "
+            "report (no benchmarks list); skipping deltas",
+            file=sys.stderr,
+        )
+        return False
+    base_by_name = {
+        b["name"]: b
+        for b in baseline["benchmarks"]
+        if isinstance(b, dict) and "name" in b
+    }
     # Per-rep means, so reports taken with different --reps compare.
     reps = max(report.get("repetitions", 1), 1)
     base_reps = max(baseline.get("repetitions", 1), 1)
     deltas = []
+    missing = []
     for bench in report["benchmarks"]:
         base = base_by_name.get(bench["name"])
-        if base is None:
+        if base is None or not base.get("uncached_seconds"):
+            # The baseline predates this benchmark (or recorded an
+            # empty trajectory for it): there is nothing to diff
+            # against, which is normal on a new machine or after the
+            # suite grew -- warn and carry on.
+            missing.append(bench["name"])
             continue
         phase_delta = {
             phase: round(
                 bench["phase_seconds"][phase]
-                - base["phase_seconds"].get(phase, 0.0),
+                - base.get("phase_seconds", {}).get(phase, 0.0),
                 6,
             )
             for phase in bench["phase_seconds"]
@@ -325,6 +360,13 @@ def attach_baseline(report: dict, baseline_path: Path) -> None:
                 else None,
             }
         )
+    if missing:
+        print(
+            "repro bench: warning: baseline "
+            f"{baseline_path} has no usable record for: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
     shared = {d["name"] for d in deltas}
     ours = sum(
         sum(b["uncached_seconds"]) / reps
@@ -332,8 +374,8 @@ def attach_baseline(report: dict, baseline_path: Path) -> None:
         if b["name"] in shared
     )
     theirs = sum(
-        sum(b["uncached_seconds"]) / base_reps
-        for b in baseline.get("benchmarks", [])
+        sum(b.get("uncached_seconds", [])) / base_reps
+        for b in base_by_name.values()
         if b["name"] in shared
     )
     report["baseline"] = {
@@ -348,6 +390,7 @@ def attach_baseline(report: dict, baseline_path: Path) -> None:
         "caveat": "wall-clock ratio across different runs/machine "
         "loads; see EXPERIMENTS.md for the interleaved A/B protocol",
     }
+    return True
 
 
 def render(report: dict) -> str:

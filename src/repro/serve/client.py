@@ -1,0 +1,262 @@
+"""Client side of the serve protocol: library API and ``repro submit``.
+
+:class:`Client` speaks the one-line-request / one-line-response
+protocol over the unix socket.  The interesting policy is overload
+handling: a rejected submit carries the server's ``retry_after`` hint,
+and :meth:`Client.submit` will honor it -- sleep and resubmit -- for up
+to ``retry_for`` seconds before surfacing :class:`OverloadedError` to
+the caller.  ``retry_for=0`` (the default) makes backpressure the
+caller's problem immediately, which is what the load generator wants;
+the CLI default is a short patience window, which is what a human
+wants.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.serve.protocol import (
+    ERR_OVERLOADED,
+    JobSpec,
+    ProtocolError,
+    default_socket_path,
+)
+
+__all__ = ["Client", "OverloadedError", "ServerError", "main"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false`` (and it was not backpressure)."""
+
+    def __init__(self, error: str, message: str = ""):
+        super().__init__(message or error)
+        self.error = error
+
+
+class OverloadedError(ServerError):
+    """Backpressure: the bounded queue is full; retry after a delay."""
+
+    def __init__(self, retry_after: float, queue_depth: int):
+        super().__init__(
+            ERR_OVERLOADED,
+            f"server overloaded (queue depth {queue_depth}); "
+            f"retry after {retry_after}s",
+        )
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+
+
+class Client:
+    """One serve endpoint; connections are per-request, so a Client is
+    cheap, stateless and safe to share across threads."""
+
+    def __init__(
+        self,
+        socket_path: "str | None" = None,
+        connect_timeout: float = 10.0,
+    ):
+        self.socket_path = socket_path or default_socket_path()
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------
+    def request(self, message: dict, timeout: "float | None" = None) -> dict:
+        """One raw round-trip; the decoded response object."""
+        payload = (
+            json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        with self._connect() as sock:
+            sock.settimeout(timeout)
+            sock.sendall(payload.encode("utf-8"))
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        line = b"".join(chunks)
+        if not line:
+            raise ProtocolError("server closed the connection mid-response")
+        try:
+            return json.loads(line.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"response is not JSON: {exc}") from exc
+
+    def _connect(self) -> socket.socket:
+        """Connect, retrying transient refusals within
+        ``connect_timeout``: a burst of clients can momentarily
+        overflow even a deep accept backlog (EAGAIN/ECONNREFUSED),
+        which is congestion, not absence of a server."""
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.02
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            try:
+                sock.connect(self.socket_path)
+                return sock
+            except (
+                BlockingIOError,
+                ConnectionRefusedError,
+                InterruptedError,
+                socket.timeout,
+            ):
+                sock.close()
+                if time.monotonic() + delay > deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.5)
+            except OSError:
+                sock.close()
+                raise
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: "JobSpec | dict",
+        retry_for: float = 0.0,
+    ) -> dict:
+        """Run one job; the full response (``record`` + ``serve``).
+
+        Overload rejections are retried -- sleeping the server's
+        ``retry_after`` hint each time -- until *retry_for* seconds
+        have elapsed, then raised as :class:`OverloadedError`.
+        """
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        deadline = time.monotonic() + retry_for
+        while True:
+            response = self.request(
+                {"op": "submit", "spec": spec},
+                # The socket read blocks for the whole analysis; give
+                # it the job's isolation budget plus retry headroom.
+                timeout=float(spec.get("timeout") or 120.0) * 4 + 120.0,
+            )
+            if response.get("ok"):
+                return response
+            if response.get("error") != ERR_OVERLOADED:
+                raise ServerError(
+                    response.get("error", "unknown"),
+                    response.get("message", ""),
+                )
+            retry_after = float(response.get("retry_after") or 0.1)
+            if time.monotonic() + retry_after > deadline:
+                raise OverloadedError(
+                    retry_after, response.get("queue_depth", -1)
+                )
+            time.sleep(retry_after)
+
+    def status(self) -> dict:
+        response = self.request({"op": "status"}, timeout=10.0)
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown"), response.get("message", "")
+            )
+        return response["status"]
+
+    def shutdown(self) -> None:
+        response = self.request({"op": "shutdown"}, timeout=10.0)
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown"), response.get("message", "")
+            )
+
+    def wait_until_ready(self, timeout: float = 30.0) -> bool:
+        """Poll until the socket answers a status request (a freshly
+        forked daemon needs a moment to bind); False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.status()
+                return True
+            except (OSError, ProtocolError, ServerError):
+                time.sleep(0.1)
+        return False
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """``python -m repro submit`` -- run one job against the daemon.
+
+    Exit codes: 0 analysis passed (or degraded-passed), 1 analysis
+    failed, 2 job crashed/timed out in the service, 3 could not talk
+    to the server (overloaded past patience, no daemon, protocol
+    error).
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="submit one analysis job to the repro serve daemon",
+    )
+    parser.add_argument("benchmark", help="benchmark name (see repro list)")
+    parser.add_argument("--socket", default=None)
+    parser.add_argument("--mode", choices=("strict", "degrade"), default=None)
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--unroll", type=int, default=2)
+    parser.add_argument("--state-budget", type=int, default=20000)
+    parser.add_argument(
+        "--retry-for",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying an overloaded server",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the full response JSON"
+    )
+    args = parser.parse_args(argv)
+
+    spec = JobSpec(
+        benchmark=args.benchmark,
+        mode=args.mode,
+        deadline=args.deadline,
+        timeout=args.timeout,
+        unroll=args.unroll,
+        state_budget=args.state_budget,
+    )
+    client = Client(args.socket)
+    try:
+        response = client.submit(spec, retry_for=args.retry_for)
+    except OverloadedError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 3
+    except (OSError, ProtocolError, ServerError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 3
+
+    record = response.get("record") or {}
+    serve = response.get("serve") or {}
+    if args.json:
+        json.dump(response, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        outcome = record.get("outcome", "?")
+        print(
+            f"{record.get('name', args.benchmark)}: {outcome} "
+            f"({record.get('seconds', 0):.3f}s analysis, "
+            f"{serve.get('seconds', 0):.3f}s total, "
+            f"worker {serve.get('worker')}, "
+            f"attempts {serve.get('attempts')}, "
+            f"state {serve.get('state')})"
+        )
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+        for diagnostic in record.get("diagnostics") or []:
+            print(
+                f"  [{diagnostic.get('severity')}] {diagnostic.get('code')}: "
+                f"{diagnostic.get('message')}"
+            )
+    outcome = record.get("outcome")
+    if outcome in ("pass", "degraded"):
+        return 0
+    if outcome in ("crashed", "timeout"):
+        return 2
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,197 @@
+"""The serve wire protocol: JSON lines over a unix-domain socket.
+
+One connection carries one request line and one response line, then
+closes -- stateless on the wire, so clients need no session handling
+and a half-dead client can never wedge the server.  Every message is
+a single JSON object terminated by ``\\n``.
+
+Requests::
+
+    {"op": "submit", "spec": {"benchmark": "treeadd", ...}}
+    {"op": "status"}
+    {"op": "shutdown"}
+
+Responses::
+
+    {"ok": true, "record": {...RunRecord...}, "serve": {...}}   # submit
+    {"ok": false, "error": "overloaded", "retry_after": 0.5,
+     "queue_depth": 64}                                         # backpressure
+    {"ok": true, "status": {...}}                               # status
+    {"ok": false, "error": "bad-request", "message": "..."}     # malformed
+
+The same framing is reused on the supervisor <-> worker pipes
+(:mod:`repro.serve.worker`), so there is exactly one message format
+to reason about across both process boundaries.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_OVERLOADED",
+    "ERR_SHUTTING_DOWN",
+    "JobSpec",
+    "ProtocolError",
+    "default_socket_path",
+    "parse_request",
+    "read_message",
+    "write_message",
+]
+
+#: Error codes a response may carry in ``error``.
+ERR_OVERLOADED = "overloaded"
+ERR_BAD_REQUEST = "bad-request"
+ERR_SHUTTING_DOWN = "shutting-down"
+
+_VALID_OPS = ("submit", "status", "shutdown")
+_VALID_MODES = (None, "strict", "degrade")
+
+
+class ProtocolError(ValueError):
+    """A message violated the wire protocol (bad JSON, unknown op,
+    malformed job spec)."""
+
+
+def default_socket_path() -> str:
+    """The default unix-socket rendezvous: per-user under the system
+    temp directory (unix socket paths are length-limited to ~100
+    bytes, so deep working directories are not safe defaults)."""
+    user = os.environ.get("USER") or str(os.getuid())
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-serve-{user}.sock"
+    )
+
+
+@dataclass
+class JobSpec:
+    """One analysis request, as it travels client -> server -> worker.
+
+    ``mode=None`` means "the server's default"; the server resolves it
+    at dispatch time (and overrides it to ``degrade`` while the
+    overload ladder is engaged, recording the override in the
+    response's ``serve`` section).
+    """
+
+    benchmark: str
+    mode: "str | None" = None
+    deadline: "float | None" = None
+    unroll: int = 2
+    state_budget: int = 20000
+    #: Hard wall-clock cap on one worker attempt: past this the
+    #: supervisor declares the worker hung and kills it.  Distinct
+    #: from ``deadline`` (cooperative, inside the analysis); the
+    #: timeout is the backstop for when cooperation fails.
+    timeout: float = 120.0
+    #: Crucible fault-injection specs for chaos jobs:
+    #: ``[{"phase": "fold", "kind": "timeout", "at": 1}, ...]``
+    #: (see :class:`repro.crucible.faults.FaultSpec`).
+    faults: list = field(default_factory=list)
+    #: Process-kill chaos: ``{"phase": "fold", "signal": 9, "at": 1}``
+    #: makes the worker kill itself at that phase-boundary crossing --
+    #: the supervisor must recover and the job must still complete.
+    chaos: "dict | None" = None
+    #: Span-trace file the worker should write (server-assigned).
+    trace: "str | None" = None
+
+    def validate(self) -> None:
+        if not self.benchmark or not isinstance(self.benchmark, str):
+            raise ProtocolError("job spec needs a benchmark name")
+        if self.mode not in _VALID_MODES:
+            raise ProtocolError(f"unknown mode {self.mode!r}")
+        if self.timeout <= 0:
+            raise ProtocolError("timeout must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ProtocolError("deadline must be positive")
+        if not isinstance(self.faults, list):
+            raise ProtocolError("faults must be a list of fault specs")
+        if self.chaos is not None and not isinstance(self.chaos, dict):
+            raise ProtocolError("chaos must be a dict")
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "deadline": self.deadline,
+            "unroll": self.unroll,
+            "state_budget": self.state_budget,
+            "timeout": self.timeout,
+            "faults": self.faults,
+            "chaos": self.chaos,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ProtocolError("job spec must be an object")
+        try:
+            spec = cls(
+                benchmark=data.get("benchmark"),
+                mode=data.get("mode"),
+                deadline=data.get("deadline"),
+                unroll=data.get("unroll", 2),
+                state_budget=data.get("state_budget", 20000),
+                timeout=data.get("timeout", 120.0),
+                faults=data.get("faults") or [],
+                chaos=data.get("chaos"),
+                trace=data.get("trace"),
+            )
+        except TypeError as exc:
+            raise ProtocolError(f"malformed job spec: {exc}") from exc
+        spec.validate()
+        return spec
+
+
+def parse_request(line: str) -> dict:
+    """Decode and shape-check one request line."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = message.get("op")
+    if op not in _VALID_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {_VALID_OPS}"
+        )
+    return message
+
+
+def write_message(stream, message: dict) -> None:
+    """One compact JSON line onto *stream* (text or binary), flushed
+    immediately -- the reader on the other side is blocked on it."""
+    payload = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    data = payload + "\n"
+    if isinstance(stream, io.TextIOBase) or getattr(
+        stream, "encoding", None
+    ):
+        stream.write(data)
+    else:
+        stream.write(data.encode("utf-8"))
+    stream.flush()
+
+
+def read_message(stream) -> "dict | None":
+    """One JSON line from *stream*; None on clean EOF."""
+    line = stream.readline()
+    if not line:
+        return None
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"message is not JSON: {exc!s}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message

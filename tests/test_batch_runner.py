@@ -169,7 +169,7 @@ class TestCrucibleBenchmarks:
 
 class TestSignalClassification:
     def test_killed_child_is_crashed_with_signal_name(self, monkeypatch):
-        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+        from repro.childproc import CHILD_CHAOS_ENV
 
         monkeypatch.setenv(CHILD_CHAOS_ENV, "kill:9")
         report = run_batch(["treeadd"], isolate=True, timeout=120.0)
@@ -181,7 +181,7 @@ class TestSignalClassification:
         assert not report.ok
 
     def test_slow_child_is_timeout_not_signal(self, monkeypatch):
-        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+        from repro.childproc import CHILD_CHAOS_ENV
 
         monkeypatch.setenv(CHILD_CHAOS_ENV, "sleep:60")
         report = run_batch(["treeadd"], isolate=True, timeout=0.5)
@@ -267,7 +267,7 @@ class TestParallelBatch:
         )
 
     def test_chaos_killed_children_under_parallelism(self, monkeypatch):
-        from repro.benchsuite.runner import CHILD_CHAOS_ENV
+        from repro.childproc import CHILD_CHAOS_ENV
 
         monkeypatch.setenv(CHILD_CHAOS_ENV, "kill:9")
         report = run_batch(["treeadd", "power"], jobs=2, timeout=120.0)
