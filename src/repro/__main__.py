@@ -143,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
         "either way; see 'python -m repro bench')",
     )
     parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="durable predicate/summary store directory: validated "
+        "summaries are reused across runs and processes (verdicts are "
+        "identical either way; see 'python -m repro store-smoke')",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and any REPRO_STORE default",
+    )
+    parser.add_argument(
         "--no-wto",
         action="store_true",
         help="drive the fixpoint worklist in naive FIFO order instead "
@@ -422,6 +435,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.smoke import main as smoke_main
 
         return smoke_main(argv[1:])
+    if argv and argv[0] == "store-smoke":
+        from repro.store.smoke import main as store_smoke_main
+
+        return store_smoke_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -439,6 +456,13 @@ def main(argv: list[str] | None = None) -> int:
         print(print_program(program))
         return EXIT_OK
 
+    store = None
+    store_path = None if args.no_store else (args.store or os.environ.get("REPRO_STORE"))
+    if store_path:
+        from repro.store import SummaryStore
+
+        store = SummaryStore.open(store_path)
+
     result = ShapeAnalysis(
         program,
         name=name,
@@ -450,7 +474,17 @@ def main(argv: list[str] | None = None) -> int:
         trace_path=args.trace,
         enable_cache=not args.no_cache,
         schedule="fifo" if args.no_wto else "wto",
+        store=store,
     ).run()
+
+    if store is not None:
+        stats = store.stats()
+        print(
+            "store: {hits} hit(s), {misses} miss(es), {writes} write(s), "
+            "{invalid} rejected, {entries} entr(ies) at {path}".format(
+                path=store_path, **stats
+            )
+        )
 
     print(result.describe())
     if args.trace:

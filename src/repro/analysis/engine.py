@@ -114,6 +114,13 @@ class ShapeAnalysis:
     #: are replayed through renaming tables, never shared by identity.
     unfold_cache: "perf.EntailmentCache | None" = None
     fold_cache: "perf.IdentityMemo | None" = None
+    #: Optional durable predicate/summary store
+    #: (:class:`repro.store.SummaryStore`), shared across runs and --
+    #: through its on-disk form -- across processes and restarts.
+    #: Consulted at the engine's ``store`` phase boundary; every entry
+    #: is validated before use, so verdicts are identical with and
+    #: without one (the crucible differential gate checks exactly this).
+    store: "object | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
@@ -217,6 +224,11 @@ class ShapeAnalysis:
                 extra = {} if self.schedule == "wto" else {
                     "schedule": self.schedule
                 }
+                # Like ``schedule``, the store keyword is only forwarded
+                # when one is attached, so closed-signature factories
+                # keep working in the common store-less case.
+                if self.store is not None:
+                    extra["store"] = self.store
                 engine = make_engine(
                     target,
                     env,

@@ -67,6 +67,8 @@ from repro.analysis.localheap import SplitHeap, combine, extract_local_heap
 from repro.analysis.resilience import (
     EXECUTION_STUCK,
     INVARIANT_FAILURE,
+    SEVERITY_WARNING,
+    STORE_INVALID,
     SUMMARY_FAILURE,
     AnalysisFailure,
     Budget,
@@ -100,6 +102,7 @@ PHASE_BOUNDARIES = (
     "entailment",
     "synthesis",
     "tabulation",
+    "store",
 )
 
 
@@ -208,6 +211,7 @@ class ShapeEngine:
         tracer=None,
         metrics: Metrics | None = None,
         schedule: str = "wto",
+        store=None,
     ):
         program.validate()
         if mode not in ("strict", "degrade"):
@@ -260,6 +264,14 @@ class ShapeEngine:
             obs.METRICS if obs.METRICS.enabled else Metrics()
         )
         self.stats = _StatsView(self.metrics)
+        #: optional durable predicate/summary store
+        #: (:class:`~repro.store.SummaryStore`), consulted at the
+        #: ``store`` phase boundary before synthesis and tabulation.
+        #: The store is an *accelerator*: every consult/record call is
+        #: exception-contained here, so a broken store degrades to
+        #: misses plus ``store-invalid`` diagnostics, never to a
+        #: different verdict or an analysis failure.
+        self.store = store
         self._reach_rec: dict[str, set[int]] = {}
 
     def _wto(self, name: str) -> WeakTopologicalOrder:
@@ -452,6 +464,15 @@ class ShapeEngine:
             if mapped_cuts == cutpoints:
                 self.metrics.inc("engine.summaries.reused")
                 return [transplant_state(e, into) for e in summary.exits]
+        # Durable-store consult sits between in-memory reuse and
+        # (re-)analysis: a validated hit answers the call without
+        # synthesis or tabulation.  The boundary is crossed even with
+        # no store attached -- it is the fault-injection seam.
+        self.phase_boundary("store", name)
+        if self.store is not None:
+            exits = self._consult_store(name, entry, cutpoints)
+            if exits is not None:
+                return exits
         if self.callgraph.is_recursive(name):
             return self._analyze_recursive(name, entry, cutpoints, contracts)
         contained_before = self.contained_events
@@ -463,7 +484,169 @@ class ShapeEngine:
             return [e.copy() for e in exits]
         self.phase_boundary("tabulation", name)
         self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
+        self._store_record(name, entry, exits, cutpoints)
         return [e.copy() for e in exits]
+
+    # ------------------------------------------------------------------
+    # Durable store (repro.store): consult / record / diagnostics
+    # ------------------------------------------------------------------
+    def _consult_store(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+    ) -> "list[AbstractState] | None":
+        """Look *entry* up in the durable store; exit states transplanted
+        into the caller's name space on a validated hit, else None.
+
+        The store's own validation (checksum, schema, decode, canonical
+        re-keying, predicate self-derivation) has already run inside
+        ``consult``; this method adds the *summary re-application
+        check*: the decoded entry must be entailment-equivalent to the
+        live entry and the cutpoints must map across, via the very same
+        ``subsumes`` machinery in-memory reuse trusts.  Any failure --
+        including an unexpected exception, which would be a store bug --
+        degrades to a miss with a ``store-invalid`` diagnostic.
+        """
+        store = self.store
+        try:
+            hit = store.consult(
+                name,
+                entry,
+                cutpoints,
+                self.env,
+                self.metrics,
+                unroll=self.max_unroll,
+                mode=self.mode,
+            )
+        except (BudgetExhausted, AnalysisStuck):
+            raise
+        except Exception as exc:  # containment: a store bug is a miss
+            store.tally("invalid")
+            self.metrics.inc("store.invalid")
+            self._store_diagnostic(
+                name, f"store consult raised {type(exc).__name__}: {exc}"
+            )
+            self._absorb_store_diagnostics()
+            return None
+        self._absorb_store_diagnostics()
+        if hit is None:
+            return None
+        self.phase_boundary("entailment", name)
+        into = back = None
+        if structural_signature(hit.entry) == structural_signature(entry):
+            into = subsumes(hit.entry, entry, env=self.env)
+            if into is not None:
+                back = subsumes(entry, hit.entry, env=self.env)
+        if into is None or back is None:
+            store.tally("invalid")
+            store.tally("misses")
+            self.metrics.inc("store.invalid")
+            self.metrics.inc("store.misses")
+            self._store_diagnostic(
+                name, "summary re-application check failed (entry not "
+                "entailment-equivalent to the stored entry)"
+            )
+            return None
+        mapped_cuts = frozenset(
+            into.binding.get(c, c) for c in hit.cutpoints
+        )
+        if mapped_cuts != cutpoints:
+            store.tally("invalid")
+            store.tally("misses")
+            self.metrics.inc("store.invalid")
+            self.metrics.inc("store.misses")
+            self._store_diagnostic(
+                name, "stored cutpoints do not map onto the call's cutpoints"
+            )
+            return None
+        # Commit: install the (already self-derivation-validated)
+        # predicate definitions the exits mention, then tabulate the
+        # decoded summary so later calls reuse it in memory.
+        for definition in hit.new_defs:
+            self.env.add(definition)
+            self.metrics.inc("store.preds.installed")
+        self.env.ensure_counter(hit.counter)
+        self.summaries[name].append(
+            Summary(hit.entry, hit.exits, hit.cutpoints)
+        )
+        store.tally("hits")
+        self.metrics.inc("store.hits")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "store.hit", procedure=name, exits=len(hit.exits),
+                preds=len(hit.new_defs),
+            )
+        return [transplant_state(e, into) for e in hit.exits]
+
+    def _store_record(
+        self,
+        name: str,
+        entry: AbstractState,
+        exits: "list[AbstractState]",
+        cutpoints: frozenset[HeapName],
+    ) -> None:
+        """Record a freshly tabulated summary in the durable store
+        (no-op without one); write failures are contained."""
+        if self.store is None:
+            return
+        try:
+            # Keyed on unroll + mode so a store-on run's retry
+            # trajectory matches store-off exactly: summaries recorded
+            # by an escalated attempt are invisible to base attempts.
+            self.store.record(
+                name,
+                entry,
+                exits,
+                cutpoints,
+                self.env,
+                self.metrics,
+                unroll=self.max_unroll,
+                mode=self.mode,
+            )
+        except (BudgetExhausted, AnalysisStuck):
+            raise
+        except Exception as exc:  # containment: a store bug loses a write
+            self.metrics.inc("store.io_errors")
+            self._store_diagnostic(
+                name, f"store record raised {type(exc).__name__}: {exc}"
+            )
+        self._absorb_store_diagnostics()
+
+    def _store_diagnostic(self, procedure: "str | None", message: str) -> None:
+        """Append one deduplicated ``store-invalid`` diagnostic."""
+        diagnostic = Diagnostic(
+            code=STORE_INVALID,
+            message=message,
+            phase="store",
+            procedure=procedure,
+            severity=SEVERITY_WARNING,
+            recovered=True,
+        )
+        for existing in self.diagnostics:
+            if (
+                existing.code == diagnostic.code
+                and existing.procedure == diagnostic.procedure
+            ):
+                existing.count += 1
+                return
+        self.diagnostics.append(diagnostic)
+
+    def _absorb_store_diagnostics(self) -> None:
+        """Drain the store's pending diagnostics into this engine's
+        record (deduplicated per procedure like containment events)."""
+        if self.store is None:
+            return
+        for diagnostic in self.store.take_diagnostics():
+            for existing in self.diagnostics:
+                if (
+                    existing.code == diagnostic.code
+                    and existing.procedure == diagnostic.procedure
+                ):
+                    existing.count += diagnostic.count
+                    break
+            else:
+                self.diagnostics.append(diagnostic)
 
     # ------------------------------------------------------------------
     # Recursive procedures (§5.2.1)
@@ -556,6 +739,10 @@ class ShapeEngine:
         for p in visited:
             self.summaries[p].extend(contracts[p])
             self.metrics.inc("engine.invariants.synthesized", len(contracts[p]))
+            for contract in contracts[p]:
+                self._store_record(
+                    p, contract.entry, contract.exits, contract.cutpoints
+                )
         for contract in contracts[name]:
             witness = subsumes(contract.entry, entry, env=self.env)
             if witness is not None:

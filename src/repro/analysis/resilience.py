@@ -53,6 +53,7 @@ __all__ = [
     "INTERNAL_ERROR",
     "INVARIANT_FAILURE",
     "SUMMARY_FAILURE",
+    "STORE_INVALID",
     "SEVERITY_ERROR",
     "SEVERITY_FATAL",
     "SEVERITY_WARNING",
@@ -90,6 +91,13 @@ WORKER_CRASHED = "worker-crashed"
 #: differential oracle can tell "the program loops forever" apart from
 #: "the interpreter itself is broken".
 CONCRETE_DIVERGENCE = "concrete-divergence"
+#: A durable-store entry was rejected before use -- checksum or schema
+#: mismatch, a decode failure, a failed self-derivation / re-application
+#: validation check, or a store I/O error (EIO, ENOSPC, permission
+#: loss).  Always *recovered*: the store is an accelerator, so every
+#: rejection degrades to a cache miss (the analysis recomputes), never
+#: to a wrong verdict or an analysis failure.
+STORE_INVALID = "store-invalid"
 
 #: Every documented diagnostic code.  Batch drivers, the differential
 #: oracle, and CI treat any code outside this tuple as a taxonomy bug.
@@ -102,6 +110,7 @@ DIAGNOSTIC_CODES = (
     FRONTEND_ERROR,
     WORKER_CRASHED,
     CONCRETE_DIVERGENCE,
+    STORE_INVALID,
 )
 
 #: Every documented pipeline phase a diagnostic may name: the coarse
@@ -118,6 +127,7 @@ DIAGNOSTIC_PHASES = (
     "entailment",
     "synthesis",
     "tabulation",
+    "store",
 )
 
 SEVERITY_WARNING = "warning"

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.logic.predicates import PredicateDef, PredicateEnv
 from repro.logic.state import AbstractState
 from repro.obs import with_legacy_aliases
-from repro.analysis.resilience import Diagnostic
+from repro.analysis.resilience import STORE_INVALID, Diagnostic
 
 __all__ = ["AnalysisResult"]
 
@@ -57,8 +57,17 @@ class AnalysisResult:
     @property
     def degraded(self) -> bool:
         """The run completed, but only by containing failures or by
-        escalating past the configured unroll bound."""
-        return self.succeeded and any(d.recovered for d in self.diagnostics)
+        escalating past the configured unroll bound.
+
+        ``store-invalid`` diagnostics are excluded: a rejected durable-
+        store entry degrades to a cache *miss* -- the analysis recomputes
+        exactly what it would have computed with no store attached -- so
+        it must not degrade the *verdict* (store-on and store-off runs
+        must agree on outcomes, which the crucible differential gate
+        enforces)."""
+        return self.succeeded and any(
+            d.recovered and d.code != STORE_INVALID for d in self.diagnostics
+        )
 
     @property
     def outcome(self) -> str:

@@ -33,22 +33,34 @@ from repro.analysis.interproc import PHASE_BOUNDARIES, ShapeEngine
 from repro.analysis.resilience import (
     EXECUTION_STUCK,
     INVARIANT_FAILURE,
+    STORE_INVALID,
     SUMMARY_FAILURE,
     AnalysisFailure,
     BudgetExhausted,
 )
+from repro.store.chaos import StoreChaos, StoreFaultSpec
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec", "FaultyShapeEngine"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyShapeEngine",
+    "StoreFaultSpec",
+]
 
 FAULT_KINDS = ("failure", "error", "budget", "timeout")
 
 #: The documented failure code a real failure of each phase carries.
+#: A "failure" injected at the store boundary models the store
+#: rejecting an entry mid-consult; the engine must contain it as the
+#: always-recovered ``store-invalid`` (a miss, never a verdict change).
 PHASE_FAILURE_CODES = {
     "rearrange": EXECUTION_STUCK,
     "fold": INVARIANT_FAILURE,
     "entailment": SUMMARY_FAILURE,
     "synthesis": INVARIANT_FAILURE,
     "tabulation": SUMMARY_FAILURE,
+    "store": STORE_INVALID,
 }
 
 
@@ -82,10 +94,21 @@ class FaultPlan:
     """
 
     specs: list[FaultSpec] = field(default_factory=list)
+    #: Store-level damage (torn writes, checksum flips, stale schemas,
+    #: mid-write kills), applied *inside* the disk layer rather than at
+    #: a boundary: build the run's store with :meth:`store_chaos`.
+    store_specs: list[StoreFaultSpec] = field(default_factory=list)
     crossings: dict[str, int] = field(
         default_factory=lambda: {phase: 0 for phase in PHASE_BOUNDARIES}
     )
     fired: list[str] = field(default_factory=list)
+
+    def store_chaos(self) -> "StoreChaos | None":
+        """The :class:`StoreChaos` schedule for this plan's store-level
+        specs (None when there are none).  Pass it to
+        ``SummaryStore(path, chaos=...)``; the schedule's ``fired`` list
+        then records what actually triggered."""
+        return StoreChaos(self.store_specs) if self.store_specs else None
 
     def on_boundary(self, engine: ShapeEngine, phase: str, procedure: str | None) -> None:
         count = self.crossings[phase] = self.crossings[phase] + 1

@@ -54,6 +54,7 @@ __all__ = [
     "canonicalize",
     "decode_binding",
     "encode_binding",
+    "parse_canonical_key",
 ]
 
 
@@ -337,6 +338,33 @@ def canonicalize(state) -> CanonicalForm:
 def canonical_key(state) -> str:
     """Just the interned canonical key of *state*."""
     return canonicalize(state).key
+
+
+def parse_canonical_key(key: str) -> tuple:
+    """Parse a canonical key back into its ``(rho, spatial, pure,
+    anchors)`` token sections.
+
+    The key is ``repr`` of a nested tuple of strings, so it is exactly
+    ``ast.literal_eval``-able -- the canonical key doubles as the
+    durable store's on-disk state serialization (see
+    :mod:`repro.store.codec`, which materializes a fresh alpha-variant
+    of the keyed state from these tokens).  Raises :class:`ValueError`
+    on anything that does not parse to the expected shape, so corrupt
+    store entries fail loudly at the decode step of validation-on-read.
+    """
+    import ast
+
+    try:
+        parsed = ast.literal_eval(key)
+    except (ValueError, SyntaxError, MemoryError, RecursionError) as exc:
+        raise ValueError(f"unparseable canonical key: {exc}") from exc
+    if (
+        not isinstance(parsed, tuple)
+        or len(parsed) != 8
+        or parsed[0::2] != ("rho", "sp", "pure", "anc")
+    ):
+        raise ValueError("canonical key has the wrong section structure")
+    return parsed[1], parsed[3], parsed[5], parsed[7]
 
 
 # ----------------------------------------------------------------------

@@ -305,6 +305,30 @@ class PredicateEnv:
         foldT to avoid scanning the whole environment)."""
         return list(self._by_fields.get(tuple(sorted(fields)), ()))
 
+    def find_structural(self, definition: PredicateDef) -> "PredicateDef | None":
+        """The registered definition structurally identical to
+        *definition* (any name), or None.  The durable store uses this
+        to detect *name drift*: a stored summary whose predicate exists
+        here under a different name cannot be installed verbatim."""
+        name = self._by_structure.get(definition.structure_key())
+        return None if name is None else self._defs[name]
+
+    @property
+    def counter(self) -> int:
+        """The fresh-name counter (snapshotted into store payloads)."""
+        return self._counter
+
+    def ensure_counter(self, value: int) -> None:
+        """Raise the fresh-name counter to at least *value*.
+
+        Installing stored definitions bypasses :meth:`fresh_name`, so
+        the counter must be advanced past their numeric suffixes --
+        otherwise a later synthesis would mint an already-taken name.
+        This also keeps the store-on run's name sequence aligned with
+        the run that recorded the entries (synthesis is deterministic,
+        so that run advanced the counter to exactly this value)."""
+        self._counter = max(self._counter, value)
+
     def describe(self) -> str:
         return "\n".join(str(d) for d in self._defs.values())
 

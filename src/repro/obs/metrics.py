@@ -147,6 +147,20 @@ METRIC_SCHEMA: dict[str, str] = {
     "serve.state": "gauge",
     "serve.job.seconds": "histogram",
     "serve.job.queue_wait_seconds": "histogram",
+    # store.* -- the durable predicate/summary store (repro.store).
+    # ``store.invalid`` counts entries rejected by validation-on-read
+    # (checksum, schema, decode, self-derivation, re-application);
+    # every rejection also surfaces as a ``store-invalid`` diagnostic.
+    "store.lookups": "counter",
+    "store.hits": "counter",
+    "store.misses": "counter",
+    "store.writes": "counter",
+    "store.invalid": "counter",
+    "store.io_errors": "counter",
+    "store.compactions": "counter",
+    "store.preds.installed": "counter",
+    "store.index.torn": "counter",
+    "store.entries": "gauge",
 }
 
 #: Legacy ``AnalysisResult.stats`` key -> canonical metric name.

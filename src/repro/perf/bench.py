@@ -21,6 +21,12 @@ entailment stress program (the CI perf-smoke job runs this);
 ``--require-hits`` additionally fails when the list benchmarks see no
 cache hits at all, which would mean cross-run key sharing regressed.
 
+Since the durable store landed, every benchmark additionally gets a
+cold-store vs warm-store pair (fresh store directory, uncached, so the
+delta isolates validated summary reuse); the warm run's core verdict
+must match the store-less runs or the harness exits nonzero, and
+``--require-hits`` also fails on a warm sweep with zero store hits.
+
 Two more differentials ride along since the scheduling overhaul:
 
 * every benchmark is also analyzed once under the FIFO worklist
@@ -130,6 +136,7 @@ def _run(
     deadline: float | None,
     cache,
     schedule: str = "wto",
+    store=None,
 ) -> tuple:
     """One analysis run; returns (result, wall seconds)."""
     from repro.analysis import ShapeAnalysis
@@ -145,8 +152,57 @@ def _run(
         enable_cache=cache is not None,
         cache=cache,
         schedule=schedule,
+        store=store,
     ).run()
     return result, time.perf_counter() - start
+
+
+def _store_differential(
+    name: str, mode: str, deadline: float | None, core: dict
+) -> tuple:
+    """Cold-store vs warm-store measurement for one benchmark.
+
+    Each benchmark gets a fresh store directory so "cold" really pays
+    the populate and "warm" really measures validated reuse.  Both
+    runs are uncached (no entailment memo) so the delta isolates the
+    durable store.  Returns (section, core_matches)."""
+    import shutil
+    import tempfile
+
+    from repro.store import SummaryStore
+
+    store_dir = tempfile.mkdtemp(prefix=f"repro-bench-store-{name}-")
+    try:
+        cold_store = SummaryStore(store_dir)
+        cold_result, cold_seconds = _run(
+            name, mode, deadline, cache=None, store=cold_store
+        )
+        warm_store = SummaryStore(store_dir)
+        warm_result, warm_seconds = _run(
+            name, mode, deadline, cache=None, store=warm_store
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    warm_stats = warm_store.stats()
+    matches = (
+        _core(_verdict(cold_result)) == core
+        and _core(_verdict(warm_result)) == core
+    )
+    return (
+        {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cold_seconds / warm_seconds, 4)
+            if warm_seconds
+            else None,
+            "warm_hits": warm_stats["hits"],
+            "warm_hit_rate": warm_stats["hit_rate"],
+            "invalid": warm_stats["invalid"],
+            "entries": warm_stats["entries"],
+            "matches": matches,
+        },
+        matches,
+    )
 
 
 def run_bench(
@@ -172,7 +228,10 @@ def run_bench(
     benchmarks = []
     mismatches = []
     schedule_mismatches = []
+    store_mismatches = []
     total_uncached = total_cached = 0.0
+    total_store_cold = total_store_warm = 0.0
+    total_store_hits = 0
     list_hits = list_misses = 0
     for name in names:
         uncached_seconds = []
@@ -209,6 +268,16 @@ def run_bench(
         schedules_match = fifo_core == _core(verdict)
         if not schedules_match:
             schedule_mismatches.append(name)
+        # Durable-store differential: cold populate vs warm reuse, core
+        # verdict identical to the store-less runs above or exit 1.
+        store_section, store_matches = _store_differential(
+            name, mode, deadline, _core(verdict)
+        )
+        if not store_matches:
+            store_mismatches.append(name)
+        total_store_cold += store_section["cold_seconds"]
+        total_store_warm += store_section["warm_seconds"]
+        total_store_hits += store_section["warm_hits"]
         if name.startswith("list-"):
             list_hits += shared.hits
             list_misses += shared.misses
@@ -232,6 +301,7 @@ def run_bench(
                     "fifo_core": fifo_core,
                     "matches": schedules_match,
                 },
+                "store_differential": store_section,
             }
         )
     list_total = list_hits + list_misses
@@ -253,9 +323,16 @@ def run_bench(
             "list_hit_rate": round(list_hits / list_total, 6)
             if list_total
             else 0.0,
+            "store_cold_seconds": round(total_store_cold, 6),
+            "store_warm_seconds": round(total_store_warm, 6),
+            "store_speedup": round(total_store_cold / total_store_warm, 4)
+            if total_store_warm
+            else None,
+            "store_warm_hits": total_store_hits,
         },
         "verdict_mismatches": mismatches,
         "schedule_mismatches": schedule_mismatches,
+        "store_mismatches": store_mismatches,
     }
 
 
@@ -401,13 +478,16 @@ def render(report: dict) -> str:
     for bench in report["benchmarks"]:
         cache = bench["cache"]
         sched = bench.get("schedule_differential", {})
+        store = bench.get("store_differential", {})
         lines.append(
             f"  {bench['name']:16s} uncached {sum(bench['uncached_seconds']):7.3f}s"
             f"  cached {sum(bench['cached_seconds']):7.3f}s"
             f"  x{bench['speedup']:<6}"
             f" hit_rate {cache.get('hit_rate', 0.0):.2f}"
+            f" store x{store.get('speedup', '-')}"
             f"{'' if bench['verdicts_match'] else '  VERDICT MISMATCH'}"
             f"{'' if sched.get('matches', True) else '  SCHEDULE MISMATCH'}"
+            f"{'' if store.get('matches', True) else '  STORE MISMATCH'}"
         )
     totals = report["totals"]
     lines.append(
@@ -415,6 +495,13 @@ def render(report: dict) -> str:
         f"  cached {totals['cached_seconds']:7.3f}s"
         f"  x{totals['speedup']}"
     )
+    if "store_cold_seconds" in totals:
+        lines.append(
+            f"  {'STORE':16s} cold     {totals['store_cold_seconds']:7.3f}s"
+            f"  warm   {totals['store_warm_seconds']:7.3f}s"
+            f"  x{totals['store_speedup']}"
+            f" ({totals['store_warm_hits']} warm hit(s))"
+        )
     baseline = report.get("baseline")
     if baseline:
         lines.append(
@@ -516,6 +603,19 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             "repro bench: fifo and wto core verdicts differ for: "
             + ", ".join(report["schedule_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if report.get("store_mismatches"):
+        print(
+            "repro bench: store-on and store-off core verdicts differ "
+            "for: " + ", ".join(report["store_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_hits and report["totals"].get("store_warm_hits") == 0:
+        print(
+            "repro bench: warm-store runs recorded zero store hits",
             file=sys.stderr,
         )
         return 1

@@ -14,6 +14,7 @@ wants.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
@@ -114,6 +115,9 @@ class Client:
                 raise
 
     # ------------------------------------------------------------------
+    #: Ceiling for one overload-retry sleep (decorrelated jitter cap).
+    RETRY_CAP = 5.0
+
     def submit(
         self,
         spec: "JobSpec | dict",
@@ -121,13 +125,20 @@ class Client:
     ) -> dict:
         """Run one job; the full response (``record`` + ``serve``).
 
-        Overload rejections are retried -- sleeping the server's
-        ``retry_after`` hint each time -- until *retry_for* seconds
-        have elapsed, then raised as :class:`OverloadedError`.
+        Overload rejections are retried until *retry_for* seconds have
+        elapsed, then raised as :class:`OverloadedError`.  Each sleep
+        honors the server's ``retry_after`` hint as a *floor* and adds
+        decorrelated jitter above it (``uniform(hint, 3 * previous)``,
+        capped): a fleet of clients bounced by the same overloaded
+        server must not sleep the identical hint and stampede back in
+        lockstep, re-triggering the very rejection they are backing
+        off from.  The sleep is truncated to the time left before the
+        retry deadline, so a client never oversleeps its own budget.
         """
         if isinstance(spec, JobSpec):
             spec = spec.to_dict()
         deadline = time.monotonic() + retry_for
+        previous_delay = 0.0
         while True:
             response = self.request(
                 {"op": "submit", "spec": spec},
@@ -142,12 +153,19 @@ class Client:
                     response.get("error", "unknown"),
                     response.get("message", ""),
                 )
-            retry_after = float(response.get("retry_after") or 0.1)
-            if time.monotonic() + retry_after > deadline:
+            hint = float(response.get("retry_after") or 0.1)
+            now = time.monotonic()
+            if now + hint > deadline:
                 raise OverloadedError(
-                    retry_after, response.get("queue_depth", -1)
+                    hint, response.get("queue_depth", -1)
                 )
-            time.sleep(retry_after)
+            delay = min(
+                self.RETRY_CAP,
+                random.uniform(hint, max(hint, previous_delay * 3)),
+            )
+            delay = min(delay, deadline - now)
+            previous_delay = delay
+            time.sleep(delay)
 
     def status(self) -> dict:
         response = self.request({"op": "status"}, timeout=10.0)

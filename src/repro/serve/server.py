@@ -52,7 +52,9 @@ from repro.serve.supervisor import PoolFull, WorkerPool
 __all__ = [
     "AnalysisServer",
     "OverloadController",
+    "acquire_pidfile",
     "main",
+    "release_pidfile",
 ]
 
 #: ``serve.state`` gauge values.
@@ -189,9 +191,11 @@ class AnalysisServer:
         enter_after: int = 3,
         exit_after: int = 5,
         trace_path: "str | None" = None,
+        store_path: "str | None" = None,
     ):
         self.socket_path = socket_path or default_socket_path()
         self.default_mode = default_mode
+        self.store_path = store_path
         self.metrics = obs.Metrics()
         self.tracer = (
             obs.Tracer.to_path(trace_path) if trace_path else obs.NULL_TRACER
@@ -216,6 +220,7 @@ class AnalysisServer:
             max_retries=max_retries,
             cache_size=cache_size,
             default_mode=default_mode,
+            store_path=store_path,
             on_event=self._pool_event,
         )
         self.metrics.gauge("serve.state", STATE_STRICT)
@@ -357,6 +362,7 @@ class AnalysisServer:
             "high_water": self.overload.high_water,
             "low_water": self.overload.low_water,
             "default_mode": self.default_mode,
+            "store": self.store_path,
             "workers": self.pool.worker_info(),
             "metrics": self.metrics.to_dict(),
         }
@@ -386,6 +392,56 @@ class AnalysisServer:
                     if isinstance(v, (str, int, float, bool, type(None)))
                 },
             )
+
+
+def acquire_pidfile(path: str) -> bool:
+    """Claim *path* for this process; False when another live server
+    already holds it.
+
+    A pidfile left by a crashed or SIGKILLed server is *stale*: the
+    recorded pid either no longer exists (``ESRCH``) or is unreadable
+    garbage, and the file is silently reclaimed.  Only a pid that is
+    demonstrably alive (signal 0 succeeds, or fails with ``EPERM`` --
+    alive but owned by someone else) blocks the start: refusing to
+    double-start protects the socket path and the shared store from
+    two pools believing they own the same worker indices.
+    """
+    import errno
+
+    try:
+        text = open(path).read().strip()
+    except FileNotFoundError:
+        text = ""
+    except OSError:
+        text = ""
+    if text:
+        try:
+            pid = int(text)
+            os.kill(pid, 0)
+            return False  # alive: refuse to double-start
+        except (ValueError, ProcessLookupError):
+            pass  # garbage or ESRCH: stale, reclaim
+        except PermissionError:
+            return False  # EPERM: alive under another uid
+        except OSError as exc:  # pragma: no cover - exotic platforms
+            if exc.errno != errno.ESRCH:
+                return False
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return True
+
+
+def release_pidfile(path: str) -> None:
+    """Remove *path* iff it still names this process."""
+    try:
+        if open(path).read().strip() == str(os.getpid()):
+            os.unlink(path)
+    except OSError:
+        pass
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -428,8 +484,39 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--trace", default=None, help="write serve.* trace events to FILE"
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="shared durable summary store for the whole pool "
+        "(cross-worker warm tier that survives restarts)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store and any REPRO_STORE default",
+    )
+    parser.add_argument(
+        "--pidfile",
+        default=None,
+        metavar="PATH",
+        help="write the daemon pid to PATH; refuse to start while "
+        "another live server holds it (a stale pidfile from a dead "
+        "process is reclaimed)",
+    )
     args = parser.parse_args(argv)
 
+    if args.pidfile and not acquire_pidfile(args.pidfile):
+        print(
+            f"repro serve: refusing to start: pidfile {args.pidfile} "
+            f"names a live process ({open(args.pidfile).read().strip()})",
+            file=sys.stderr,
+        )
+        return 1
+
+    store_path = None if args.no_store else (
+        args.store or os.environ.get("REPRO_STORE")
+    )
     server = AnalysisServer(
         socket_path=args.socket,
         workers=args.workers,
@@ -440,16 +527,22 @@ def main(argv: "list[str] | None" = None) -> int:
         degraded_deadline=args.degraded_deadline,
         high_water=args.high_water,
         trace_path=args.trace,
+        store_path=store_path,
     )
     for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
         signal_mod.signal(signum, lambda *_: server.shutdown())
     print(
         f"repro serve: {args.workers} worker(s), queue {args.queue}, "
-        f"mode {args.mode}, socket {server.socket_path}",
+        f"mode {args.mode}, socket {server.socket_path}"
+        + (f", store {store_path}" if store_path else ""),
         file=sys.stderr,
         flush=True,
     )
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        if args.pidfile:
+            release_pidfile(args.pidfile)
     print("repro serve: stopped", file=sys.stderr)
     return 0
 

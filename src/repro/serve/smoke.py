@@ -22,7 +22,13 @@ robustness contract:
    state but the worker re-warms in service, it does not devolve to
    one-shot behavior;
 5. **bounded latency** -- p99 under a generous budget, so a hang that
-   supervision papered over still fails the gate.
+   supervision papered over still fails the gate;
+6. **the durable store survives the restart** -- the pool shares one
+   summary store directory (:mod:`repro.store`), and the replacement
+   worker must reach a non-zero store hit count: unlike the in-process
+   caches (which check 4 proves must *re-warm*), the store's warmth
+   carries *across* the kill -- the generation-1 process reads the
+   summaries its dead predecessor persisted.
 
 Exit code 0 when every check passes; 1 with the failed checks listed.
 """
@@ -61,6 +67,7 @@ def run_smoke(
     jobs: int = 20,
     mode: str = "degrade",
     timeout: float = 120.0,
+    store_path: "str | None" = None,
 ) -> dict:
     """Drive *jobs* chaos-laced jobs at a running daemon; the report
     with ``failures`` (empty = gate passed)."""
@@ -223,6 +230,44 @@ def run_smoke(
     if p99 > timeout:
         failures.append(f"p99 latency {p99:.1f}s over the {timeout}s budget")
 
+    # 6. Durable warm tier: the restarted (fresh, cache-cold) worker
+    # must hit summaries persisted before the kill.  The entry-
+    # procedure summary short-circuits a whole repeat analysis, so its
+    # very first job on a benchmark the pool has seen already hits.
+    def _store_hits(r: dict) -> int:
+        return (r["serve"].get("store") or {}).get("hits", 0)
+
+    if store_path is not None:
+        for probe in range(12):
+            if any(_store_hits(r) > 0 for r in restarted):
+                break
+            try:
+                response = client.submit(
+                    JobSpec(
+                        benchmark=SMOKE_BENCHMARKS[0],
+                        mode=mode,
+                        timeout=timeout,
+                    ),
+                    retry_for=timeout,
+                )
+            except (OSError, ServerError) as exc:
+                failures.append(f"store warmth probe {probe}: {exc}")
+                break
+            r = {
+                "index": f"store-probe-{probe}",
+                "benchmark": SMOKE_BENCHMARKS[0],
+                "record": response.get("record") or {},
+                "serve": response.get("serve") or {},
+            }
+            if _post_restart(r):
+                restarted.append(r)
+        if restarted and not any(_store_hits(r) > 0 for r in restarted):
+            failures.append(
+                "restarted worker never hit the durable store: store "
+                f"hits stayed 0 across {len(restarted)} post-restart "
+                "jobs (warm tier did not survive the kill)"
+            )
+
     return {
         "jobs": jobs,
         "answered": len(responses),
@@ -248,6 +293,7 @@ def main(argv: "list[str] | None" = None) -> int:
     import argparse
     import json
     import os
+    import shutil
     import subprocess
     import sys
     import tempfile
@@ -273,6 +319,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     socket_path = tempfile.mktemp(prefix="repro-serve-smoke-", suffix=".sock")
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-store-")
     env = child_env({CHAOS_ENV: args.chaos})
     command = [
         sys.executable, "-m", "repro", "serve",
@@ -283,6 +330,9 @@ def main(argv: "list[str] | None" = None) -> int:
         # arm it only at the hard-reject boundary.
         "--high-water", str(max(args.jobs, 16)),
         "--mode", "degrade",
+        # Shared durable store: check 6 asserts the killed worker's
+        # replacement reads the summaries its predecessor persisted.
+        "--store", store_dir,
     ]
     if args.trace:
         command += ["--trace", args.trace]
@@ -291,7 +341,7 @@ def main(argv: "list[str] | None" = None) -> int:
         if not Client(socket_path).wait_until_ready(timeout=60.0):
             print("serve-smoke: daemon never became ready", file=sys.stderr)
             return 1
-        report = run_smoke(socket_path, jobs=args.jobs)
+        report = run_smoke(socket_path, jobs=args.jobs, store_path=store_dir)
     finally:
         try:
             Client(socket_path).shutdown()
@@ -307,6 +357,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 os.unlink(socket_path)
             except OSError:
                 pass
+        shutil.rmtree(store_dir, ignore_errors=True)
 
     if args.json:
         json.dump(report, sys.stdout, indent=2, sort_keys=True)

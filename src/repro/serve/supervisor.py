@@ -119,6 +119,7 @@ class WorkerHandle:
         generation: int,
         cache_size: int,
         default_mode: str,
+        store_path: "str | None" = None,
     ):
         self.index = index
         self.generation = generation
@@ -132,6 +133,8 @@ class WorkerHandle:
             "--mode",
             default_mode,
         ]
+        if store_path:
+            command += ["--store", store_path]
         env = child_env(
             {
                 worker_mod.WORKER_ENV: str(index),
@@ -298,6 +301,7 @@ class WorkerPool:
         default_mode: str = "degrade",
         backoff_base: float = 0.25,
         backoff_cap: float = 10.0,
+        store_path: "str | None" = None,
         on_event=None,
     ):
         if workers < 1:
@@ -308,6 +312,9 @@ class WorkerPool:
         self.max_retries = max_retries
         self.cache_size = cache_size
         self.default_mode = default_mode
+        #: Shared durable store directory every worker mounts (warm
+        #: tier surviving restarts); None disables it.
+        self.store_path = store_path
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._on_event = on_event or (lambda name, **attrs: None)
@@ -425,6 +432,7 @@ class WorkerPool:
                     slot.generation,
                     self.cache_size,
                     self.default_mode,
+                    store_path=self.store_path,
                 )
                 self._on_event(
                     "serve.workers.spawned",
@@ -496,6 +504,7 @@ class WorkerPool:
                 generation=handle.generation,
                 queue_wait_seconds=round(queue_wait, 6),
                 cache=response.get("cache"),
+                store=response.get("store"),
             )
             return
 

@@ -17,8 +17,14 @@ Wire format (one JSON object per line)::
     <- {"type": "ready", "pid": 123, "worker": 0, "generation": 1}
     -> {"type": "job", "id": 7, "spec": {...JobSpec...}}
     <- {"type": "result", "id": 7, "record": {...RunRecord...},
-        "cache": {"hits": 41, ...}}
+        "cache": {"hits": 41, ...}, "store": {"hits": 3, ...}}
     -> {"type": "exit"}
+
+The ``store`` field appears only when the worker was started with
+``--store PATH``: the durable summary store (:mod:`repro.store`) is
+the warm tier that, unlike the in-process caches, survives worker
+crashes and restarts -- a generation-1 replacement reads the
+summaries its predecessor persisted.
 
 The worker never *raises* out of a job -- ``ShapeAnalysis.run`` is
 exception-contained and the remaining spec handling is guarded into a
@@ -124,7 +130,7 @@ def _build_engine_factory(spec: JobSpec):
     return _KillPlan(specs=fault_specs).engine_factory()
 
 
-def _analyze(spec: JobSpec, caches: dict, default_mode: str) -> dict:
+def _analyze(spec: JobSpec, caches: dict, default_mode: str, store=None) -> dict:
     """Run one job against the warm caches; always returns a
     RunRecord-shaped dict (``ShapeAnalysis.run`` contains analysis
     failures; this guard contains spec/factory bugs)."""
@@ -148,6 +154,7 @@ def _analyze(spec: JobSpec, caches: dict, default_mode: str) -> dict:
             cache=caches["entailment"],
             unfold_cache=caches["unfold"],
             fold_cache=caches["fold"],
+            store=store,
             engine_factory=_build_engine_factory(spec),
         ).run()
     except Exception as exc:
@@ -186,6 +193,14 @@ def main(argv: "list[str] | None" = None) -> int:
         default="degrade",
         help="mode for jobs that do not request one",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="shared durable summary store; the warm tier that "
+        "survives this process (advisory-locked writes, so every "
+        "worker of the pool can point at the same directory)",
+    )
     args = parser.parse_args(argv)
 
     caches = {
@@ -193,6 +208,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "unfold": EntailmentCache(args.cache_size),
         "fold": IdentityMemo(args.cache_size),
     }
+    store = None
+    if args.store:
+        from repro.store import SummaryStore
+
+        store = SummaryStore.open(args.store)
     worker_index = int(os.environ.get(WORKER_ENV, "0"))
     generation = int(os.environ.get(WORKER_GEN_ENV, "0"))
     chaos = _env_chaos_job()
@@ -247,16 +267,16 @@ def main(argv: "list[str] | None" = None) -> int:
                 },
             )
             continue
-        record = _analyze(spec, caches, args.mode)
-        write_message(
-            out,
-            {
-                "type": "result",
-                "id": message.get("id"),
-                "record": record,
-                "cache": caches["entailment"].stats(),
-            },
-        )
+        record = _analyze(spec, caches, args.mode, store=store)
+        response = {
+            "type": "result",
+            "id": message.get("id"),
+            "record": record,
+            "cache": caches["entailment"].stats(),
+        }
+        if store is not None:
+            response["store"] = store.stats()
+        write_message(out, response)
 
 
 if __name__ == "__main__":

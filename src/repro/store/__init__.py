@@ -1,0 +1,33 @@
+"""Durable predicate/summary store with validation-on-read.
+
+``repro.store`` persists two kinds of facts across processes and
+restarts: synthesized recursive predicate definitions and tabulated
+procedure summaries, both keyed by canonical (alpha-invariant) forms.
+The engine consults the store before re-analyzing a procedure; serve
+worker pools share one store directory as a warm tier that survives
+worker crashes and restarts.
+
+Every entry is crash-safe on the way in (atomic rename + fsync +
+content-digest checksums + torn-tolerant append-only index) and
+re-validated on the way out (:mod:`repro.store.validate`): corruption,
+staleness and version skew degrade to cache misses with structured
+``store-invalid`` diagnostics -- never to wrong verdicts.
+"""
+
+from repro.store.chaos import CHAOS_ENV, STORE_FAULT_KINDS, StoreChaos, StoreFaultSpec
+from repro.store.disk import DiskStore, StoreCorrupt
+from repro.store.store import STORE_SCHEMA, StoreHit, SummaryStore
+from repro.store.validate import InvalidStoreEntry
+
+__all__ = [
+    "CHAOS_ENV",
+    "DiskStore",
+    "InvalidStoreEntry",
+    "STORE_FAULT_KINDS",
+    "STORE_SCHEMA",
+    "StoreChaos",
+    "StoreCorrupt",
+    "StoreFaultSpec",
+    "StoreHit",
+    "SummaryStore",
+]

@@ -1,0 +1,145 @@
+"""Store-level fault injection.
+
+The disk layer exposes four *stages* inside every record event, and a
+:class:`StoreChaos` schedule damages the write at exactly one of them:
+
+==============  ======================================================
+kind            what it simulates
+==============  ======================================================
+``torn-write``  power loss mid-``write()``: the temp file is truncated
+                to half before the atomic rename, committing a torn
+                object whose checksum cannot match its name
+``checksum-flip``  a bit flip at rest: one byte of the committed
+                object file is inverted after the rename
+``stale-schema``  an entry written by a newer/older code version: the
+                payload's schema number is bumped *before* the digest
+                is taken, so the checksum is valid but the schema
+                check must reject it
+``kill``        a crash between object commit and index append: the
+                process SIGKILLs itself, leaving orphaned temp files
+                and/or unindexed objects for recovery to clean up
+==============  ======================================================
+
+Specs count *record events* (1-based), not individual file writes, so
+``torn-write@2`` damages the second summary the store tries to
+persist.  Each spec fires at most once.
+
+Schedules come from three places: programmatically (tests), from the
+``REPRO_STORE_CHAOS`` environment variable (``"torn-write@1,kill@3"``)
+so crash kinds can be injected into subprocesses, and from the
+crucible's :class:`~repro.crucible.faults.FaultPlan` bridge.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+__all__ = ["CHAOS_ENV", "STORE_FAULT_KINDS", "StoreChaos", "StoreFaultSpec"]
+
+CHAOS_ENV = "REPRO_STORE_CHAOS"
+
+STORE_FAULT_KINDS = ("torn-write", "checksum-flip", "stale-schema", "kill")
+
+#: Which disk-layer stage each kind fires at.
+_STAGE_OF_KIND = {
+    "stale-schema": "schema",
+    "torn-write": "pre-rename",
+    "checksum-flip": "post-object",
+    "kill": "pre-index",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StoreFaultSpec:
+    """Damage the *at*-th record event (1-based) with *kind*."""
+
+    kind: str
+    at: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORE_FAULT_KINDS:
+            raise ValueError(
+                f"unknown store fault kind {self.kind!r}; "
+                f"expected one of {STORE_FAULT_KINDS}"
+            )
+        if self.at < 1:
+            raise ValueError(f"store fault ordinal must be >= 1, got {self.at}")
+
+    @classmethod
+    def parse(cls, text: str) -> "StoreFaultSpec":
+        """Parse ``"<kind>@<n>"`` (``@<n>`` optional, default 1)."""
+        kind, _, ordinal = text.strip().partition("@")
+        return cls(kind, int(ordinal) if ordinal else 1)
+
+
+class StoreChaos:
+    """A schedule of :class:`StoreFaultSpec` applied by the disk layer.
+
+    The store calls :meth:`begin_write` once per record event and the
+    disk layer calls the instance at each stage with the file being
+    written.  ``fired`` records ``(kind, event)`` pairs for assertions.
+    """
+
+    def __init__(self, specs: "list[StoreFaultSpec] | tuple[StoreFaultSpec, ...]"):
+        self.specs = list(specs)
+        self.writes = 0
+        self.fired: list[tuple[str, int]] = []
+        self._done: set[int] = set()
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "StoreChaos | None":
+        """Build a schedule from ``REPRO_STORE_CHAOS``, or None."""
+        raw = environ.get(CHAOS_ENV, "").strip()
+        if not raw:
+            return None
+        specs = [
+            StoreFaultSpec.parse(part)
+            for part in raw.split(",")
+            if part.strip()
+        ]
+        return cls(specs) if specs else None
+
+    def begin_write(self) -> None:
+        self.writes += 1
+
+    def __call__(self, stage: str, path=None) -> bool:
+        """Run every due spec for *stage*; return True when the payload
+        should be written with a stale schema number."""
+        stale = False
+        for position, spec in enumerate(self.specs):
+            if position in self._done or spec.at != self.writes:
+                continue
+            if _STAGE_OF_KIND[spec.kind] != stage:
+                continue
+            self._done.add(position)
+            self.fired.append((spec.kind, self.writes))
+            if spec.kind == "stale-schema":
+                stale = True
+            elif spec.kind == "torn-write":
+                _truncate_half(path)
+            elif spec.kind == "checksum-flip":
+                _flip_last_byte(path)
+            elif spec.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+        return stale
+
+
+def _truncate_half(path) -> None:
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size // 2)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _flip_last_byte(path) -> None:
+    with open(path, "r+b") as handle:
+        data = handle.read()
+        if not data:
+            return
+        handle.seek(len(data) - 1)
+        handle.write(bytes([data[-1] ^ 0xFF]))
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,342 @@
+"""``python -m repro store-smoke`` -- the store chaos/parity gate.
+
+The durable store is an accelerator with a soundness obligation: a
+corrupt, stale or torn entry must degrade to a *miss* (plus a
+``store-invalid`` diagnostic), never to a wrong verdict.  This gate
+proves that differentially over a sweep of crucible seeds.  Per seed:
+
+1. run store-off -- the baseline core verdict;
+2. run store-on against a shared store directory (the *cold* run,
+   which populates it).  Every sixth seed instead populates in a
+   **subprocess that is SIGKILLed mid-write** (``REPRO_STORE_CHAOS=
+   kill@2``) and then re-runs cold in-process over the crash debris;
+3. corrupt what the cold run wrote, rotating through the fault menu:
+   flip a byte in every summary object (checksum), truncate them to
+   half (torn write), rewrite them with a bumped payload schema
+   (stale entry), or append a half-line to the index (torn tail);
+4. run store-on again (the *warm* run) and require the **core verdict
+   -- outcome, failure, attempts, non-store diagnostic codes -- to be
+   byte-identical across all three runs**.
+
+Any mismatch exits 1.  The gate additionally requires that every
+checksum/torn/stale corruption surfaced as a structured
+``store-invalid`` rejection (silent acceptance would be unsound,
+silent crash a robustness bug) and that the warm sweep as a whole hit
+the store at least once (a store that never hits is dead weight, and
+a gate that only ever exercises misses proves nothing).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+from repro.analysis import ShapeAnalysis
+from repro.analysis.resilience import STORE_INVALID
+from repro.benchsuite.runner import _resolve_benchmark
+from repro.childproc import child_env
+from repro.store.chaos import CHAOS_ENV
+from repro.store.codec import payload_bytes
+from repro.store.disk import DiskStore
+from repro.store.store import STORE_SCHEMA, SummaryStore
+
+__all__ = ["main", "run_gate"]
+
+#: Per-seed fault rotation.  ``none`` seeds keep the happy path (and
+#: the warm-hit requirement) honest; ``kill`` seeds crash the writer
+#: instead of corrupting afterwards.
+FAULT_ROTATION = (
+    "none",
+    "checksum-flip",
+    "torn-write",
+    "stale-schema",
+    "torn-index",
+    "kill",
+)
+
+#: Faults that rewrite committed, indexed data -- validation MUST
+#: surface each of these as a ``store-invalid`` rejection.  (A torn
+#: index tail and a mid-write kill leave crash debris, not corrupt
+#: committed entries; readers skip those silently by design.)
+_MUST_REJECT = ("checksum-flip", "torn-write", "stale-schema")
+
+
+def _core_verdict(record: dict) -> dict:
+    """The store-independent slice of a run record.  ``store-invalid``
+    diagnostics are *expected* to differ (they describe the store, not
+    the program); everything else must not."""
+    return {
+        "outcome": record["outcome"],
+        "failure": record["failure"],
+        "attempts": record["attempts"],
+        "diagnostics": sorted(
+            d["code"]
+            for d in record["diagnostics"]
+            if d["code"] != STORE_INVALID
+        ),
+    }
+
+
+def _run(name: str, options: dict, store: "SummaryStore | None") -> dict:
+    program = _resolve_benchmark(name)
+    return ShapeAnalysis(
+        program,
+        name=name,
+        mode=options["mode"],
+        max_unroll=options["unroll"],
+        state_budget=options["state_budget"],
+        store=store,
+    ).run().to_record()
+
+
+def _live_index(store_dir: str) -> dict:
+    probe = DiskStore(store_dir)
+    probe.open(STORE_SCHEMA)
+    return dict(probe._index)
+
+
+def _corrupt(kind: str, store_dir: str) -> int:
+    """Apply *kind* to every indexed summary object (corrupting them
+    all guarantees the entry-procedure summary -- the one a repeat run
+    consults first -- is among the victims; alpha-invariant canonical
+    keys make consecutive crucible seeds share entries, so "what this
+    seed wrote" is not a usable target set).  Returns how many entries
+    were touched."""
+    disk = DiskStore(store_dir)
+    disk.open(STORE_SCHEMA)
+    if kind == "torn-index":
+        with open(disk.index_path, "ab") as handle:
+            handle.write(b'{"k": "torn-by-store-smoke", "o": "dead')
+        return 1
+    touched = 0
+    entries = dict(disk._index)
+    for lookup in sorted(entries):
+        digest = entries[lookup]
+        path = disk.objects_dir / f"{digest}.json"
+        if not path.exists():
+            continue
+        if kind == "checksum-flip":
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        elif kind == "torn-write":
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+        elif kind == "stale-schema":
+            try:
+                payload = json.loads(path.read_bytes())
+                payload["schema"] = int(payload.get("schema", STORE_SCHEMA)) + 1
+            except (ValueError, TypeError):
+                # Debris of an earlier seed's torn-write that no run has
+                # consulted (and therefore healed) yet -- already corrupt,
+                # nothing more to do to it.
+                continue
+            disk.put(lookup, payload_bytes(payload))
+        touched += 1
+    return touched
+
+
+def _populate_in_killed_child(name: str, store_dir: str, options: dict) -> int:
+    """Cold-populate in a subprocess armed to SIGKILL itself at its
+    second store write (object committed, index append pending) --
+    the realistic mid-commit crash.  Returns the child's returncode
+    (negative = died by signal, 0 = too few writes for the fault to
+    fire; both leave a store the next run must cope with)."""
+    command = [
+        sys.executable, "-m", "repro", "store-smoke",
+        "--populate", name,
+        "--store", store_dir,
+        "--mode", options["mode"],
+        "--unroll", str(options["unroll"]),
+        "--state-budget", str(options["state_budget"]),
+    ]
+    child = subprocess.run(
+        command,
+        env=child_env({CHAOS_ENV: "kill@2"}),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        timeout=600,
+    )
+    return child.returncode
+
+
+def run_gate(
+    store_dir: str,
+    seeds: int = 50,
+    base_seed: int = 1,
+    mode: str = "degrade",
+    unroll: int = 2,
+    state_budget: int = 20000,
+) -> dict:
+    """The differential sweep; returns the report dict (``failures``
+    empty iff the gate passed)."""
+    options = {"mode": mode, "unroll": unroll, "state_budget": state_budget}
+    failures: list[str] = []
+    mismatches: list[dict] = []
+    fault_counts = {kind: 0 for kind in FAULT_ROTATION}
+    total_warm_hits = 0
+    total_invalid = 0
+    seeds_checked = 0
+    start = time.perf_counter()
+
+    for index in range(seeds):
+        seed = base_seed + index
+        name = f"crucible:{seed}"
+        kind = FAULT_ROTATION[index % len(FAULT_ROTATION)]
+        fault_counts[kind] += 1
+        try:
+            baseline = _core_verdict(_run(name, options, None))
+
+            if kind == "kill":
+                _populate_in_killed_child(name, store_dir, options)
+            cold_store = SummaryStore(store_dir)
+            cold = _core_verdict(_run(name, options, cold_store))
+
+            corrupted = 0
+            if kind in _MUST_REJECT or kind == "torn-index":
+                corrupted = _corrupt(kind, store_dir)
+                if kind in _MUST_REJECT and corrupted == 0:
+                    failures.append(
+                        f"{name}: store empty after the cold run -- "
+                        f"fault {kind} not exercised"
+                    )
+
+            warm_store = SummaryStore(store_dir)
+            warm = _core_verdict(_run(name, options, warm_store))
+            warm_stats = warm_store.stats()
+            total_warm_hits += warm_stats["hits"]
+            total_invalid += warm_stats["invalid"]
+
+            if kind in _MUST_REJECT and corrupted:
+                if warm_stats["invalid"] == 0:
+                    failures.append(
+                        f"{name}: fault {kind} corrupted {corrupted} "
+                        "entr(ies) but the warm run rejected nothing -- "
+                        "validation-on-read failed to notice"
+                    )
+            if baseline != cold or baseline != warm:
+                mismatches.append(
+                    {
+                        "seed": seed,
+                        "fault": kind,
+                        "store_off": baseline,
+                        "cold": cold,
+                        "warm": warm,
+                    }
+                )
+            seeds_checked += 1
+        except Exception as exc:  # the gate itself must never crash
+            failures.append(
+                f"{name}: gate crashed ({type(exc).__name__}: {exc}) -- "
+                "the store leaked a failure into the analysis"
+            )
+
+    for miss in mismatches:
+        failures.append(
+            f"crucible:{miss['seed']} (fault {miss['fault']}): core "
+            f"verdict diverged -- store-off {miss['store_off']} vs "
+            f"cold {miss['cold']} vs warm {miss['warm']}"
+        )
+    if seeds_checked and total_warm_hits == 0:
+        failures.append(
+            "warm sweep never hit the store: the gate only exercised "
+            "misses, so parity proves nothing"
+        )
+
+    return {
+        "seeds": seeds,
+        "base_seed": base_seed,
+        "seeds_checked": seeds_checked,
+        "faults": fault_counts,
+        "warm_hits": total_warm_hits,
+        "invalid_rejections": total_invalid,
+        "mismatches": len(mismatches),
+        "failures": failures,
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def _populate(name: str, store_dir: str, options: dict) -> int:
+    """Child mode for the kill fault: one store-on run whose
+    ``SummaryStore.open`` honors ``REPRO_STORE_CHAOS`` from the
+    environment (that is how the SIGKILL reaches us)."""
+    _run(name, options, SummaryStore.open(store_dir))
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+    import shutil
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="repro store-smoke",
+        description="store corruption/crash parity gate (see module doc)",
+    )
+    parser.add_argument("--seeds", type=int, default=50)
+    parser.add_argument("--base-seed", type=int, default=1)
+    parser.add_argument("--mode", choices=("strict", "degrade"), default="degrade")
+    parser.add_argument("--unroll", type=int, default=2)
+    parser.add_argument("--state-budget", type=int, default=20000)
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: a fresh temp dir, removed after)",
+    )
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument(
+        "--populate",
+        default=None,
+        metavar="BENCHMARK",
+        help=argparse.SUPPRESS,  # internal child mode for the kill fault
+    )
+    args = parser.parse_args(argv)
+
+    options = {
+        "mode": args.mode,
+        "unroll": args.unroll,
+        "state_budget": args.state_budget,
+    }
+    if args.populate:
+        if not args.store:
+            parser.error("--populate requires --store")
+        return _populate(args.populate, args.store, options)
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-store-smoke-")
+    try:
+        report = run_gate(
+            store_dir,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            mode=args.mode,
+            unroll=args.unroll,
+            state_budget=args.state_budget,
+        )
+    finally:
+        if not args.store:
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"store-smoke: {report['seeds_checked']}/{report['seeds']} "
+            f"seeds checked in {report['seconds']}s, faults "
+            f"{report['faults']}, {report['warm_hits']} warm hit(s), "
+            f"{report['invalid_rejections']} store-invalid rejection(s), "
+            f"{report['mismatches']} verdict mismatch(es)"
+        )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"store-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("store-smoke: verdict parity held under every fault")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

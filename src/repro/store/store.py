@@ -1,0 +1,328 @@
+"""The durable predicate/summary store facade.
+
+One :class:`SummaryStore` fronts one store directory.  The engine
+consults it after its in-memory summary table misses and before it
+(re-)analyzes a procedure body; a validated hit answers the call with
+the recorded exits (plus the predicate-environment snapshot the
+recording run had), and every tabulated summary is recorded back.
+
+Design rules, enforced here:
+
+* **The store is an accelerator, never an oracle.**  Every entry is
+  re-validated on read (:mod:`repro.store.validate`) and the engine
+  additionally re-runs the summary-application check against the live
+  entry state before trusting a hit.  Anything questionable degrades
+  to a miss plus a ``store-invalid`` diagnostic.
+* **The store never fails an analysis.**  Disk trouble (EIO, ENOSPC,
+  permission loss, a vanished directory) is contained in *both*
+  resilience modes: a store that cannot read or write simply stops
+  accelerating.  This is deliberate -- the strict/degrade split guards
+  the *analysis semantics*, and the store has none: its only
+  observable effect is speed, so the only sound containment is to
+  shed it.  After ``max_io_errors`` consecutive I/O failures the
+  store disables itself for the rest of the process (one more
+  diagnostic records that).
+* **Lookups are keyed on everything that shapes the recorded result**:
+  store schema, callee name, engine unroll bound and mode, the entry
+  state's canonical key, and the canonicalized cutpoint set.  Keying
+  on unroll/mode matters for verdict parity: a retry-escalation run
+  records summaries at a higher unroll, and a later cold attempt at
+  the base unroll must *not* hit them -- it must fail exactly like a
+  store-off run would, so the attempt/diagnostic trajectory matches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.resilience import (
+    Diagnostic,
+    SEVERITY_WARNING,
+    STORE_INVALID,
+)
+from repro.logic.canonical import UntranslatableWitness, canonicalize
+from repro.store.chaos import StoreChaos
+from repro.store.codec import (
+    encode_summary,
+    payload_bytes,
+    payload_digest,
+)
+from repro.store.disk import DiskStore, StoreCorrupt
+from repro.store.validate import (
+    InvalidStoreEntry,
+    ValidatedEntry,
+    validate_summary_payload,
+)
+
+__all__ = ["STORE_SCHEMA", "StoreHit", "SummaryStore"]
+
+#: Payload/layout version; bump on any codec or layout change.  The
+#: schema participates in the lookup digest, so entries written under
+#: another version are unreachable -- and an entry whose *payload*
+#: claims another version (however it got indexed) is rejected by
+#: validation.
+STORE_SCHEMA = 1
+
+#: Consecutive I/O errors before the store takes itself out of play.
+_MAX_IO_ERRORS = 3
+
+
+class _NullMetrics:
+    def inc(self, name, value=1):
+        pass
+
+
+_NULL_METRICS = _NullMetrics()
+
+StoreHit = ValidatedEntry  # the engine-facing name
+
+
+class SummaryStore:
+    """See the module docstring.  All public methods are exception-
+    contained: they raise nothing (except through the *chaos* hook,
+    which is test-only by construction)."""
+
+    def __init__(self, path, chaos: "StoreChaos | None" = None):
+        self.path = os.fspath(path)
+        self.chaos = chaos
+        self.enabled = True
+        self._io_errors_in_a_row = 0
+        self._tallies = {
+            "lookups": 0,
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "invalid": 0,
+            "io_errors": 0,
+        }
+        self._diagnostics: list[Diagnostic] = []
+        self._disk = DiskStore(self.path, chaos=chaos)
+        try:
+            self._disk.open(STORE_SCHEMA)
+        except StoreCorrupt as exc:
+            self._invalid(None, f"store layout rejected: {exc}")
+            self.enabled = False
+        except OSError as exc:
+            self._io_error(None, f"store open failed: {exc}")
+            self.enabled = False
+
+    @classmethod
+    def open(cls, path) -> "SummaryStore":
+        """The standard constructor: honors ``REPRO_STORE_CHAOS`` so
+        fault schedules reach subprocesses (serve workers, smoke
+        populate runs) through the environment."""
+        return cls(path, chaos=StoreChaos.from_env())
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def tally(self, name: str, value: int = 1) -> None:
+        """Process-lifetime counters (the engine mirrors its own hit /
+        re-application verdicts here so ``stats()`` is complete)."""
+        self._tallies[name] = self._tallies.get(name, 0) + value
+
+    def stats(self) -> dict:
+        """Cache-style stats (mirrors ``EntailmentCache.stats()``)."""
+        lookups = self._tallies["lookups"]
+        hits = self._tallies["hits"]
+        return {
+            **self._tallies,
+            "entries": len(self._disk),
+            "torn_lines": self._disk.torn_lines,
+            "compactions": self._disk.compactions,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "enabled": self.enabled,
+        }
+
+    def take_diagnostics(self) -> "list[Diagnostic]":
+        drained, self._diagnostics = self._diagnostics, []
+        return drained
+
+    def _invalid(self, procedure, message: str) -> None:
+        self._diagnostics.append(
+            Diagnostic(
+                code=STORE_INVALID,
+                message=message,
+                phase="store",
+                procedure=procedure,
+                severity=SEVERITY_WARNING,
+                recovered=True,
+            )
+        )
+
+    def _io_error(self, procedure, message: str) -> None:
+        self.tally("io_errors")
+        self._io_errors_in_a_row += 1
+        self._invalid(procedure, message)
+        if self._io_errors_in_a_row >= _MAX_IO_ERRORS and self.enabled:
+            self.enabled = False
+            self._invalid(
+                procedure,
+                f"store disabled after {self._io_errors_in_a_row} "
+                "consecutive I/O errors; analysis continues without it",
+            )
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lookup_key(
+        callee: str,
+        entry_key: str,
+        cutpoint_reprs,
+        *,
+        unroll: int,
+        mode: str,
+    ) -> str:
+        parts = [
+            "summary",
+            str(STORE_SCHEMA),
+            callee,
+            str(unroll),
+            mode,
+            entry_key,
+            *cutpoint_reprs,
+        ]
+        return payload_digest("\x00".join(parts).encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Consult
+    # ------------------------------------------------------------------
+    def consult(
+        self,
+        callee: str,
+        entry,
+        cutpoints,
+        env,
+        metrics=_NULL_METRICS,
+        *,
+        unroll: int = 0,
+        mode: str = "strict",
+    ) -> "StoreHit | None":
+        """A validated entry for (*callee*, *entry*, *cutpoints*) under
+        the given engine configuration, or None.  Never raises."""
+        if not self.enabled:
+            return None
+        self.tally("lookups")
+        metrics.inc("store.lookups")
+        try:
+            entry_form = canonicalize(entry)
+            cutpoint_reprs = sorted(
+                repr(entry_form.encode_name(c)) for c in cutpoints
+            )
+        except UntranslatableWitness:
+            self._miss(metrics)
+            return None
+        key = self.lookup_key(
+            callee, entry_form.key, cutpoint_reprs, unroll=unroll, mode=mode
+        )
+        try:
+            raw = self._disk.get(key)
+        except StoreCorrupt as exc:
+            self._reject(callee, metrics, f"{callee}: {exc}")
+            return None
+        except OSError as exc:
+            self._io_error(callee, f"{callee}: store read failed: {exc}")
+            self._miss(metrics)
+            return None
+        if raw is None:
+            self._miss(metrics)
+            return None
+        self._io_errors_in_a_row = 0
+        try:
+            payload = json.loads(raw)
+            hit = validate_summary_payload(
+                payload,
+                callee=callee,
+                entry_key=entry_form.key,
+                schema=STORE_SCHEMA,
+                env=env,
+                resolve_blob=self._disk.get_object,
+            )
+        except InvalidStoreEntry as exc:
+            self._reject(callee, metrics, f"{callee}: {exc}")
+            return None
+        except StoreCorrupt as exc:
+            self._reject(callee, metrics, f"{callee}: {exc}")
+            return None
+        except OSError as exc:
+            self._io_error(callee, f"{callee}: store read failed: {exc}")
+            self._miss(metrics)
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reject(callee, metrics, f"{callee}: undecodable entry: {exc}")
+            return None
+        return hit
+
+    def _miss(self, metrics) -> None:
+        self.tally("misses")
+        metrics.inc("store.misses")
+
+    def _reject(self, procedure, metrics, message: str) -> None:
+        """A present-but-unusable entry: miss + invalid + diagnostic."""
+        self.tally("invalid")
+        self.tally("misses")
+        metrics.inc("store.invalid")
+        metrics.inc("store.misses")
+        self._invalid(procedure, message)
+
+    # ------------------------------------------------------------------
+    # Record
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        callee: str,
+        entry,
+        exits,
+        cutpoints,
+        env,
+        metrics=_NULL_METRICS,
+        *,
+        unroll: int = 0,
+        mode: str = "strict",
+    ) -> bool:
+        """Persist one tabulated summary.  Never raises; returns True
+        when new bytes reached disk."""
+        if not self.enabled:
+            return False
+        if self.chaos is not None:
+            self.chaos.begin_write()
+        schema = STORE_SCHEMA
+        if self.chaos is not None and self.chaos("schema"):
+            schema = STORE_SCHEMA + 1
+        try:
+            payload, blobs = encode_summary(
+                callee,
+                entry,
+                exits,
+                cutpoints,
+                env,
+                unroll=unroll,
+                mode=mode,
+                schema=schema,
+            )
+        except UntranslatableWitness:
+            # A cutpoint outside the entry's canonical form cannot be
+            # replayed in another process; skip recording silently (the
+            # in-memory table still has the summary for this run).
+            return False
+        key = self.lookup_key(
+            callee,
+            payload["entry"],
+            payload["cutpoints"],
+            unroll=unroll,
+            mode=mode,
+        )
+        try:
+            for digest, blob in blobs.items():
+                self._disk.put_object(blob, digest)
+            written = self._disk.put(key, payload_bytes(payload))
+        except OSError as exc:
+            self._io_error(callee, f"{callee}: store write failed: {exc}")
+            return False
+        self._io_errors_in_a_row = 0
+        if written:
+            self.tally("writes")
+            metrics.inc("store.writes")
+        return written

@@ -1,0 +1,110 @@
+"""Cross-process canonical-key stability (the store's load-bearing
+assumption).
+
+The durable store addresses entries by digests of canonical state keys
+and canonical payload JSON.  That is only sound if a *different
+interpreter process* -- different ``PYTHONHASHSEED``, fresh object
+identities, fresh ``fresh_var`` counters -- derives byte-identical
+keys for the same program.  These tests run the same analysis in
+subprocesses under adversarial hash seeds and require the resulting
+store directories to agree exactly: same lookup keys, same object
+digests, same object bytes.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.childproc import child_env
+
+_CHILD = r"""
+import json, sys
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite.runner import _resolve_benchmark
+from repro.store import SummaryStore
+from repro.store.disk import DiskStore
+from repro.store.store import STORE_SCHEMA
+
+store_dir, name = sys.argv[1], sys.argv[2]
+store = SummaryStore(store_dir)
+result = ShapeAnalysis(
+    _resolve_benchmark(name), name=name, mode="degrade", store=store
+).run()
+disk = DiskStore(store_dir)
+disk.open(STORE_SCHEMA)
+objects = {}
+for path in sorted(disk.objects_dir.glob("*.json")):
+    objects[path.stem] = path.read_bytes().decode("utf-8", errors="replace")
+print(json.dumps({
+    "outcome": result.outcome,
+    "index": sorted(disk._index.items()),
+    "objects": objects,
+}))
+"""
+
+
+def _populate(tmp_path, name, hashseed):
+    store_dir = tmp_path / f"store-seed{hashseed}"
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(store_dir), name],
+        env=child_env({"PYTHONHASHSEED": str(hashseed)}),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert child.returncode == 0, child.stderr
+    return json.loads(child.stdout)
+
+
+@pytest.mark.parametrize("name", ["list-build", "list-reverse"])
+def test_store_keys_identical_across_hash_seeds(tmp_path, name):
+    reports = [
+        _populate(tmp_path, name, hashseed) for hashseed in (0, 1, 4242)
+    ]
+    first = reports[0]
+    assert first["index"], "populate run wrote nothing"
+    for other in reports[1:]:
+        assert other["outcome"] == first["outcome"]
+        # Same lookup keys mapping to the same digests...
+        assert other["index"] == first["index"]
+        # ... and byte-identical payloads behind those digests.
+        assert other["objects"] == first["objects"]
+
+
+def test_store_written_by_one_process_hits_in_another(tmp_path):
+    """The end-to-end consequence: a store populated under one hash
+    seed must produce warm hits under another."""
+    store_dir = tmp_path / "shared"
+    _WARM = r"""
+import sys
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite.runner import _resolve_benchmark
+from repro.store import SummaryStore
+
+store = SummaryStore(sys.argv[1])
+ShapeAnalysis(
+    _resolve_benchmark("list-build"), name="list-build",
+    mode="degrade", store=store,
+).run()
+stats = store.stats()
+assert stats["hits"] > 0, f"no warm hits across processes: {stats}"
+assert stats["invalid"] == 0, f"spurious rejections: {stats}"
+"""
+    cold = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(store_dir), "list-build"],
+        env=child_env({"PYTHONHASHSEED": "7"}),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert cold.returncode == 0, cold.stderr
+    warm = subprocess.run(
+        [sys.executable, "-c", _WARM, str(store_dir)],
+        env=child_env({"PYTHONHASHSEED": "31337"}),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert warm.returncode == 0, warm.stderr

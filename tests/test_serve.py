@@ -437,3 +437,127 @@ class TestPercentile:
         assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
         assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Overload retry backoff (decorrelated jitter)
+# ----------------------------------------------------------------------
+class TestClientJitter:
+    @staticmethod
+    def _client_with_responses(monkeypatch, responses, sleeps):
+        from repro.serve.client import Client
+
+        client = Client("/nonexistent-test.sock")
+        monkeypatch.setattr(
+            client, "request", lambda *a, **k: responses.pop(0)
+        )
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        return client
+
+    @staticmethod
+    def _overloaded(hint):
+        return {
+            "ok": False,
+            "error": ERR_OVERLOADED,
+            "retry_after": hint,
+            "queue_depth": 9,
+        }
+
+    def test_backoff_floors_at_hint_grows_and_caps(self, monkeypatch):
+        from repro.serve.client import Client
+
+        sleeps = []
+        responses = [self._overloaded(0.5) for _ in range(5)] + [
+            {"ok": True, "record": {}}
+        ]
+        client = self._client_with_responses(monkeypatch, responses, sleeps)
+        # Upper bound of the jitter window: the worst-case trajectory.
+        monkeypatch.setattr(
+            "repro.serve.client.random.uniform", lambda lo, hi: hi
+        )
+        assert client.submit({"benchmark": "treeadd"}, retry_for=600.0)["ok"]
+        # uniform(hint, max(hint, 3*prev)): 0.5 -> 1.5 -> 4.5 -> cap.
+        assert sleeps == [0.5, 1.5, 4.5, Client.RETRY_CAP, Client.RETRY_CAP]
+
+    def test_backoff_never_sleeps_under_the_server_hint(self, monkeypatch):
+        sleeps = []
+        responses = [self._overloaded(0.7) for _ in range(4)] + [
+            {"ok": True, "record": {}}
+        ]
+        client = self._client_with_responses(monkeypatch, responses, sleeps)
+        # Lower bound of the jitter window: still floored at the hint.
+        monkeypatch.setattr(
+            "repro.serve.client.random.uniform", lambda lo, hi: lo
+        )
+        assert client.submit({"benchmark": "treeadd"}, retry_for=600.0)["ok"]
+        assert sleeps == [0.7, 0.7, 0.7, 0.7]
+
+    def test_no_patience_raises_immediately(self, monkeypatch):
+        from repro.serve.client import OverloadedError
+
+        sleeps = []
+        responses = [self._overloaded(0.5)]
+        client = self._client_with_responses(monkeypatch, responses, sleeps)
+        with pytest.raises(OverloadedError) as info:
+            client.submit({"benchmark": "treeadd"}, retry_for=0.0)
+        assert sleeps == []  # gave up before sleeping at all
+        assert info.value.retry_after == 0.5
+
+    def test_sleep_truncated_to_remaining_patience(self, monkeypatch):
+        sleeps = []
+        responses = [self._overloaded(0.5) for _ in range(3)] + [
+            {"ok": True, "record": {}}
+        ]
+        client = self._client_with_responses(monkeypatch, responses, sleeps)
+        monkeypatch.setattr(
+            "repro.serve.client.random.uniform", lambda lo, hi: hi
+        )
+        assert client.submit({"benchmark": "treeadd"}, retry_for=2.0)["ok"]
+        assert all(delay <= 2.0 for delay in sleeps)
+
+
+# ----------------------------------------------------------------------
+# Pidfile protocol
+# ----------------------------------------------------------------------
+class TestPidfile:
+    def test_acquire_write_refuse_release(self, tmp_path):
+        import os
+
+        from repro.serve.server import acquire_pidfile, release_pidfile
+
+        path = str(tmp_path / "serve.pid")
+        assert acquire_pidfile(path)
+        assert open(path).read().strip() == str(os.getpid())
+        # The recorded pid (ours) is demonstrably alive: a second
+        # server must refuse to double-start.
+        assert not acquire_pidfile(path)
+        release_pidfile(path)
+        assert not os.path.exists(path)
+
+    def test_stale_pid_is_reclaimed(self, tmp_path):
+        import os
+
+        from repro.serve.server import acquire_pidfile
+
+        path = tmp_path / "serve.pid"
+        path.write_text("999999999\n")  # far past pid_max: ESRCH
+        assert acquire_pidfile(str(path))
+        assert path.read_text().strip() == str(os.getpid())
+
+    def test_garbage_pidfile_is_reclaimed(self, tmp_path):
+        import os
+
+        from repro.serve.server import acquire_pidfile
+
+        path = tmp_path / "serve.pid"
+        path.write_text("not-a-pid\n")
+        assert acquire_pidfile(str(path))
+        assert path.read_text().strip() == str(os.getpid())
+
+    def test_release_leaves_foreign_pidfile_alone(self, tmp_path):
+        from repro.serve.server import release_pidfile
+
+        path = tmp_path / "serve.pid"
+        path.write_text("999999999\n")
+        release_pidfile(str(path))
+        assert path.exists()  # not ours; not our business
