@@ -251,8 +251,14 @@ def load_program(path: Path):
 
 def _trace_summary(argv: list[str]) -> int:
     """The ``trace-summary`` subcommand: aggregate one or more trace
-    files into the top-down time/count tree."""
-    from repro.obs.summary import load_trace, render_trace_summary
+    files into the top-down time/count tree, a collapsed-stack
+    flamegraph export, or a self-time hotspot table."""
+    from repro.obs.summary import (
+        read_trace,
+        render_collapsed,
+        render_hotspots,
+        render_trace_summary,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro trace-summary",
@@ -273,23 +279,62 @@ def _trace_summary(argv: list[str]) -> int:
         metavar="S",
         help="hide spans totalling less than S seconds",
     )
+    parser.add_argument(
+        "--flamegraph",
+        action="store_true",
+        help="emit collapsed-stack lines ('a;b;c <microseconds>') "
+        "instead of the tree -- pipe into any flamegraph renderer",
+    )
+    parser.add_argument(
+        "--hotspots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="emit the top-N spans by aggregate self time instead of "
+        "the tree",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the output to PATH instead of stdout",
+    )
     args = parser.parse_args(argv)
     status = EXIT_OK
+    chunks: list[str] = []
     for name in args.files:
         path = Path(name)
         if not path.exists():
             print(f"repro: no such trace: {path}", file=sys.stderr)
             status = EXIT_USAGE
             continue
-        records = load_trace(path)
-        print(
-            render_trace_summary(
-                records,
-                max_depth=args.max_depth,
-                min_seconds=args.min_seconds,
-                title=f"Trace summary: {path} ({len(records)} records)",
+        records, malformed = read_trace(path)
+        if malformed:
+            print(
+                f"repro trace-summary: warning: {path}: skipped "
+                f"{malformed} malformed line(s) -- torn trace from a "
+                "killed process?",
+                file=sys.stderr,
             )
-        )
+        if args.flamegraph:
+            chunks.append(render_collapsed(records))
+        elif args.hotspots is not None:
+            chunks.append(render_hotspots(records, top=args.hotspots) + "\n")
+        else:
+            chunks.append(
+                render_trace_summary(
+                    records,
+                    max_depth=args.max_depth,
+                    min_seconds=args.min_seconds,
+                    title=f"Trace summary: {path} ({len(records)} records)",
+                )
+                + "\n"
+            )
+    output = "".join(chunks)
+    if args.out:
+        Path(args.out).write_text(output)
+    else:
+        sys.stdout.write(output)
     return status
 
 
@@ -427,6 +472,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.client import main as submit_main
 
         return submit_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.serve.stats import main as stats_main
+
+        return stats_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         from repro.serve.loadgen import main as loadgen_main
 

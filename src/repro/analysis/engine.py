@@ -287,6 +287,12 @@ class ShapeAnalysis:
         metrics.gauge("phase.pointer.seconds", pointer_seconds)
         metrics.gauge("phase.slicing.seconds", slicing_seconds)
         metrics.gauge("phase.shape.seconds", shape_seconds)
+        # The gauges are this run's values; the histograms accumulate
+        # the distribution when one registry outlives many runs (serve
+        # workers, batch aggregation).
+        metrics.observe("phase.pointer.seconds.dist", pointer_seconds)
+        metrics.observe("phase.slicing.seconds.dist", slicing_seconds)
+        metrics.observe("phase.shape.seconds.dist", shape_seconds)
         metrics.gauge("analysis.attempts", attempts)
         if root is not None:
             root["failed"] = failure is not None

@@ -185,7 +185,11 @@ class BatchReport:
         across runs (and across the isolation boundary -- each child's
         metrics ride home inside its result record).  Counters sum;
         ``phase.*.seconds`` gauges sum (total phase time across the
-        batch); other gauges keep their maximum."""
+        batch); other gauges keep their maximum; flattened histogram
+        components (``*.dist.count``, ``*.dist.bucket.N``, ...) merge
+        bucket-wise with the percentiles recomputed from the merged
+        buckets, so per-outcome latency distributions stay honest
+        across parallel children."""
         merged: dict[str, dict] = {}
         for record in self.records:
             if not record.result:

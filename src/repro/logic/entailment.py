@@ -243,6 +243,10 @@ def _report_query(
     if metrics.enabled:
         metrics.inc("entailment.queries")
         metrics.inc("entailment.match_steps", steps)
+        # Per-query distribution alongside the summed counter: the
+        # counter says how much total work, the histogram says whether
+        # one pathological query or many cheap ones produced it.
+        metrics.observe("entailment.match_steps.dist", steps)
         metrics.inc(
             "entailment.subsumed" if result is not None
             else "entailment.rejected"

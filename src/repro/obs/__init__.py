@@ -30,14 +30,23 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.histo import BUCKET_BOUNDS, Histogram
 from repro.obs.metrics import (
     LEGACY_STAT_ALIASES,
     METRIC_SCHEMA,
     Metrics,
     NULL_METRICS,
     NullMetrics,
+    histogram_flat_base,
+    is_schema_name,
     merge_stat_dicts,
     with_legacy_aliases,
+)
+from repro.obs.snapshot import (
+    merge_snapshot,
+    render_prometheus,
+    restore,
+    snapshot,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -47,6 +56,8 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
+    "Histogram",
     "LEGACY_STAT_ALIASES",
     "METRIC_SCHEMA",
     "METRICS",
@@ -59,7 +70,13 @@ __all__ = [
     "TRACER",
     "Tracer",
     "activate",
+    "histogram_flat_base",
+    "is_schema_name",
+    "merge_snapshot",
     "merge_stat_dicts",
+    "render_prometheus",
+    "restore",
+    "snapshot",
     "with_legacy_aliases",
 ]
 

@@ -1,0 +1,185 @@
+"""Rolling histograms: fixed log-spaced buckets, mergeable anywhere.
+
+The PR-3 registry kept count/sum/min/max per histogram -- enough for a
+time tree, useless for latency questions ("what is the p99 job
+latency right now?") and *wrong* under aggregation (percentiles of
+percentiles are meaningless).  This module fixes both with the
+standard trick every production metrics stack uses: a **fixed global
+bucket layout** shared by every process, so
+
+* two histograms merge by summing bucket counts -- across workers,
+  across generations, across batch children, across JSON round-trips;
+* any quantile is recoverable at read time (to within one bucket's
+  resolution) from the merged counts.
+
+Layout: 4 buckets per decade from 1e-7 to 1e7 (factor ~1.78 between
+bounds), chosen to cover everything we time (sub-microsecond store
+lookups to multi-minute analyses) *and* everything we count
+(entailment match steps per query).  Values at or below the lowest
+bound land in bucket 0; values above the highest land in the overflow
+bucket.  Exact ``min``/``max`` are carried alongside, so quantile
+estimates are clamped to the truly observed range and a
+single-sample histogram reports that sample exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["BUCKET_BOUNDS", "Histogram", "QUANTILES"]
+
+#: Upper bounds (inclusive, Prometheus ``le`` semantics) of every
+#: bucket except the overflow bucket.  **Frozen**: changing this list
+#: changes the wire format and breaks cross-process merging with older
+#: snapshots, so treat it like a schema version.
+BUCKET_BOUNDS: "tuple[float, ...]" = tuple(
+    10.0 ** (e / 4.0) for e in range(-28, 29)
+)
+
+#: Index of the overflow (+Inf) bucket.
+OVERFLOW = len(BUCKET_BOUNDS)
+
+#: The quantiles every flattened histogram exports, as (q, suffix).
+QUANTILES: "tuple[tuple[float, str], ...]" = (
+    (0.5, "p50"),
+    (0.9, "p90"),
+    (0.99, "p99"),
+)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket holding *value*: smallest i with value <= bounds[i]
+    (the overflow bucket above the top bound)."""
+    if value <= BUCKET_BOUNDS[0]:
+        return 0
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+class Histogram:
+    """One rolling histogram: sparse bucket counts + exact extrema.
+
+    Sparse because a typical latency distribution touches a handful of
+    the 58 buckets; a dict of the touched ones keeps snapshots small
+    on the supervisor<->worker pipes.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        #: bucket index -> sample count (only touched buckets present).
+        self.buckets: "dict[int, int]" = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.sum += value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* in: bucket-wise sums, extrema of extrema --
+        exact, associative, order-independent."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min = other.min
+            self.max = other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.sum += other.sum
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 < q <= 1) from bucket counts:
+        walk the cumulative distribution to the target rank, then
+        interpolate geometrically inside the bucket (the buckets are
+        log-spaced, so geometric interpolation is the unbiased choice).
+        Clamped to the exact observed ``[min, max]``."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            bucket_count = self.buckets[index]
+            cumulative += bucket_count
+            if cumulative < target:
+                continue
+            lo = self.min if index == 0 else BUCKET_BOUNDS[index - 1]
+            hi = self.max if index >= OVERFLOW else BUCKET_BOUNDS[index]
+            fraction = (target - (cumulative - bucket_count)) / bucket_count
+            if lo > 0 and hi > lo:
+                estimate = lo * (hi / lo) ** fraction
+            else:
+                estimate = lo + (hi - lo) * fraction
+            return min(self.max, max(self.min, estimate))
+        return self.max
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str):
+        """Dict-style access to the scalar components (back-compat
+        with the PR-3 plain-dict histograms)."""
+        if key in ("count", "sum", "min", "max"):
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form (bucket keys become strings)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Decode :meth:`to_dict` output.  A legacy count/sum/min/max
+        dict (no ``buckets``) is accepted by crediting the whole count
+        to the mean's bucket -- lossy, but mergeable."""
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        hist.min = float(data.get("min", 0.0))
+        hist.max = float(data.get("max", 0.0))
+        buckets = data.get("buckets")
+        if buckets:
+            hist.buckets = {int(i): int(c) for i, c in buckets.items()}
+        elif hist.count:
+            hist.buckets = {bucket_index(hist.sum / hist.count): hist.count}
+        return hist
+
+    @classmethod
+    def from_flat(cls, flat: dict, base: str) -> "Histogram":
+        """Reconstruct from the flattened-stats form
+        (``base.count`` / ``base.sum`` / ``base.min`` / ``base.max`` /
+        ``base.bucket.<i>`` keys inside *flat*)."""
+        hist = cls()
+        hist.count = int(flat.get(f"{base}.count", 0))
+        hist.sum = float(flat.get(f"{base}.sum", 0.0))
+        hist.min = float(flat.get(f"{base}.min", 0.0))
+        hist.max = float(flat.get(f"{base}.max", 0.0))
+        prefix = f"{base}.bucket."
+        for name, value in flat.items():
+            if name.startswith(prefix):
+                tail = name[len(prefix):]
+                if tail.isdigit():
+                    hist.buckets[int(tail)] = int(value)
+        return hist

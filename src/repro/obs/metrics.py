@@ -56,8 +56,20 @@ name                                    kind       meaning
 ``phase.pointer.seconds``               gauge      pointer-analysis pre-pass wall time
 ``phase.slicing.seconds``               gauge      slicing pre-pass wall time
 ``phase.shape.seconds``                 gauge      shape-analysis wall time (all attempts)
+``phase.pointer.seconds.dist``          histogram  per-run pointer-phase latency distribution
+``phase.slicing.seconds.dist``          histogram  per-run slicing-phase latency distribution
+``phase.shape.seconds.dist``            histogram  per-run shape-phase latency distribution
+``entailment.match_steps.dist``         histogram  match steps *per query* (vs the summed counter)
 ``analysis.attempts``                   gauge      engine attempts (1 unless escalation fired)
 ======================================  =========  ==========================================
+
+Histogram-kind metrics are backed by :class:`repro.obs.histo.Histogram`
+(fixed log-spaced buckets), so they merge bucket-wise across
+processes and export p50/p90/p99 at read time.  In flattened stats a
+histogram ``h`` appears as ``h.count`` / ``h.sum`` / ``h.min`` /
+``h.max`` / ``h.p50`` / ``h.p90`` / ``h.p99`` plus sparse
+``h.bucket.<i>`` keys; :func:`histogram_flat_base` recognizes those
+derived names and :func:`is_schema_name` accepts them as canonical.
 
 Back-compat: the seed's ``AnalysisResult.stats`` keys (``states``,
 ``instructions``, ``invariants``, ``summaries_reused``,
@@ -68,12 +80,16 @@ counterparts -- :data:`LEGACY_STAT_ALIASES`, applied by
 
 from __future__ import annotations
 
+from repro.obs.histo import QUANTILES, Histogram
+
 __all__ = [
     "LEGACY_STAT_ALIASES",
     "METRIC_SCHEMA",
     "Metrics",
     "NULL_METRICS",
     "NullMetrics",
+    "histogram_flat_base",
+    "is_schema_name",
     "merge_stat_dicts",
     "with_legacy_aliases",
 ]
@@ -125,6 +141,10 @@ METRIC_SCHEMA: dict[str, str] = {
     "phase.pointer.seconds": "gauge",
     "phase.slicing.seconds": "gauge",
     "phase.shape.seconds": "gauge",
+    "phase.pointer.seconds.dist": "histogram",
+    "phase.slicing.seconds.dist": "histogram",
+    "phase.shape.seconds.dist": "histogram",
+    "entailment.match_steps.dist": "histogram",
     "analysis.attempts": "gauge",
     # serve.* -- recorded by the analysis *service* (repro.serve), not
     # by the engine: job-queue accounting, worker supervision and the
@@ -147,6 +167,7 @@ METRIC_SCHEMA: dict[str, str] = {
     "serve.state": "gauge",
     "serve.job.seconds": "histogram",
     "serve.job.queue_wait_seconds": "histogram",
+    "serve.stats.requests": "counter",
     # store.* -- the durable predicate/summary store (repro.store).
     # ``store.invalid`` counts entries rejected by validation-on-read
     # (checksum, schema, decode, self-derivation, re-application);
@@ -161,6 +182,7 @@ METRIC_SCHEMA: dict[str, str] = {
     "store.preds.installed": "counter",
     "store.index.torn": "counter",
     "store.entries": "gauge",
+    "store.lookup.seconds": "histogram",
 }
 
 #: Legacy ``AnalysisResult.stats`` key -> canonical metric name.
@@ -183,20 +205,68 @@ def with_legacy_aliases(stats: dict) -> dict:
     return out
 
 
+#: Scalar suffixes a flattened histogram exports (besides buckets).
+_HISTO_SUFFIXES = ("count", "sum", "min", "max") + tuple(
+    suffix for _, suffix in QUANTILES
+)
+
+
+def histogram_flat_base(name: str) -> "str | None":
+    """The schema histogram *name* is a flattened component of, or
+    None.  ``serve.job.seconds.p99`` -> ``serve.job.seconds``;
+    ``serve.job.seconds.bucket.31`` -> ``serve.job.seconds``."""
+    base, _, suffix = name.rpartition(".")
+    if suffix in _HISTO_SUFFIXES and METRIC_SCHEMA.get(base) == "histogram":
+        return base
+    if suffix.isdigit():
+        head, _, word = base.rpartition(".")
+        if word == "bucket" and METRIC_SCHEMA.get(head) == "histogram":
+            return head
+    return None
+
+
+def is_schema_name(name: str) -> bool:
+    """True when *name* is canonical: either in the schema table or a
+    flattened component of a schema histogram."""
+    return name in METRIC_SCHEMA or histogram_flat_base(name) is not None
+
+
 def merge_stat_dicts(into: dict, stats: dict) -> dict:
     """Accumulate one run's canonical stats into *into* (in place).
 
     Only canonical (dotted) names participate -- legacy aliases would
     double-count; counters sum, ``.seconds`` gauges sum into totals,
-    other gauges keep the max.  Used by the batch runner to aggregate
-    metrics per outcome across isolated child processes."""
+    other gauges keep the max.  Flattened histogram components merge
+    like the underlying histograms: counts, sums and bucket counts
+    sum, ``.min``/``.max`` take the extremum, and the percentile keys
+    are *recomputed* from the merged buckets (a sum -- or max -- of
+    p99s is not a p99 of anything).  Used by the batch runner to
+    aggregate metrics per outcome across isolated child processes."""
+    touched_histograms = set()
     for name, value in stats.items():
         if "." not in name or not isinstance(value, (int, float)):
+            continue
+        base = histogram_flat_base(name)
+        if base is not None:
+            suffix = name[len(base) + 1:]
+            if suffix == "min":
+                into[name] = min(into[name], value) if name in into else value
+            elif suffix == "max":
+                into[name] = max(into.get(name, value), value)
+            elif suffix.startswith("p"):
+                touched_histograms.add(base)  # recomputed below
+            else:  # count, sum, bucket.<i>
+                into[name] = round(into.get(name, 0) + value, 9)
+                touched_histograms.add(base)
             continue
         if METRIC_SCHEMA.get(name) == "gauge" and not name.endswith(".seconds"):
             into[name] = max(into.get(name, 0), value)
         else:
             into[name] = round(into.get(name, 0) + value, 9)
+    for base in touched_histograms:
+        merged = Histogram.from_flat(into, base)
+        for q, suffix in QUANTILES:
+            into[f"{base}.{suffix}"] = round(merged.quantile(q), 6)
     return into
 
 
@@ -213,7 +283,7 @@ class Metrics:
     def __init__(self):
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
-        self.histograms: dict[str, dict] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
@@ -223,38 +293,27 @@ class Metrics:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record one sample into the histogram *name* (count / sum /
-        min / max -- enough for the time/count trees we render)."""
+        """Record one sample into the rolling histogram *name*."""
         hist = self.histograms.get(name)
         if hist is None:
-            self.histograms[name] = {
-                "count": 1, "sum": value, "min": value, "max": value,
-            }
-            return
-        hist["count"] += 1
-        hist["sum"] += value
-        hist["min"] = min(hist["min"], value)
-        hist["max"] = max(hist["max"], value)
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     # ------------------------------------------------------------------
     def merge(self, other: "Metrics") -> None:
-        """Fold *other* into this registry (counters and histogram
-        samples sum; gauges last-write-wins)."""
+        """Fold *other* into this registry (counters sum, histograms
+        merge bucket-wise; gauges last-write-wins)."""
         for name, value in other.counters.items():
             self.inc(name, value)
         self.gauges.update(other.gauges)
         for name, hist in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
-                self.histograms[name] = dict(hist)
-            else:
-                mine["count"] += hist["count"]
-                mine["sum"] += hist["sum"]
-                mine["min"] = min(mine["min"], hist["min"])
-                mine["max"] = max(mine["max"], hist["max"])
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
 
     def check_schema(self) -> list[str]:
         """Names recorded outside :data:`METRIC_SCHEMA` (a bug)."""
@@ -263,16 +322,23 @@ class Metrics:
 
     def to_dict(self) -> dict:
         """One flat, sorted, JSON-ready dict: counters and gauges by
-        name, histograms flattened to ``name.count`` etc."""
+        name, histograms flattened to ``name.count`` / ``.sum`` /
+        ``.min`` / ``.max`` / ``.p50`` / ``.p90`` / ``.p99`` plus the
+        sparse ``name.bucket.<i>`` counts that make the flattened form
+        re-mergeable (:func:`merge_stat_dicts`)."""
         out: dict = {}
         out.update(self.counters)
         for name, value in self.gauges.items():
             out[name] = round(value, 6) if isinstance(value, float) else value
         for name, hist in self.histograms.items():
-            out[f"{name}.count"] = hist["count"]
-            out[f"{name}.sum"] = round(hist["sum"], 6)
-            out[f"{name}.min"] = round(hist["min"], 6)
-            out[f"{name}.max"] = round(hist["max"], 6)
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.sum"] = round(hist.sum, 6)
+            out[f"{name}.min"] = round(hist.min, 6)
+            out[f"{name}.max"] = round(hist.max, 6)
+            for q, suffix in QUANTILES:
+                out[f"{name}.{suffix}"] = round(hist.quantile(q), 6)
+            for index, count in hist.buckets.items():
+                out[f"{name}.bucket.{index}"] = count
         return dict(sorted(out.items()))
 
 

@@ -33,18 +33,22 @@ BUDGET_PCT = 3.0
 #: Guard checks executed per recorded unit of work.  The engine guards
 #: roughly: two sites per worklist state (span helpers on the pop path
 #: are avoided, but procedure/fixpoint wrappers and back-edge handling
-#: amortize to about this), two per entailment query (metrics + event),
-#: and one per unfold/fold/synthesis bookkeeping hit.  Deliberately
+#: amortize to about this), three per entailment query (metrics +
+#: event + the match-step histogram observe that rides inside the same
+#: guard), one per unfold/fold/synthesis bookkeeping hit, and one per
+#: durable-store lookup (the ``store.lookup.seconds`` timing observe;
+#: a null-metrics method call when metrics are off).  Deliberately
 #: over-counted -- the budget should survive a pessimistic estimate.
 _GUARDS_PER = {
     "engine.states": 2.0,
-    "entailment.queries": 2.0,
+    "entailment.queries": 3.0,
     "unfold.root": 1.0,
     "unfold.interior": 1.0,
     "fold.calls": 1.0,
     "synthesis.terms": 2.0,
     "engine.loop.back_edges": 2.0,
     "engine.procedures.analyzed": 2.0,
+    "store.lookups": 1.0,
 }
 
 

@@ -1,0 +1,119 @@
+"""Metric snapshots: registry <-> JSON wire form, plus expositions.
+
+A *snapshot* is the JSON-safe image of one :class:`Metrics` registry:
+
+    {"counters": {...}, "gauges": {...},
+     "histograms": {name: Histogram.to_dict(), ...}}
+
+Unlike the flattened ``Metrics.to_dict`` (which is for stats files
+and humans), the snapshot form round-trips losslessly and merges
+exactly: workers attach one to every result line they write to the
+supervisor, the supervisor keeps the latest per worker generation,
+and the ``stats`` op merges any set of them into a single registry --
+the cross-process aggregation path behind ``python -m repro stats``.
+
+:func:`render_prometheus` is the text exposition for scrape-style
+consumers: counters as ``_total``, histograms as cumulative
+``_bucket{le=...}`` series -- standard shapes, zero dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.obs.histo import BUCKET_BOUNDS, Histogram
+from repro.obs.metrics import Metrics
+
+__all__ = [
+    "merge_snapshot",
+    "render_prometheus",
+    "restore",
+    "snapshot",
+]
+
+
+def snapshot(metrics: Metrics) -> dict:
+    """The lossless JSON-safe image of *metrics*."""
+    return {
+        "counters": dict(metrics.counters),
+        "gauges": {
+            name: round(value, 9) if isinstance(value, float) else value
+            for name, value in metrics.gauges.items()
+        },
+        "histograms": {
+            name: hist.to_dict() for name, hist in metrics.histograms.items()
+        },
+    }
+
+
+def restore(data: "dict | None") -> Metrics:
+    """Decode a snapshot back into a fresh registry (tolerant of
+    missing sections -- a torn or legacy snapshot yields what it
+    carries, never an exception)."""
+    metrics = Metrics()
+    if not isinstance(data, dict):
+        return metrics
+    counters = data.get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            if isinstance(value, (int, float)):
+                metrics.counters[name] = int(value)
+    gauges = data.get("gauges")
+    if isinstance(gauges, dict):
+        for name, value in gauges.items():
+            if isinstance(value, (int, float)):
+                metrics.gauges[name] = value
+    histograms = data.get("histograms")
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            if isinstance(hist, dict):
+                metrics.histograms[name] = Histogram.from_dict(hist)
+    return metrics
+
+
+def merge_snapshot(metrics: Metrics, data: "dict | None") -> Metrics:
+    """Fold one snapshot into *metrics* (in place; returns it)."""
+    metrics.merge(restore(data))
+    return metrics
+
+
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, float):
+        return repr(round(value, 9))
+    return str(value)
+
+
+def render_prometheus(metrics: Metrics) -> str:
+    """Prometheus-style text exposition of one registry.
+
+    Counters render as ``<name>_total``, gauges bare, histograms as
+    the cumulative ``_bucket{le="..."}`` / ``_sum`` / ``_count``
+    triple over the fixed log-spaced bounds (only buckets up to the
+    highest touched one, plus ``+Inf``, are emitted -- 58 series per
+    histogram would be noise)."""
+    lines: list[str] = []
+    for name in sorted(metrics.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}_total {_prom_value(metrics.counters[name])}")
+    for name in sorted(metrics.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(metrics.gauges[name])}")
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        top = max(hist.buckets) if hist.buckets else -1
+        for index in range(min(top + 1, len(BUCKET_BOUNDS))):
+            cumulative += hist.buckets.get(index, 0)
+            bound = repr(round(BUCKET_BOUNDS[index], 10))
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

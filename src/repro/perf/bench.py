@@ -42,6 +42,15 @@ Two more differentials ride along since the scheduling overhaul:
   interleaved A/B against a checkout of the baseline commit (see
   EXPERIMENTS.md).
 
+``--compare BASELINE.json`` turns the harness into a noise-aware
+regression *gate*: per-benchmark per-rep minima (the one-sided-noise
+estimator) are compared against the baseline's, a regression needs to
+exceed both a relative threshold and an absolute seconds floor,
+under-sampled benchmarks are skipped rather than judged, and any
+surviving regression exits nonzero.  CI runs this against the
+committed baselines; ``--compare-out`` writes the comparison JSON it
+uploads as an artifact.
+
 The default output path never overwrites an existing report: when
 ``BENCH_<date>.json`` is taken, ``BENCH_<date>-2.json`` (then ``-3``,
 ...) is used, so re-running on the baseline's date cannot clobber it.
@@ -64,8 +73,10 @@ __all__ = [
     "run_bench",
     "QUICK_SUITE",
     "attach_baseline",
+    "compare_reports",
     "default_out_path",
     "find_baseline",
+    "render_comparison",
 ]
 
 #: The ``--quick`` suite: the cheap list staples (cross-run hit-rate
@@ -470,6 +481,174 @@ def attach_baseline(report: dict, baseline_path: Path) -> bool:
     return True
 
 
+# ----------------------------------------------------------------------
+# The noise-aware regression gate (``--compare``)
+# ----------------------------------------------------------------------
+
+#: Relative slowdown that counts as a regression (0.25 = 25%).  Wide
+#: on purpose: CI compares against baselines committed from *other*
+#: machines, and an honest gate must not cry wolf on machine skew.
+DEFAULT_COMPARE_THRESHOLD = 0.25
+#: Absolute per-rep slowdown floor in seconds: a 25% blowup of a 4ms
+#: benchmark is scheduler jitter, not a regression.  Both the relative
+#: threshold *and* this floor must be exceeded.
+DEFAULT_MIN_SECONDS = 0.05
+#: Minimum repetitions (on both sides) before a verdict is rendered:
+#: the min of one sample is just that sample, so under-sampled
+#: benchmarks are *skipped*, never judged.
+DEFAULT_MIN_REPS = 2
+
+
+def _rep_min(seconds: "list | None") -> "float | None":
+    values = [s for s in (seconds or []) if isinstance(s, (int, float))]
+    return min(values) if values else None
+
+
+def _compare_metric(
+    current: "list | None",
+    baseline: "list | None",
+    threshold: float,
+    min_reps: int,
+    min_seconds: float,
+) -> dict:
+    """One timing array pair -> verdict.
+
+    The estimator is the **per-rep minimum**: timing noise on a quiet
+    benchmark is one-sided (preemption, cache eviction and GC only ever
+    *add* time), so the min of R reps is the closest observable to the
+    true cost and the only order statistic that gets *better* with more
+    reps.  Means and totals smear outliers into the estimate; gating on
+    them trades real regressions for noise alerts."""
+    cur_min, base_min = _rep_min(current), _rep_min(baseline)
+    out = {
+        "current_min": cur_min,
+        "baseline_min": base_min,
+        "current_reps": len(current or []),
+        "baseline_reps": len(baseline or []),
+        "ratio": None,
+        "verdict": "ok",
+    }
+    if cur_min is None or base_min is None:
+        out["verdict"] = "missing"
+        return out
+    if out["current_reps"] < min_reps or out["baseline_reps"] < min_reps:
+        out["verdict"] = "skipped"
+        return out
+    out["ratio"] = round(cur_min / base_min, 4) if base_min else None
+    if (
+        cur_min > base_min * (1.0 + threshold)
+        and cur_min - base_min > min_seconds
+    ):
+        out["verdict"] = "regression"
+    elif (
+        base_min > cur_min * (1.0 + threshold)
+        and base_min - cur_min > min_seconds
+    ):
+        out["verdict"] = "improved"
+    return out
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_COMPARE_THRESHOLD,
+    min_reps: int = DEFAULT_MIN_REPS,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> dict:
+    """Noise-aware comparison of two bench reports.
+
+    Per benchmark, the uncached and cached per-rep minima are compared
+    independently; a benchmark regresses when *either* metric exceeds
+    both the relative *threshold* and the absolute *min_seconds* floor
+    (and improves only when a metric clears the same bars the other
+    way, so the verdict is symmetric).  Benchmarks with fewer than
+    *min_reps* repetitions on either side are skipped, and benchmarks
+    absent from the baseline are reported as missing -- a gate that
+    judged under-sampled or unmatched data would be noise itself.
+
+    Self-comparison of any report yields zero regressions by
+    construction (every ratio is exactly 1.0)."""
+    base_by_name = {
+        b.get("name"): b
+        for b in (baseline.get("benchmarks") or [])
+        if isinstance(b, dict)
+    }
+    rows = []
+    buckets: "dict[str, list]" = {
+        "regression": [], "improved": [], "skipped": [], "missing": [],
+    }
+    for bench in current.get("benchmarks") or []:
+        name = bench.get("name")
+        base = base_by_name.get(name) or {}
+        metrics = {
+            metric: _compare_metric(
+                bench.get(f"{metric}_seconds"),
+                base.get(f"{metric}_seconds"),
+                threshold,
+                min_reps,
+                min_seconds,
+            )
+            for metric in ("uncached", "cached")
+        }
+        verdicts = {m["verdict"] for m in metrics.values()}
+        if "regression" in verdicts:
+            verdict = "regression"
+        elif verdicts <= {"missing"}:
+            verdict = "missing"
+        elif "skipped" in verdicts or "missing" in verdicts:
+            verdict = "skipped"
+        elif "improved" in verdicts:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        if verdict in buckets:
+            buckets[verdict].append(name)
+        rows.append({"name": name, "verdict": verdict, "metrics": metrics})
+    return {
+        "schema": "repro-bench-compare-v1",
+        "threshold": threshold,
+        "min_reps": min_reps,
+        "min_seconds": min_seconds,
+        "current_date": current.get("date"),
+        "baseline_date": baseline.get("date"),
+        "benchmarks": rows,
+        "regressions": buckets["regression"],
+        "improved": buckets["improved"],
+        "skipped": buckets["skipped"],
+        "missing": buckets["missing"],
+        "ok": not buckets["regression"],
+    }
+
+
+def render_comparison(comparison: dict) -> str:
+    lines = [
+        f"bench compare vs baseline of {comparison['baseline_date']} "
+        f"(threshold {comparison['threshold'] * 100:.0f}% "
+        f"and > {comparison['min_seconds']}s, per-rep minima, "
+        f"min {comparison['min_reps']} reps)"
+    ]
+    for row in comparison["benchmarks"]:
+        parts = [f"  {row['name']:16s} {row['verdict']:10s}"]
+        for metric, data in row["metrics"].items():
+            if data["current_min"] is None or data["baseline_min"] is None:
+                parts.append(f" {metric} -")
+                continue
+            ratio = f"x{data['ratio']}" if data["ratio"] is not None else "-"
+            parts.append(
+                f" {metric} {data['current_min']:.3f}s"
+                f" vs {data['baseline_min']:.3f}s ({ratio})"
+            )
+        lines.append("".join(parts))
+    summary = ", ".join(
+        f"{len(comparison[key])} {key}"
+        for key in ("regressions", "improved", "skipped", "missing")
+    )
+    lines.append(
+        f"  => {'OK' if comparison['ok'] else 'REGRESSION'}: {summary}"
+    )
+    return "\n".join(lines)
+
+
 def render(report: dict) -> str:
     lines = [
         f"bench {report['date']} ({'quick' if report['quick'] else 'full'}, "
@@ -562,6 +741,36 @@ def main(argv: "list[str] | None" = None) -> int:
         help="committed BENCH_*.json to diff against (default: the "
         "most recent one in the working directory; 'none' to disable)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="noise-aware regression gate: compare this run's per-rep "
+        "minima against the bench report at PATH and exit 1 on any "
+        "regression (relative threshold AND absolute floor, skipping "
+        "under-sampled benchmarks)",
+    )
+    parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=DEFAULT_COMPARE_THRESHOLD,
+        metavar="F",
+        help="relative slowdown that counts as a regression "
+        f"(default {DEFAULT_COMPARE_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--compare-min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        metavar="S",
+        help="absolute per-rep slowdown floor in seconds "
+        f"(default {DEFAULT_MIN_SECONDS})",
+    )
+    parser.add_argument(
+        "--compare-out",
+        metavar="PATH",
+        help="write the comparison JSON to PATH (the CI gate uploads "
+        "this as an artifact)",
+    )
     args = parser.parse_args(argv)
     if args.reps < 1:
         print("repro bench: --reps must be >= 1", file=sys.stderr)
@@ -592,6 +801,31 @@ def main(argv: "list[str] | None" = None) -> int:
         out = Path(args.out) if args.out else default_out_path(report)
         out.write_text(payload + "\n")
         print(f"report written to {out}")
+    regression_gate_failed = False
+    if args.compare:
+        compare_path = Path(args.compare)
+        try:
+            compare_base = json.loads(compare_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"repro bench: unreadable --compare baseline "
+                f"{compare_path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        comparison = compare_reports(
+            report,
+            compare_base,
+            threshold=args.compare_threshold,
+            min_seconds=args.compare_min_seconds,
+        )
+        print(render_comparison(comparison))
+        if args.compare_out:
+            Path(args.compare_out).write_text(
+                json.dumps(comparison, indent=2) + "\n"
+            )
+            print(f"comparison written to {args.compare_out}")
+        regression_gate_failed = not comparison["ok"]
     if report["verdict_mismatches"]:
         print(
             "repro bench: cached and uncached verdicts differ for: "
@@ -622,6 +856,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.require_hits and report["totals"]["list_cache_hits"] == 0:
         print(
             "repro bench: list benchmarks recorded zero cache hits",
+            file=sys.stderr,
+        )
+        return 1
+    if regression_gate_failed:
+        print(
+            "repro bench: performance regressions detected; see the "
+            "comparison above",
             file=sys.stderr,
         )
         return 1

@@ -175,6 +175,15 @@ class Client:
             )
         return response["status"]
 
+    def stats(self) -> dict:
+        """The live telemetry payload (see ``AnalysisServer.stats``)."""
+        response = self.request({"op": "stats"}, timeout=10.0)
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown"), response.get("message", "")
+            )
+        return response["stats"]
+
     def shutdown(self) -> None:
         response = self.request({"op": "shutdown"}, timeout=10.0)
         if not response.get("ok"):

@@ -9,6 +9,7 @@ Requests::
 
     {"op": "submit", "spec": {"benchmark": "treeadd", ...}}
     {"op": "status"}
+    {"op": "stats"}
     {"op": "shutdown"}
 
 Responses::
@@ -49,7 +50,7 @@ ERR_OVERLOADED = "overloaded"
 ERR_BAD_REQUEST = "bad-request"
 ERR_SHUTTING_DOWN = "shutting-down"
 
-_VALID_OPS = ("submit", "status", "shutdown")
+_VALID_OPS = ("submit", "status", "stats", "shutdown")
 _VALID_MODES = (None, "strict", "degrade")
 
 

@@ -260,6 +260,9 @@ class AnalysisServer:
         op = request.get("op")
         if op == "status":
             return {"ok": True, "status": self.status()}
+        if op == "stats":
+            self.metrics.inc("serve.stats.requests")
+            return {"ok": True, "stats": self.stats()}
         if op == "shutdown":
             self.shutdown()
             return {"ok": True, "shutdown": True}
@@ -365,6 +368,36 @@ class AnalysisServer:
             "store": self.store_path,
             "workers": self.pool.worker_info(),
             "metrics": self.metrics.to_dict(),
+        }
+
+    def stats(self) -> dict:
+        """The live-telemetry payload behind ``python -m repro stats``.
+
+        ``server`` is a lossless snapshot of the daemon's own registry
+        (job counters, latency histograms, the overload ladder);
+        ``workers`` is the pool's per-worker telemetry including dead
+        generations; ``engine`` merges every worker's engine-metrics
+        snapshot (live and archived) into one aggregate registry --
+        histogram buckets sum, so the percentiles in it are the pool's
+        true distribution, not an average of averages."""
+        worker_stats = self.pool.stats()
+        engine = obs.Metrics()
+        for info in worker_stats:
+            obs.merge_snapshot(engine, info.get("metrics"))
+            for generation in info.get("generations") or []:
+                obs.merge_snapshot(engine, generation.get("metrics"))
+        depth = self.pool.queue_depth
+        self.metrics.gauge("serve.queue.depth", depth)
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "state": self.overload.state,
+            "queue_depth": depth,
+            "queue_capacity": self.pool.capacity,
+            "queue_peak": self._queue_peak,
+            "restarts": sum(i.get("restarts", 0) for i in worker_stats),
+            "server": obs.snapshot(self.metrics),
+            "engine": obs.snapshot(engine),
+            "workers": worker_stats,
         }
 
     def _record_transition(self, transition: str, depth: int) -> None:

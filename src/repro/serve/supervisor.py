@@ -280,13 +280,58 @@ _STOP = object()
 
 
 class _Slot:
-    """One worker position: the current handle plus backoff state."""
+    """One worker position: the current handle plus backoff state and
+    the telemetry the live-stats endpoint reports per worker."""
 
     def __init__(self, index: int):
         self.index = index
         self.handle: "WorkerHandle | None" = None
         self.generation = 0
         self.consecutive_failures = 0
+        #: Total deaths of this slot's workers (all generations).
+        self.restarts = 0
+        #: Latest per-result telemetry the current generation pushed:
+        #: entailment-cache stats, store stats, engine-metrics
+        #: snapshot.  Reset when the generation dies (but see
+        #: ``archive``: dead generations stay reported).
+        self.cache_stats: "dict | None" = None
+        self.store_stats: "dict | None" = None
+        self.metrics_snapshot: "dict | None" = None
+        #: Telemetry of dead generations, newest last -- the
+        #: per-generation cache/store hit-rate history that shows a
+        #: restarted worker re-warming.
+        self.archive: list = []
+
+    def note_result(self, response: dict) -> None:
+        """Keep the freshest telemetry the worker attached."""
+        if response.get("cache") is not None:
+            self.cache_stats = response["cache"]
+        if response.get("store") is not None:
+            self.store_stats = response["store"]
+        if response.get("metrics") is not None:
+            self.metrics_snapshot = response["metrics"]
+
+    def archive_generation(self) -> None:
+        """Move the dying generation's telemetry into the archive."""
+        if (
+            self.cache_stats is not None
+            or self.store_stats is not None
+            or self.metrics_snapshot is not None
+        ):
+            self.archive.append(
+                {
+                    "generation": self.generation,
+                    "jobs_done": (
+                        self.handle.jobs_done if self.handle else 0
+                    ),
+                    "cache": self.cache_stats,
+                    "store": self.store_stats,
+                    "metrics": self.metrics_snapshot,
+                }
+            )
+        self.cache_stats = None
+        self.store_stats = None
+        self.metrics_snapshot = None
 
 
 class WorkerPool:
@@ -367,6 +412,29 @@ class WorkerPool:
             }
             for slot in self._slots
         ]
+
+    def stats(self) -> list:
+        """Per-worker telemetry for the live ``stats`` op: liveness,
+        restart counts, the current generation's cache/store stats and
+        engine-metrics snapshot, plus the archived telemetry of every
+        dead generation (so per-generation hit rates survive kills)."""
+        out = []
+        for slot in self._slots:
+            info = slot.handle.info() if slot.handle is not None else {
+                "index": slot.index,
+                "generation": slot.generation,
+                "alive": False,
+                "jobs_done": 0,
+            }
+            info.update(
+                restarts=slot.restarts,
+                cache=slot.cache_stats,
+                store=slot.store_stats,
+                metrics=slot.metrics_snapshot,
+                generations=list(slot.archive),
+            )
+            out.append(info)
+        return out
 
     def stop(self) -> None:
         """Drain-free shutdown: stop dispatching, fail queued jobs
@@ -488,6 +556,7 @@ class WorkerPool:
                 return
             slot.consecutive_failures = 0
             handle.jobs_done += 1
+            slot.note_result(response)
             record = response.get("record")
             if record is None:
                 # The worker rejected the spec (protocol error) -- a
@@ -510,11 +579,13 @@ class WorkerPool:
 
     def _retire(self, slot: _Slot, died: WorkerDied) -> None:
         """Account one worker death and stage the replacement."""
+        slot.archive_generation()
         if slot.handle is not None:
             slot.handle.kill()
         slot.handle = None
         slot.generation += 1
         slot.consecutive_failures += 1
+        slot.restarts += 1
         self._on_event(
             "serve.workers.restarts",
             worker=slot.index,

@@ -17,7 +17,8 @@ Wire format (one JSON object per line)::
     <- {"type": "ready", "pid": 123, "worker": 0, "generation": 1}
     -> {"type": "job", "id": 7, "spec": {...JobSpec...}}
     <- {"type": "result", "id": 7, "record": {...RunRecord...},
-        "cache": {"hits": 41, ...}, "store": {"hits": 3, ...}}
+        "cache": {"hits": 41, ...}, "store": {"hits": 3, ...},
+        "metrics": {...obs.snapshot of the session so far...}}
     -> {"type": "exit"}
 
 The ``store`` field appears only when the worker was started with
@@ -130,10 +131,15 @@ def _build_engine_factory(spec: JobSpec):
     return _KillPlan(specs=fault_specs).engine_factory()
 
 
-def _analyze(spec: JobSpec, caches: dict, default_mode: str, store=None) -> dict:
+def _analyze(
+    spec: JobSpec, caches: dict, default_mode: str, store=None, metrics=None
+) -> dict:
     """Run one job against the warm caches; always returns a
     RunRecord-shaped dict (``ShapeAnalysis.run`` contains analysis
-    failures; this guard contains spec/factory bugs)."""
+    failures; this guard contains spec/factory bugs).  *metrics* is
+    the per-job registry the caller merges into its session-cumulative
+    one -- per job so each RunRecord's stats stay per-run, cumulative
+    at the session so the supervisor sees the worker's whole history."""
     import time
 
     from repro.analysis import ShapeAnalysis
@@ -155,6 +161,7 @@ def _analyze(spec: JobSpec, caches: dict, default_mode: str, store=None) -> dict
             unfold_cache=caches["unfold"],
             fold_cache=caches["fold"],
             store=store,
+            metrics=metrics,
             engine_factory=_build_engine_factory(spec),
         ).run()
     except Exception as exc:
@@ -203,11 +210,17 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro import obs
+
     caches = {
         "entailment": EntailmentCache(args.cache_size),
         "unfold": EntailmentCache(args.cache_size),
         "fold": IdentityMemo(args.cache_size),
     }
+    #: Session-cumulative engine metrics: every job's registry merges
+    #: in here, and a snapshot rides on every result line so the
+    #: supervisor always holds this worker's latest full history.
+    session_metrics = obs.Metrics()
     store = None
     if args.store:
         from repro.store import SummaryStore
@@ -267,12 +280,17 @@ def main(argv: "list[str] | None" = None) -> int:
                 },
             )
             continue
-        record = _analyze(spec, caches, args.mode, store=store)
+        job_metrics = obs.Metrics()
+        record = _analyze(
+            spec, caches, args.mode, store=store, metrics=job_metrics
+        )
+        session_metrics.merge(job_metrics)
         response = {
             "type": "result",
             "id": message.get("id"),
             "record": record,
             "cache": caches["entailment"].stats(),
+            "metrics": obs.snapshot(session_metrics),
         }
         if store is not None:
             response["store"] = store.stats()

@@ -72,6 +72,9 @@ class _NullMetrics:
     def inc(self, name, value=1):
         pass
 
+    def observe(self, name, value):
+        pass
+
 
 _NULL_METRICS = _NullMetrics()
 
@@ -201,9 +204,38 @@ class SummaryStore:
         mode: str = "strict",
     ) -> "StoreHit | None":
         """A validated entry for (*callee*, *entry*, *cutpoints*) under
-        the given engine configuration, or None.  Never raises."""
+        the given engine configuration, or None.  Never raises.
+
+        Every lookup (hit, miss or rejection) is timed into the
+        ``store.lookup.seconds`` histogram: the store is an
+        accelerator, so its own latency -- disk reads plus
+        validation-on-read -- is exactly the overhead it must beat."""
         if not self.enabled:
             return None
+        import time
+
+        started = time.perf_counter()
+        try:
+            return self._consult(
+                callee, entry, cutpoints, env, metrics,
+                unroll=unroll, mode=mode,
+            )
+        finally:
+            metrics.observe(
+                "store.lookup.seconds", time.perf_counter() - started
+            )
+
+    def _consult(
+        self,
+        callee: str,
+        entry,
+        cutpoints,
+        env,
+        metrics=_NULL_METRICS,
+        *,
+        unroll: int = 0,
+        mode: str = "strict",
+    ) -> "StoreHit | None":
         self.tally("lookups")
         metrics.inc("store.lookups")
         try:

@@ -211,12 +211,16 @@ class TestSignalClassification:
 
 
 def _scrub_timing(obj):
-    """Zero every wall-clock field, recursively: timing is the one
-    thing allowed to differ between a serial and a parallel batch."""
+    """Drop every wall-clock field, recursively: timing is the one
+    thing allowed to differ between a serial and a parallel batch.
+    Dropped rather than zeroed because the flattened histogram keys
+    (``phase.*.seconds.dist.bucket.N``) encode the timing in the key
+    name itself."""
     if isinstance(obj, dict):
         return {
-            key: 0 if "seconds" in key else _scrub_timing(value)
+            key: _scrub_timing(value)
             for key, value in obj.items()
+            if "seconds" not in key
         }
     if isinstance(obj, list):
         return [_scrub_timing(item) for item in obj]
