@@ -19,6 +19,14 @@ analysis throughput over the suite and writes a ``BENCH_<date>.json``
 baseline; ``--no-cache`` disables the entailment cache for a single
 run.
 
+Soundness gates: ``python -m repro lemma-smoke`` is the CI gate for
+the lemma-synthesis entailment fallback -- a seeded crucible campaign
+whose oracle cross-checks every lemma-assisted pass against the
+concrete interpreter and re-runs every non-pass with lemmas disabled
+(lemmas may only *add* passes), plus the three curated lemma
+regression scenarios whose fail-without/pass-with differential is
+pinned.  ``--no-lemmas`` disables the fallback for a single run.
+
 Serving: ``python -m repro serve`` runs the supervised analysis daemon
 (persistent warm-cache workers behind a bounded queue; see
 :mod:`repro.serve`), ``submit`` sends it one job, ``serve-bench``
@@ -141,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the entailment cache (verdicts are identical "
         "either way; see 'python -m repro bench')",
+    )
+    parser.add_argument(
+        "--no-lemmas",
+        action="store_true",
+        help="disable the lemma-synthesis entailment fallback "
+        "(restores the purely structural matcher; lemmas only add "
+        "passes -- see 'python -m repro lemma-smoke')",
     )
     parser.add_argument(
         "--store",
@@ -381,6 +396,7 @@ def _run_batch(args) -> int:
         state_budget=args.state_budget,
         isolate=not args.no_isolate,
         trace_dir=args.trace,
+        lemmas=not args.no_lemmas,
     )
     print(report.render())
     if args.json:
@@ -488,6 +504,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.smoke import main as store_smoke_main
 
         return store_smoke_main(argv[1:])
+    if argv and argv[0] == "lemma-smoke":
+        from repro.crucible.lemmasmoke import main as lemma_smoke_main
+
+        return lemma_smoke_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -522,6 +542,7 @@ def main(argv: list[str] | None = None) -> int:
         state_budget=args.state_budget,
         trace_path=args.trace,
         enable_cache=not args.no_cache,
+        enable_lemmas=not args.no_lemmas,
         schedule="fifo" if args.no_wto else "wto",
         store=store,
     ).run()

@@ -40,6 +40,7 @@ from typing import Callable
 
 from repro import obs, perf
 from repro.ir.program import Program
+from repro.logic import lemmas
 from repro.logic.predicates import PredicateEnv
 from repro.obs import Metrics, NULL_TRACER, Tracer, with_legacy_aliases
 from repro.prepass.rectypes import recursive_types
@@ -121,6 +122,16 @@ class ShapeAnalysis:
     #: is validated before use, so verdicts are identical with and
     #: without one (the crucible differential gate checks exactly this).
     store: "object | None" = None
+    #: Lemma-synthesis fallback in entailment (``--no-lemmas`` turns it
+    #: off, restoring the purely structural matcher bit-for-bit; see
+    #: :mod:`repro.logic.lemmas` and DESIGN.md §11).  Lemmas may only
+    #: *add* passes, never flip a verdict -- the bench harness and the
+    #: crucible differential gate both check exactly this.
+    enable_lemmas: bool = True
+    #: Pre-built lemma cache (:class:`repro.perf.cache.LemmaCache`);
+    #: pair keys are fully structural, so a cache passed across runs
+    #: carries verified/refuted lemmas over.
+    lemma_cache: "perf.LemmaCache | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
@@ -161,10 +172,16 @@ class ShapeAnalysis:
                 if self.enable_cache
                 else perf.NULL_CACHE
             )
+        if self.enable_lemmas:
+            lemma_engine = lemmas.LemmaEngine(
+                cache=self.lemma_cache, store=self.store
+            )
+        else:
+            lemma_engine = lemmas.NULL_ENGINE
         try:
             with obs.activate(tracer, metrics), perf.activate_cache(
                 cache, unfold=unfold_cache, fold=fold_cache
-            ):
+            ), lemmas.activate_lemmas(lemma_engine):
                 return self._run(tracer, metrics)
         finally:
             if owns_tracer:

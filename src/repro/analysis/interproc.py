@@ -43,6 +43,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program
 from repro.ir.values import Register
+from repro.logic import lemmas
 from repro.logic.entailment import Mapping, subsumes
 from repro.logic.formula import PureFormula, SpatialFormula
 from repro.logic.heapnames import (
@@ -1264,7 +1265,18 @@ class ShapeEngine:
                 procedure=name,
                 loop_header=header,
             )
-        if len(invariants) >= self.max_invariants_per_header:
+        # The candidate cap bounds *live* invariant classes, not raw
+        # arrival order.  With the lemma fallback active, subsumption
+        # is wider than the purely structural matcher, and a general
+        # invariant synthesized from this very arrival may supersede
+        # enough older candidates to bring the header back under the
+        # cap -- whether it does must not depend on which schedule
+        # delivered the arrivals, so at the cap we synthesize one more
+        # candidate and fail only if supersession cannot make room.
+        # With lemmas disabled the pre-synthesis failure is preserved
+        # bit-for-bit.
+        at_cap = len(invariants) >= self.max_invariants_per_header
+        if at_cap and not lemmas.ACTIVE.enabled:
             self.metrics.inc("engine.invariants.failed")
             raise AnalysisFailure(
                 f"too many invariant candidates at {name}@{header}; "
@@ -1293,11 +1305,21 @@ class ShapeEngine:
                 state.copy(), self.env, live=live, hint="P", protect=cutpoints
             )
         # A new, more general invariant supersedes older candidates.
-        invariants[:] = [
+        kept = [
             old
             for old in invariants
             if subsumes(invariant, old, live=live, env=self.env) is None
         ]
+        if at_cap and len(kept) + 1 > self.max_invariants_per_header:
+            self.metrics.inc("engine.invariants.failed")
+            raise AnalysisFailure(
+                f"too many invariant candidates at {name}@{header}; "
+                f"recursion synthesis failed to generalize the loop",
+                code=INVARIANT_FAILURE,
+                procedure=name,
+                loop_header=header,
+            )
+        invariants[:] = kept
         invariants.append(invariant)
         self.loop_invariants.setdefault((name, header), []).append(
             invariant.copy()

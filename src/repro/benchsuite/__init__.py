@@ -12,6 +12,7 @@ from repro.benchsuite import (
     csources,
     entailstress,
     extensions,
+    lemmaprogs,
     listprogs,
     mcf,
     perimeter,
@@ -26,6 +27,7 @@ __all__ = [
     "csources",
     "entailstress",
     "extensions",
+    "lemmaprogs",
     "listprogs",
     "mcf",
     "perimeter",

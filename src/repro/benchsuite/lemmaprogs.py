@@ -1,0 +1,149 @@
+"""Regression scenarios admitted by the lemma-synthesis fallback.
+
+Three scenario classes that purely structural entailment cannot
+converge on (each fails with ``too many invariant candidates`` when
+lemmas are disabled) and that the lemma fallback in
+:mod:`repro.logic.entailment` admits:
+
+* **mid-list re-fold** -- two marker cursors parked mid-list while a
+  third cursor traverses the whole list, with a marker's cell re-read
+  after the traversal.  Loop-header states where the traversal cursor
+  coincides with a marker need the empty-segment lemma to be instances
+  of the zone invariants (``P(m; c)`` with ``m == c`` is ``emp``).
+* **different-root reachability** -- same shape, but the traversal
+  starts one ``next`` hop past the list head, so every header state
+  decomposes the heap from a root the invariant does not name.
+* **shared tail** -- two heads pushed onto one tail list, both markers
+  walked down the shared tail, one head and both marker cells consumed
+  after the traversal.
+
+Each program is deliberately at the cliff edge: the marker walks are
+bounded (``%k`` countdowns) so the abstract marker positions multiply
+loop-header shape classes past the engine's invariant-candidate budget
+unless the empty-segment/merge lemmas let more general zone invariants
+supersede the boundary classes.  The verdict differential
+(``fail`` without lemmas, ``pass`` with) is pinned by
+``tests/test_lemma_golden.py`` and cross-checked against the concrete
+interpreter by the crucible gate.
+"""
+
+from __future__ import annotations
+
+from repro.ir import Program, parse_program
+
+__all__ = [
+    "REFOLD_SRC",
+    "DIFFROOT_SRC",
+    "SHAREDTAIL_SRC",
+    "refold_program",
+    "diffroot_program",
+    "sharedtail_program",
+]
+
+_BUILD = """
+proc build(%n):
+    %head = null
+L:
+    if %n <= 0 goto done
+    %p = malloc()
+    [%p.next] = %head
+    %head = %p
+    %n = sub %n, 1
+    goto L
+done:
+    return %head
+"""
+
+_MARKERS = """
+    %m1 = {src}
+    %k1 = 2
+A1:
+    if %k1 <= 0 goto f1
+    if %m1 == null goto out
+    %m1 = [%m1.next]
+    %k1 = sub %k1, 1
+    goto A1
+f1:
+    if %m1 == null goto out
+    %m2 = %m1
+    %k2 = 2
+A2:
+    if %k2 <= 0 goto f2
+    if %m2 == null goto out
+    %m2 = [%m2.next]
+    %k2 = sub %k2, 1
+    goto A2
+f2:
+    if %m2 == null goto out
+"""
+
+#: Mid-list re-fold: markers parked, full traversal, marker cell
+#: re-read afterwards.
+REFOLD_SRC = _BUILD + f"""
+proc main():
+    %head = call build(12)
+{_MARKERS.format(src="%head")}
+    %c = %head
+T:
+    if %c == null goto fin
+    %c = [%c.next]
+    goto T
+fin:
+    %d1 = [%m1.next]
+out:
+    return %m2
+"""
+
+#: Different-root reachability: the traversal starts one hop past the
+#: head the invariant names.
+DIFFROOT_SRC = _BUILD + f"""
+proc main():
+    %head = call build(12)
+    if %head == null goto out
+{_MARKERS.format(src="%head")}
+    %c = [%head.next]
+T:
+    if %c == null goto fin
+    %c = [%c.next]
+    goto T
+fin:
+    %d1 = [%m1.next]
+out:
+    return %m2
+"""
+
+#: Shared tail: two heads over one tail, markers down the shared part,
+#: both marker cells consumed after the traversal while a head stays
+#: live.
+SHAREDTAIL_SRC = _BUILD + f"""
+proc main():
+    %t = call build(10)
+    if %t == null goto out
+    %x = malloc()
+    [%x.next] = %t
+    %y = malloc()
+    [%y.next] = %t
+{_MARKERS.format(src="%t")}
+    %c = %t
+T:
+    if %c == null goto fin
+    %c = [%c.next]
+    goto T
+fin:
+    %d1 = [%m1.next]
+    %d2 = [%m2.next]
+out:
+    return %y
+"""
+
+
+def refold_program() -> Program:
+    return parse_program(REFOLD_SRC)
+
+
+def diffroot_program() -> Program:
+    return parse_program(DIFFROOT_SRC)
+
+
+def sharedtail_program() -> Program:
+    return parse_program(SHAREDTAIL_SRC)

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis import ShapeAnalysis
-from repro.benchsuite import TABLE4_PROGRAMS, entailstress, listprogs
+from repro.benchsuite import TABLE4_PROGRAMS, entailstress, lemmaprogs, listprogs
 from repro.childproc import (
     CHILD_CHAOS_ENV,
     apply_child_chaos,
@@ -96,6 +96,9 @@ def benchmark_factories() -> dict[str, "callable[[], Program]"]:
             "list-delete": listprogs.delete_program,
             "list-doubly": listprogs.doubly_program,
             "entail-stress": entailstress.program,
+            "lemma-refold": lemmaprogs.refold_program,
+            "lemma-diffroot": lemmaprogs.diffroot_program,
+            "lemma-sharedtail": lemmaprogs.sharedtail_program,
         }
     )
     return factories
@@ -251,6 +254,7 @@ def run_one(
     state_budget: int = 20000,
     trace_path: "str | Path | None" = None,
     cache: bool = True,
+    lemmas: bool = True,
 ) -> RunRecord:
     """Run one benchmark in-process.  ``ShapeAnalysis.run`` already
     contains analysis failures and internal errors; the extra guard
@@ -268,6 +272,7 @@ def run_one(
             state_budget=state_budget,
             trace_path=trace_path,
             enable_cache=cache,
+            enable_lemmas=lemmas,
         ).run()
     except Exception as exc:
         return RunRecord(
@@ -345,6 +350,7 @@ def _run_isolated(
     state_budget: int,
     trace_path: "Path | None" = None,
     cache: bool = True,
+    lemmas: bool = True,
 ) -> RunRecord:
     command = [
         sys.executable,
@@ -365,6 +371,8 @@ def _run_isolated(
         command += ["--trace", str(trace_path)]
     if not cache:
         command += ["--no-cache"]
+    if not lemmas:
+        command += ["--no-lemmas"]
     start = time.perf_counter()
     try:
         proc = subprocess.run(
@@ -443,6 +451,7 @@ def run_batch(
     trace_dir: "str | Path | None" = None,
     jobs: int = 1,
     cache: bool = True,
+    lemmas: bool = True,
 ) -> BatchReport:
     """Run *names* (default: every known benchmark), one isolated
     subprocess each, and aggregate the outcomes.  With *trace_dir*,
@@ -478,11 +487,11 @@ def run_batch(
         if isolate:
             return _run_isolated(
                 name, mode, timeout, deadline, unroll, state_budget,
-                trace_path=trace_path, cache=cache,
+                trace_path=trace_path, cache=cache, lemmas=lemmas,
             )
         return run_one(
             name, mode, deadline, unroll, state_budget,
-            trace_path=trace_path, cache=cache,
+            trace_path=trace_path, cache=cache, lemmas=lemmas,
         )
 
     if jobs > 1 and len(names) > 1:
@@ -559,6 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the per-run entailment cache in every child",
     )
     parser.add_argument(
+        "--no-lemmas",
+        action="store_true",
+        help="disable the lemma-synthesis entailment fallback in every "
+        "child (lemmas only add passes; see tests/test_lemma_golden.py)",
+    )
+    parser.add_argument(
         "--crucible-seeds",
         type=int,
         default=0,
@@ -601,6 +616,7 @@ def main(argv: "list[str] | None" = None) -> int:
             state_budget=args.state_budget,
             trace_path=args.trace,
             cache=not args.no_cache,
+            lemmas=not args.no_lemmas,
         )
         print(json.dumps(record.to_dict()))
         return 0
@@ -627,6 +643,7 @@ def main(argv: "list[str] | None" = None) -> int:
         trace_dir=args.trace,
         jobs=args.jobs,
         cache=not args.no_cache,
+        lemmas=not args.no_lemmas,
     )
     print(report.render())
     if args.json:

@@ -1,0 +1,194 @@
+"""``python -m repro lemma-smoke`` -- the lemma-soundness CI gate.
+
+The lemma-synthesis fallback (:mod:`repro.logic.lemmas`) widens the
+entailment checker, and a widened checker has exactly one way to go
+wrong: admitting a subsumption that does not hold.  This gate proves
+the two observable consequences differentially:
+
+1. **Curated differential** -- the three lemma regression scenarios
+   (:mod:`repro.benchsuite.lemmaprogs`: mid-list re-fold,
+   different-root reachability, shared tail) must *fail* under the
+   purely structural strict analysis and *pass* with lemmas enabled,
+   the pass must actually be lemma-assisted
+   (``entailment.lemma.applied > 0``), and the differential
+   :class:`~repro.crucible.oracle.Oracle` must certify it against the
+   concrete reference interpreter (claims A/B: the pass implies a
+   safe execution whose final heap models the claimed predicates).
+2. **Seeded sweep** -- a crucible campaign (default 50 seeds) runs the
+   full oracle on every generated program.  Lemma-assisted passes are
+   concretely cross-checked by claims A/B; every non-pass is re-run
+   with lemmas disabled by claim D (lemma monotonicity: lemmas may
+   only *add* passes, never lose one).  Both directions of the
+   lemmas-on/off differential are therefore covered on every seed.
+
+Any violation exits 1.  The gate also fails if the sweep plus the
+curated scenarios never produced a single lemma-assisted pass: a
+fallback that never fires is dead weight, and a gate that never
+exercises it proves nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite import lemmaprogs
+from repro.crucible.generator import generate_program
+from repro.crucible.oracle import Oracle
+
+__all__ = ["main", "run_gate", "SCENARIOS"]
+
+#: The curated scenario classes and their program factories.
+SCENARIOS = (
+    ("lemma-refold", lemmaprogs.refold_program),
+    ("lemma-diffroot", lemmaprogs.diffroot_program),
+    ("lemma-sharedtail", lemmaprogs.sharedtail_program),
+)
+
+
+def _structural_outcome(program, name: str, deadline: float) -> str:
+    """The strict verdict of the purely structural analysis."""
+    return ShapeAnalysis(
+        program,
+        name=name,
+        mode="strict",
+        deadline_seconds=deadline,
+        enable_lemmas=False,
+    ).run().outcome
+
+
+def run_gate(
+    seeds: int = 50,
+    base_seed: int = 1,
+    deadline: float = 30.0,
+    mutations: int = 0,
+) -> dict:
+    """The differential sweep; returns the report dict (``failures``
+    empty iff the gate passed)."""
+    oracle = Oracle(deadline_seconds=deadline)
+    failures: list[str] = []
+    lemma_assisted_passes = 0
+    outcomes = {"pass": 0, "other": 0}
+    start = time.perf_counter()
+
+    # -- curated scenarios ---------------------------------------------
+    for name, factory in SCENARIOS:
+        try:
+            structural = _structural_outcome(factory(), name, deadline)
+            if structural == "pass":
+                failures.append(
+                    f"{name}: passes without lemmas -- the scenario no "
+                    "longer exercises the fallback"
+                )
+            report = oracle.check(factory(), name)
+            if report.analysis_outcome != "pass":
+                failures.append(
+                    f"{name}: lemma-assisted analysis reported "
+                    f"{report.analysis_outcome!r}, expected 'pass'"
+                )
+            elif report.lemmas_applied == 0:
+                failures.append(
+                    f"{name}: passed without applying a lemma -- the "
+                    "differential is not testing lemma synthesis"
+                )
+            else:
+                lemma_assisted_passes += 1
+            for violation in report.violations:
+                failures.append(
+                    f"{name}: oracle violation [{violation.claim}] "
+                    f"{violation.message}"
+                )
+        except Exception as exc:  # the gate itself must never crash
+            failures.append(
+                f"{name}: gate crashed ({type(exc).__name__}: {exc})"
+            )
+
+    # -- seeded sweep ---------------------------------------------------
+    seeds_checked = 0
+    for seed in range(base_seed, base_seed + seeds):
+        name = f"crucible:{seed}"
+        try:
+            program = generate_program(seed, mutations=mutations).program
+            report = oracle.check(program, name)
+            if report.analysis_outcome == "pass":
+                outcomes["pass"] += 1
+            else:
+                outcomes["other"] += 1
+            if report.analysis_outcome == "pass" and report.lemmas_applied:
+                lemma_assisted_passes += 1
+            for violation in report.violations:
+                failures.append(
+                    f"{name}: oracle violation [{violation.claim}] "
+                    f"{violation.message}"
+                )
+            seeds_checked += 1
+        except Exception as exc:
+            failures.append(
+                f"{name}: gate crashed ({type(exc).__name__}: {exc})"
+            )
+
+    if not failures and lemma_assisted_passes == 0:
+        failures.append(
+            "no run in the whole gate was lemma-assisted: the fallback "
+            "never fired, so the differential proves nothing"
+        )
+
+    return {
+        "seeds": seeds,
+        "base_seed": base_seed,
+        "seeds_checked": seeds_checked,
+        "scenarios": [name for name, _ in SCENARIOS],
+        "outcomes": outcomes,
+        "lemma_assisted_passes": lemma_assisted_passes,
+        "failures": failures,
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lemma-smoke",
+        description="lemma-synthesis soundness gate (see module doc)",
+    )
+    parser.add_argument("--seeds", type=int, default=50)
+    parser.add_argument("--base-seed", type=int, default=1)
+    parser.add_argument("--mutate", type=int, default=0, metavar="N")
+    parser.add_argument("--deadline", type=float, default=30.0, metavar="S")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = run_gate(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        deadline=args.deadline,
+        mutations=args.mutate,
+    )
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"lemma-smoke: {report['seeds_checked']}/{report['seeds']} "
+            f"seeds + {len(report['scenarios'])} curated scenario(s) "
+            f"checked in {report['seconds']}s, outcomes "
+            f"{report['outcomes']}, {report['lemma_assisted_passes']} "
+            "lemma-assisted pass(es)"
+        )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"lemma-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "lemma-smoke: every lemma-assisted pass certified concretely; "
+        "no structural pass lost"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,14 @@ interpreter on the *same* program and cross-checks three claims:
   failed (:data:`~repro.analysis.resilience.DIAGNOSTIC_CODES` /
   ``DIAGNOSTIC_PHASES``), with a fatal severity.  Failures are allowed;
   *unclassified* failures are not.
+* **claim D (lemma monotonicity)** -- synthesized bridging lemmas
+  (:mod:`repro.logic.lemmas`) may only *add* passes.  Whenever the
+  lemma-assisted analysis does not report ``pass``, the program is
+  re-analyzed with lemmas disabled; a structural ``pass`` that the
+  lemma-assisted run lost is a violation.  (The converse -- a
+  lemma-*assisted* pass -- is concretely cross-checked by claims A
+  and B against the reference interpreter, so both directions of the
+  differential are covered.)
 
 Additionally, an interpreter error that is neither a memory fault nor
 a structured divergence (:class:`~repro.concrete.interp.FuelExhausted`)
@@ -96,6 +104,11 @@ class OracleReport:
     diagnostic_codes: list[str]
     concrete: ConcreteOutcome
     violations: list[Violation] = field(default_factory=list)
+    #: ``entailment.lemma.applied`` of the analysis run: how many
+    #: subsumption witnesses used a synthesized lemma.  Non-zero on a
+    #: ``pass`` marks a lemma-assisted verdict (concretely checked by
+    #: claims A/B).
+    lemmas_applied: int = 0
 
     @property
     def ok(self) -> bool:
@@ -109,6 +122,7 @@ class OracleReport:
             "diagnostic_codes": self.diagnostic_codes,
             "concrete": self.concrete.to_dict(),
             "violations": [v.to_dict() for v in self.violations],
+            "lemmas_applied": self.lemmas_applied,
         }
 
 
@@ -136,11 +150,17 @@ class Oracle:
         self.schedule = schedule
         self.documented_codes = documented_codes
         self.documented_phases = documented_phases
+        #: With an injected ``analyze`` the oracle cannot re-run the
+        #: analysis under a different lemma setting, so claim D only
+        #: fires on the default analyzer.
+        self._custom_analyze = analyze is not None
         self._analyze = analyze or self._default_analyze
         self._execute = execute or self._default_execute
 
     # ------------------------------------------------------------------
-    def _default_analyze(self, program: Program, name: str) -> AnalysisResult:
+    def _default_analyze(
+        self, program: Program, name: str, *, enable_lemmas: bool = True
+    ) -> AnalysisResult:
         return ShapeAnalysis(
             program,
             name=name,
@@ -148,6 +168,7 @@ class Oracle:
             deadline_seconds=self.deadline_seconds,
             state_budget=self.state_budget,
             schedule=self.schedule,
+            enable_lemmas=enable_lemmas,
         ).run()
 
     def _default_execute(self, program: Program) -> ConcreteOutcome:
@@ -181,7 +202,13 @@ class Oracle:
         """Run both sides and compare (the whole differential loop)."""
         result = self._analyze(program, name)
         concrete = self._execute(program)
-        return self.compare(result, concrete, name=name)
+        report = self.compare(result, concrete, name=name)
+        report.lemmas_applied = int(
+            result.stats.get("entailment.lemma.applied", 0)
+        )
+        if result.outcome != "pass" and not self._custom_analyze:
+            report.violations.extend(self._claim_d(program, name, result))
+        return report
 
     def compare(
         self,
@@ -332,6 +359,26 @@ class Oracle:
                     binding[target] = value
                     queue.append(target)
         return True if checked else None
+
+    # -- claim D -------------------------------------------------------
+    def _claim_d(
+        self, program: Program, name: str, result: AnalysisResult
+    ) -> list[Violation]:
+        """The lemma-assisted analysis did not pass; the purely
+        structural one must not pass either (lemmas only add passes)."""
+        structural = self._default_analyze(
+            program, f"{name}-no-lemmas", enable_lemmas=False
+        )
+        if structural.outcome == "pass":
+            return [
+                Violation(
+                    "lemma-monotonicity",
+                    "lemma-assisted analysis reported "
+                    f"{result.outcome!r} but the purely structural "
+                    "analysis passes: lemma synthesis lost a verdict",
+                )
+            ]
+        return []
 
     # -- claim C -------------------------------------------------------
     def _claim_c(self, result: AnalysisResult) -> list[Violation]:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro import obs, perf
 from repro.ir.values import Register
+from repro.logic import lemmas
 from repro.logic.canonical import (
     UntranslatableWitness,
     canonicalize,
@@ -78,8 +79,23 @@ def signatures_compatible(general: tuple, concrete: tuple) -> bool:
     the concrete side.  Root counts are deliberately not compared:
     ``Mapping.unify`` does not require an injective binding, so the
     number of distinct roots is not preserved by matching.
+
+    With an active lemma engine the predicate-count requirement is
+    relaxed: the merge lemma composes two concrete instances into one
+    and the empty-segment lemma discharges an instance outright, so the
+    concrete side may carry *more* predicate instances than the general
+    side.  This ordering matters -- the fast-reject must not
+    short-circuit before the lemma fallback gets a chance on
+    recursive-predicate mismatches (every reject path, including the
+    ``stateset`` bucket filters, routes through here) -- and is pinned
+    by ``test_lemma_properties.py``.  PointsTo/Raw/Region equality is
+    still required: no lemma changes those atoms.
     """
-    return general[:3] == concrete[:3] and general[3] >= concrete[3]
+    if general[:3] != concrete[:3]:
+        return False
+    if general[3] >= concrete[3]:
+        return True
+    return lemmas.ACTIVE.enabled and concrete[3] >= 1
 
 
 #: Cap on backtracking steps (atom-unification attempts) per query.
@@ -112,12 +128,17 @@ class _MatchBudgetExceeded(Exception):
 
 @dataclass
 class Mapping:
-    """A partial mapping from *general* names/opaques to *concrete* values."""
+    """A partial mapping from *general* names/opaques to *concrete* values.
+
+    ``lemmas_used`` counts the lemma applications the witness relies on
+    (0 for a purely structural match), so callers can tell an assisted
+    verdict from a structural one."""
 
     binding: dict[SymVal, SymVal] = field(default_factory=dict)
+    lemmas_used: int = 0
 
     def copy(self) -> "Mapping":
-        return Mapping(dict(self.binding))
+        return Mapping(dict(self.binding), self.lemmas_used)
 
     def unify(self, general: SymVal, concrete: SymVal) -> bool:
         """Extend the mapping so f(general) == concrete, if consistent."""
@@ -185,6 +206,7 @@ def subsumes(
         # the verdict deterministic either way).
         _report_query(None, steps=0, capped=False, cached=False, sig=True)
         return None
+    engine = lemmas.ACTIVE
     cache = perf.CACHE
     general_form = concrete_form = cache_key = None
     if cache.enabled:
@@ -196,6 +218,9 @@ def subsumes(
             None if live is None else tuple(sorted(r.name for r in live)),
             None if env is None else env.cache_token(),
             step_limit,
+            # Verdicts reached with lemma allowances must never replay
+            # for a lemma-free query (and vice versa).
+            engine.token(),
         )
         found = cache.lookup(cache_key)
         if found is not None:
@@ -203,9 +228,11 @@ def subsumes(
             if payload is None:
                 result = None
             else:
+                encoded, lemmas_used = payload
                 try:
                     result = Mapping(
-                        decode_binding(payload, general_form, concrete_form)
+                        decode_binding(encoded, general_form, concrete_form),
+                        lemmas_used,
                     )
                 except UntranslatableWitness:
                     result = None
@@ -215,6 +242,7 @@ def subsumes(
                 return result
     budget = _MatchBudget(step_limit)
     capped = False
+    attempts_before = engine.enabled and engine.attempts or 0
     try:
         result = _subsumes(general, concrete, live, env, budget)
     except _MatchBudgetExceeded:
@@ -225,20 +253,37 @@ def subsumes(
             payload = (
                 None
                 if result is None
-                else encode_binding(result.binding, general_form, concrete_form)
+                else (
+                    encode_binding(
+                        result.binding, general_form, concrete_form
+                    ),
+                    result.lemmas_used,
+                )
             )
         except UntranslatableWitness:
             pass  # uncacheable witness; the verdict itself is still valid
         else:
             if cache.store(cache_key, payload) and obs.METRICS.enabled:
                 obs.METRICS.inc("entailment.cache.evictions")
-    _report_query(result, steps=budget.steps, capped=capped, cached=False)
+    _report_query(
+        result,
+        steps=budget.steps,
+        capped=capped,
+        cached=False,
+        attempts=(engine.enabled and engine.attempts or 0) - attempts_before,
+    )
     return result
 
 
 def _report_query(
-    result, steps: int, capped: bool, cached: bool, sig: bool = False
+    result,
+    steps: int,
+    capped: bool,
+    cached: bool,
+    sig: bool = False,
+    attempts: int = 0,
 ) -> None:
+    assisted = result is not None and result.lemmas_used > 0
     metrics = obs.METRICS
     if metrics.enabled:
         metrics.inc("entailment.queries")
@@ -262,6 +307,12 @@ def _report_query(
                 "entailment.cache.hits" if cached
                 else "entailment.cache.misses"
             )
+        if assisted:
+            metrics.inc("entailment.lemma.applied")
+        if lemmas.ACTIVE.enabled and not cached and not sig:
+            # Same counter-plus-distribution pairing as match_steps:
+            # how many synthesis attempts this one query triggered.
+            metrics.observe("entailment.lemma.attempts.dist", attempts)
     tracer = obs.TRACER
     if tracer.enabled:
         tracer.event(
@@ -270,6 +321,7 @@ def _report_query(
             subsumed=result is not None,
             step_limit_hit=capped,
             cached=cached,
+            lemmas=result.lemmas_used if result is not None else 0,
         )
 
 
@@ -293,6 +345,25 @@ def _subsumes(
             return None
     general_atoms = sorted(_spatial_atoms(general), key=_match_priority)
     concrete_atoms = _spatial_atoms(concrete)
+    engine = lemmas.ACTIVE
+    if engine.enabled and env is not None:
+        # Empty-segment lemma, concrete side: an instance whose single
+        # truncation point resolves equal to its root denotes emp (for
+        # a verified unary predicate) and constrains nothing -- drop it
+        # before the bijective search rather than forcing it to match.
+        kept = []
+        for candidate in concrete_atoms:
+            if (
+                isinstance(candidate, PredInstance)
+                and len(candidate.truncs) == 1
+                and concrete.resolve(candidate.args[0])
+                == concrete.resolve(candidate.truncs[0])
+                and engine.empty_lemma(env, candidate.pred) is not None
+            ):
+                mapping.lemmas_used += 1
+                continue
+            kept.append(candidate)
+        concrete_atoms = kept
     result = _match_atoms(
         general_atoms,
         concrete_atoms,
@@ -366,6 +437,26 @@ def _match_atoms(
             )
             if result is not None:
                 return result
+        elif root_image is not None and len(atom.truncs) == 1:
+            # Empty-segment lemma, general side: a segment whose
+            # truncation point can map to the same value as its root
+            # denotes emp and consumes no concrete atom.  The trunc may
+            # still be unbound here (its image is *chosen* to equal the
+            # root's), so this is one more backtracking branch.
+            engine = lemmas.ACTIVE
+            if (
+                engine.enabled
+                and env is not None
+                and engine.empty_lemma(env, atom.pred) is not None
+            ):
+                trial = mapping.copy()
+                if trial.unify(atom.truncs[0], root_image):
+                    trial.lemmas_used += 1
+                    result = _match_atoms(
+                        rest, concrete_atoms, trial, concrete_state, env, budget
+                    )
+                    if result is not None:
+                        return result
 
     for index, candidate in enumerate(concrete_atoms):
         if budget is not None:
@@ -378,6 +469,72 @@ def _match_atoms(
             )
             if result is not None:
                 return result
+
+    engine = lemmas.ACTIVE
+    if (
+        engine.enabled
+        and env is not None
+        and isinstance(atom, PredInstance)
+        and len(concrete_atoms) >= 2
+    ):
+        return _match_with_merges(
+            general_atoms, concrete_atoms, mapping, concrete_state, env, budget
+        )
+    return None
+
+
+def _match_with_merges(
+    general_atoms: list[HeapAssertion],
+    concrete_atoms: list[HeapAssertion],
+    mapping: Mapping,
+    concrete_state: AbstractState,
+    env,
+    budget: "_MatchBudget | None",
+) -> Mapping | None:
+    """Merge-lemma fallback: rewrite the *concrete* atom list by wand
+    modus ponens -- an instance rooted at another instance's truncation
+    point discharges that hole -- and retry the match.
+
+    Each merge removes one concrete atom, so the rewriting terminates;
+    every attempt is charged to the match budget.  A piece carrying its
+    own truncation points only composes with a host of the *same*
+    predicate (the hole a truncation leaves is typed by the instance's
+    own predicate, so a cross-predicate piece must be complete)."""
+    engine = lemmas.ACTIVE
+    for i, host in enumerate(concrete_atoms):
+        if not (isinstance(host, PredInstance) and host.truncs):
+            continue
+        for t_index, trunc in enumerate(host.truncs):
+            cut = concrete_state.resolve(trunc)
+            for j, piece in enumerate(concrete_atoms):
+                if j == i or not isinstance(piece, PredInstance):
+                    continue
+                if piece.truncs and piece.pred != host.pred:
+                    continue
+                if concrete_state.resolve(piece.args[0]) != cut:
+                    continue
+                if budget is not None:
+                    budget.charge()
+                if engine.merge_lemma(env, piece.pred, host.pred) is None:
+                    continue
+                merged = PredInstance(
+                    host.pred,
+                    host.args,
+                    truncs=host.truncs[:t_index]
+                    + host.truncs[t_index + 1:]
+                    + piece.truncs,
+                )
+                remaining = [
+                    a for k, a in enumerate(concrete_atoms) if k not in (i, j)
+                ]
+                remaining.append(merged)
+                trial = mapping.copy()
+                trial.lemmas_used += 1
+                result = _match_atoms(
+                    general_atoms, remaining, trial, concrete_state, env, budget
+                )
+                if result is not None:
+                    return result
     return None
 
 
@@ -392,31 +549,66 @@ def _unify_atom(
             and m.unify(general.target, concrete.target)
         )
     if isinstance(general, PredInstance):
-        preds_compatible = isinstance(concrete, PredInstance) and (
-            general.pred == concrete.pred
-            or (
-                env is not None
-                and pred_implies(env, concrete.pred, general.pred)
-            )
+        if not isinstance(concrete, PredInstance):
+            return False
+        preds_compatible = general.pred == concrete.pred or (
+            env is not None
+            and pred_implies(env, concrete.pred, general.pred)
         )
-        if not (
-            preds_compatible
-            and len(general.args) == len(concrete.args)
-        ):
-            return False
-        # Truncation points mapped to null disappear; to keep matching
-        # syntactic we require equal truncation-point counts here and
-        # let callers normalize null truncation points away beforehand.
-        if len(general.truncs) != len(concrete.truncs):
-            return False
-        return all(
-            m.unify(ga, ca) for ga, ca in zip(general.args, concrete.args)
-        ) and all(m.unify(gt, ct) for gt, ct in zip(general.truncs, concrete.truncs))
+        if preds_compatible and len(general.args) == len(concrete.args):
+            # Truncation points mapped to null disappear; to keep
+            # matching syntactic we require equal truncation-point
+            # counts here and let callers normalize null truncation
+            # points away beforehand.
+            if len(general.truncs) != len(concrete.truncs):
+                return False
+            return all(
+                m.unify(ga, ca) for ga, ca in zip(general.args, concrete.args)
+            ) and all(
+                m.unify(gt, ct)
+                for gt, ct in zip(general.truncs, concrete.truncs)
+            )
+        return _unify_bridged(general, concrete, m, env)
     if isinstance(general, Raw):
         return isinstance(concrete, Raw) and m.unify(general.loc, concrete.loc)
     if isinstance(general, Region):
         return isinstance(concrete, Region) and m.unify(general.base, concrete.base)
     return False
+
+
+def _unify_bridged(
+    general: PredInstance, concrete: PredInstance, m: Mapping, env
+) -> bool:
+    """Bridge-lemma fallback for a structurally incompatible instance
+    pair: a verified ``concrete(b..) |= general(s(b..))`` lemma lets the
+    pair unify through the lemma's parameter map instead of positionally.
+
+    Restricted to complete instances -- a bridge is proved for whole
+    predicates, and nothing relates the two sides' cut sub-structures."""
+    engine = lemmas.ACTIVE
+    if (
+        not engine.enabled
+        or env is None
+        or general.pred == concrete.pred
+        or general.truncs
+        or concrete.truncs
+    ):
+        return False
+    lemma = engine.bridge_lemma(env, concrete.pred, general.pred)
+    if lemma is None or len(lemma.param_map) != len(general.args):
+        return False
+    for general_arg, entry in zip(general.args, lemma.param_map):
+        if entry == ("null",):
+            if not m.unify(general_arg, NULL_VAL):
+                return False
+        else:
+            position = entry[1]
+            if position >= len(concrete.args):
+                return False
+            if not m.unify(general_arg, concrete.args[position]):
+                return False
+    m.lemmas_used += 1
+    return True
 
 
 def _pure_atoms_hold(

@@ -25,7 +25,7 @@ from repro.logic.predicates import (
     RecTarget,
 )
 
-__all__ = ["pred_implies"]
+__all__ = ["pred_implies", "implies_existential"]
 
 
 def pred_implies(
@@ -119,6 +119,103 @@ def _target_implies(
                 return False
         return True
     return False
+
+
+def implies_existential(
+    env: PredicateEnv,
+    stronger: str,
+    weaker: str,
+    _assumed: frozenset[tuple[str, str]] = frozenset(),
+) -> bool:
+    """Does ``stronger(v, s..)`` entail ``exists w...  weaker(v, w..)``?
+
+    The existential variant :func:`pred_implies` cannot express: only
+    the shared root is fixed, every further parameter of *weaker* is
+    existentially chosen.  This is the side condition of the merge
+    lemma (wand modus ponens, see :mod:`repro.logic.lemmas`): an
+    instance of *stronger* rooted at a truncation point discharges a
+    hole whose cut sub-structure was an instance of *weaker*, because
+    the truncation semantics quantify the cut instance's non-root
+    arguments existentially.
+
+    Sound and incomplete, coinductive like :func:`pred_implies`; the
+    arities may differ (the existential absorbs the mismatch).  The
+    witness for an existential is chosen *once* for the whole
+    derivation, so a ``weaker``-side parameter target is only accepted
+    when both sides keep the tied value unfolding-invariant: *weaker*
+    must pass every parameter through its recursive self-calls
+    unchanged (:func:`_params_invariant`), and the ``stronger``-side
+    value it is tied to must itself be a constant of the unfolding
+    (null, or a parameter *stronger* passes through invariantly).  An
+    ``AnyArg`` target needs no such care -- it instantiates to a fresh
+    value at every occurrence, so anything matches.
+    """
+    if stronger == weaker:
+        return True
+    if stronger not in env or weaker not in env:
+        return False
+    key = (stronger, weaker)
+    if key in _assumed:
+        return True  # coinductive hypothesis
+    assumed = _assumed | {key}
+    a, b = env[stronger], env[weaker]
+    a_fields = {spec.field: spec.target for spec in a.fields}
+    b_fields = {spec.field: spec.target for spec in b.fields}
+    if set(a_fields) != set(b_fields):
+        return False
+    if not _params_invariant(b):
+        return False
+    witness: dict[int, tuple] = {}
+    for field_name, b_target in sorted(b_fields.items()):
+        a_target = a_fields[field_name]
+        if isinstance(b_target, AnyArg):
+            continue  # fresh at every occurrence: any value fits
+        if isinstance(b_target, NullArg):
+            if not isinstance(a_target, NullArg):
+                return False
+            continue
+        if isinstance(b_target, ParamArg):
+            if isinstance(a_target, NullArg):
+                choice = ("null",)
+            elif isinstance(a_target, ParamArg) and _param_invariant(
+                a, a_target.index
+            ):
+                choice = ("param", a_target.index)
+            else:
+                return False  # tied to a value that varies per level
+            prior = witness.setdefault(b_target.index, choice)
+            if prior != choice:
+                return False  # one existential, two different witnesses
+            continue
+        # b_target is a RecTarget: null still satisfies the base case.
+        if isinstance(a_target, NullArg):
+            continue
+        if not isinstance(a_target, RecTarget):
+            return False
+        a_call = a.rec_calls[a_target.index]
+        b_call = b.rec_calls[b_target.index]
+        if not implies_existential(env, a_call.pred, b_call.pred, assumed):
+            return False
+    return True
+
+
+def _param_invariant(d: PredicateDef, index: int) -> bool:
+    """Is parameter *index* passed through every recursive call at its
+    own position (same value at every unfolding level)?  Calls to other
+    predicates cannot preserve it, so they defeat the invariant."""
+    for call in d.rec_calls:
+        if call.pred != d.name:
+            return False
+        if index - 1 >= len(call.args):
+            return False
+        arg = call.args[index - 1]
+        if not (isinstance(arg, ParamArg) and arg.index == index):
+            return False
+    return True
+
+
+def _params_invariant(d: PredicateDef) -> bool:
+    return all(_param_invariant(d, i) for i in range(1, d.arity))
 
 
 def _arg_corresponds(

@@ -37,6 +37,12 @@ name                                    kind       meaning
 ``entailment.cache.hits``               counter    queries answered from the entailment cache
 ``entailment.cache.misses``             counter    cacheable queries that ran the full search
 ``entailment.cache.evictions``          counter    LRU evictions from the entailment cache
+``entailment.lemma.attempts``           counter    lemma synthesize+verify attempts
+``entailment.lemma.verified``           counter    lemma candidates that passed verification
+``entailment.lemma.refuted``            counter    lemma candidates refuted (negative-cached)
+``entailment.lemma.cache.hits``         counter    lemma pair-key cache hits (either polarity)
+``entailment.lemma.cache.misses``       counter    lemma pair-key cache misses
+``entailment.lemma.applied``            counter    queries whose witness used >= 1 lemma
 ``unfold.root``                         counter    Figure-6 unfolds from the root
 ``unfold.interior``                     counter    Figure-6 bottom-up (interior) unfolds
 ``unfold.placements.exact``             counter    truncation points placed exactly at a sub-root
@@ -60,6 +66,7 @@ name                                    kind       meaning
 ``phase.slicing.seconds.dist``          histogram  per-run slicing-phase latency distribution
 ``phase.shape.seconds.dist``            histogram  per-run shape-phase latency distribution
 ``entailment.match_steps.dist``         histogram  match steps *per query* (vs the summed counter)
+``entailment.lemma.attempts.dist``      histogram  synthesis attempts *per query* (lemmas active)
 ``analysis.attempts``                   gauge      engine attempts (1 unless escalation fired)
 ======================================  =========  ==========================================
 
@@ -122,6 +129,12 @@ METRIC_SCHEMA: dict[str, str] = {
     "entailment.cache.hits": "counter",
     "entailment.cache.misses": "counter",
     "entailment.cache.evictions": "counter",
+    "entailment.lemma.attempts": "counter",
+    "entailment.lemma.verified": "counter",
+    "entailment.lemma.refuted": "counter",
+    "entailment.lemma.cache.hits": "counter",
+    "entailment.lemma.cache.misses": "counter",
+    "entailment.lemma.applied": "counter",
     "unfold.root": "counter",
     "unfold.interior": "counter",
     "unfold.placements.exact": "counter",
@@ -145,6 +158,7 @@ METRIC_SCHEMA: dict[str, str] = {
     "phase.slicing.seconds.dist": "histogram",
     "phase.shape.seconds.dist": "histogram",
     "entailment.match_steps.dist": "histogram",
+    "entailment.lemma.attempts.dist": "histogram",
     "analysis.attempts": "gauge",
     # serve.* -- recorded by the analysis *service* (repro.serve), not
     # by the engine: job-queue accounting, worker supervision and the

@@ -29,7 +29,13 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.perf.cache import EntailmentCache, IdentityMemo, NULL_CACHE, NullCache
+from repro.perf.cache import (
+    EntailmentCache,
+    IdentityMemo,
+    LemmaCache,
+    NULL_CACHE,
+    NullCache,
+)
 
 __all__ = [
     "CACHE",
@@ -37,6 +43,7 @@ __all__ = [
     "FOLD_CACHE",
     "EntailmentCache",
     "IdentityMemo",
+    "LemmaCache",
     "NULL_CACHE",
     "NullCache",
     "activate_cache",

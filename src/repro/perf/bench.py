@@ -102,6 +102,7 @@ _VERDICT_COUNTERS = (
     "entailment.queries",
     "entailment.subsumed",
     "entailment.rejected",
+    "entailment.lemma.applied",
 )
 
 
@@ -148,6 +149,7 @@ def _run(
     cache,
     schedule: str = "wto",
     store=None,
+    lemmas: bool = True,
 ) -> tuple:
     """One analysis run; returns (result, wall seconds)."""
     from repro.analysis import ShapeAnalysis
@@ -164,6 +166,7 @@ def _run(
         cache=cache,
         schedule=schedule,
         store=store,
+        enable_lemmas=lemmas,
     ).run()
     return result, time.perf_counter() - start
 
@@ -240,6 +243,7 @@ def run_bench(
     mismatches = []
     schedule_mismatches = []
     store_mismatches = []
+    lemma_mismatches = []
     total_uncached = total_cached = 0.0
     total_store_cold = total_store_warm = 0.0
     total_store_hits = 0
@@ -286,6 +290,27 @@ def run_bench(
         )
         if not store_matches:
             store_mismatches.append(name)
+        # Lemma differential: one uncached lemmas-off run.  Lemma
+        # synthesis may only *add* passes -- a benchmark that passes
+        # structurally but not with lemmas enabled is a violation
+        # (the converse, a lemma-assisted pass the structural matcher
+        # misses, is exactly what the lemma benchmarks exist for and is
+        # certified concretely by 'python -m repro lemma-smoke').
+        off_result, off_seconds = _run(
+            name, mode, deadline, cache=None, lemmas=False
+        )
+        off_core = _core(_verdict(off_result))
+        lemma_matches = not (
+            off_core["outcome"] == "pass" and verdict["outcome"] != "pass"
+        )
+        if not lemma_matches:
+            lemma_mismatches.append(name)
+        lemma_section = {
+            "no_lemmas_core": off_core,
+            "no_lemmas_seconds": round(off_seconds, 6),
+            "lemmas_applied": verdict.get("entailment.lemma.applied", 0),
+            "matches": lemma_matches,
+        }
         total_store_cold += store_section["cold_seconds"]
         total_store_warm += store_section["warm_seconds"]
         total_store_hits += store_section["warm_hits"]
@@ -313,6 +338,7 @@ def run_bench(
                     "matches": schedules_match,
                 },
                 "store_differential": store_section,
+                "lemma_differential": lemma_section,
             }
         )
     list_total = list_hits + list_misses
@@ -344,6 +370,7 @@ def run_bench(
         "verdict_mismatches": mismatches,
         "schedule_mismatches": schedule_mismatches,
         "store_mismatches": store_mismatches,
+        "lemma_mismatches": lemma_mismatches,
     }
 
 
@@ -658,6 +685,7 @@ def render(report: dict) -> str:
         cache = bench["cache"]
         sched = bench.get("schedule_differential", {})
         store = bench.get("store_differential", {})
+        lemma = bench.get("lemma_differential", {})
         lines.append(
             f"  {bench['name']:16s} uncached {sum(bench['uncached_seconds']):7.3f}s"
             f"  cached {sum(bench['cached_seconds']):7.3f}s"
@@ -667,6 +695,12 @@ def render(report: dict) -> str:
             f"{'' if bench['verdicts_match'] else '  VERDICT MISMATCH'}"
             f"{'' if sched.get('matches', True) else '  SCHEDULE MISMATCH'}"
             f"{'' if store.get('matches', True) else '  STORE MISMATCH'}"
+            f"{'' if lemma.get('matches', True) else '  LEMMA MISMATCH'}"
+            + (
+                f"  lemmas {lemma['lemmas_applied']}"
+                if lemma.get("lemmas_applied")
+                else ""
+            )
         )
     totals = report["totals"]
     lines.append(
@@ -844,6 +878,13 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             "repro bench: store-on and store-off core verdicts differ "
             "for: " + ", ".join(report["store_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if report.get("lemma_mismatches"):
+        print(
+            "repro bench: lemma synthesis lost a structural pass for: "
+            + ", ".join(report["lemma_mismatches"]),
             file=sys.stderr,
         )
         return 1

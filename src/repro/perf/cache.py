@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-__all__ = ["EntailmentCache", "IdentityMemo", "NULL_CACHE", "NullCache"]
+__all__ = [
+    "EntailmentCache",
+    "IdentityMemo",
+    "LemmaCache",
+    "NULL_CACHE",
+    "NullCache",
+]
 
 
 class EntailmentCache:
@@ -78,6 +84,21 @@ class EntailmentCache:
             "entries": len(self._entries),
             "hit_rate": round(self.hit_rate, 6),
         }
+
+
+class LemmaCache(EntailmentCache):
+    """LRU map from canonical lemma pair keys to verdicts.
+
+    Same shape as :class:`EntailmentCache` -- a ``None`` payload records
+    a *refuted* pair, so the synthesis search never re-runs for a pair
+    already known to admit no lemma.  Kept as its own class (and its
+    own, smaller default capacity: distinct predicate-definition pairs
+    are few compared to entailment queries) so lemma verdicts never
+    compete with entailment verdicts for cache slots.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        super().__init__(capacity)
 
 
 class IdentityMemo:

@@ -358,3 +358,78 @@ class SummaryStore:
             self.tally("writes")
             metrics.inc("store.writes")
         return written
+
+    # ------------------------------------------------------------------
+    # Lemmas
+    # ------------------------------------------------------------------
+    #
+    # Verified bridging lemmas (repro.logic.lemmas) ride in the same
+    # store under their canonical pair key.  The same design rules
+    # apply: the store is an accelerator -- LemmaEngine re-verifies
+    # every consulted payload by self-derivation before trusting it
+    # (its validation-on-read), and disk trouble degrades to a miss.
+
+    @staticmethod
+    def lemma_lookup_key(pair_key: str) -> str:
+        parts = ["lemma", str(STORE_SCHEMA), pair_key]
+        return payload_digest("\x00".join(parts).encode("utf-8"))
+
+    def consult_lemma(self, pair_key: str) -> "dict | None":
+        """The raw lemma payload recorded under *pair_key*, or None.
+        Never raises.  The caller owns semantic validation (schema,
+        kind, re-verification); this method only contains I/O and
+        decode failures."""
+        if not self.enabled:
+            return None
+        self.tally("lemma_lookups")
+        try:
+            raw = self._disk.get(self.lemma_lookup_key(pair_key))
+        except StoreCorrupt as exc:
+            self._reject(None, _NULL_METRICS, f"lemma entry: {exc}")
+            return None
+        except OSError as exc:
+            self._io_error(None, f"lemma store read failed: {exc}")
+            return None
+        if raw is None:
+            self.tally("lemma_misses")
+            return None
+        self._io_errors_in_a_row = 0
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            self.reject_lemma(pair_key, f"undecodable entry: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self.reject_lemma(pair_key, "payload is not an object")
+            return None
+        self.tally("lemma_hits")
+        return payload
+
+    def record_lemma(self, pair_key: str, payload: dict) -> bool:
+        """Persist one verified lemma payload.  Never raises; returns
+        True when new bytes reached disk."""
+        if not self.enabled:
+            return False
+        if self.chaos is not None:
+            self.chaos.begin_write()
+        try:
+            written = self._disk.put(
+                self.lemma_lookup_key(pair_key), payload_bytes(payload)
+            )
+        except OSError as exc:
+            self._io_error(None, f"lemma store write failed: {exc}")
+            return False
+        self._io_errors_in_a_row = 0
+        if written:
+            self.tally("lemma_writes")
+        return written
+
+    def reject_lemma(self, pair_key: str, reason: str) -> None:
+        """A present-but-unusable lemma entry (bad schema, failed
+        re-verification): counted and diagnosed like any invalid store
+        entry, then treated as a miss.  The entry itself stays on disk
+        -- validation-on-read rejects it again on every consult, the
+        same containment the summary path uses."""
+        self.tally("invalid")
+        self.tally("lemma_misses")
+        self._invalid(None, f"lemma entry rejected: {reason}")
