@@ -171,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --store and any REPRO_STORE default",
     )
     parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable fixpoint-bundle replay against the durable store "
+        "(per-entry summary reuse still applies; verdicts are identical "
+        "either way -- see 'python -m repro incr-smoke')",
+    )
+    parser.add_argument(
         "--no-wto",
         action="store_true",
         help="drive the fixpoint worklist in naive FIFO order instead "
@@ -504,6 +511,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.smoke import main as store_smoke_main
 
         return store_smoke_main(argv[1:])
+    if argv and argv[0] == "incr-smoke":
+        from repro.store.incrsmoke import main as incr_smoke_main
+
+        return incr_smoke_main(argv[1:])
+    if argv and argv[0] == "store-gc":
+        from repro.store.gc import main as store_gc_main
+
+        return store_gc_main(argv[1:])
     if argv and argv[0] == "lemma-smoke":
         from repro.crucible.lemmasmoke import main as lemma_smoke_main
 
@@ -545,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         enable_lemmas=not args.no_lemmas,
         schedule="fifo" if args.no_wto else "wto",
         store=store,
+        enable_incremental=not args.no_incremental,
     ).run()
 
     if store is not None:

@@ -132,6 +132,19 @@ class ShapeAnalysis:
     #: pair keys are fully structural, so a cache passed across runs
     #: carries verified/refuted lemmas over.
     lemma_cache: "perf.LemmaCache | None" = None
+    #: Incremental re-analysis (``--no-incremental`` turns it off,
+    #: restoring the from-scratch path bit-for-bit).  When a store or
+    #: fixpoint table is attached, each procedure's whole tabulated
+    #: summary table is replayed from its cone-digest-keyed fixpoint
+    #: bundle when nothing in its callee cone changed, and exported
+    #: after every successful run.  Verdicts are identical either way
+    #: (the incr-smoke differential gate checks exactly this).
+    enable_incremental: bool = True
+    #: Pre-built in-memory fixpoint tier
+    #: (:class:`repro.store.fixpoint.FixpointTable`), checked before
+    #: the durable store; a serve worker keeps one per benchmark so
+    #: edit-loop replays never touch disk.
+    fixpoint_table: "object | None" = None
 
     def run(self) -> AnalysisResult:
         """Run the whole pipeline; never raises on analysis failure --
@@ -243,9 +256,14 @@ class ShapeAnalysis:
                 }
                 # Like ``schedule``, the store keyword is only forwarded
                 # when one is attached, so closed-signature factories
-                # keep working in the common store-less case.
+                # keep working in the common store-less case.  Same for
+                # the incremental knobs: only forwarded off-default.
                 if self.store is not None:
                     extra["store"] = self.store
+                if not self.enable_incremental:
+                    extra["incremental"] = False
+                if self.fixpoint_table is not None:
+                    extra["fixpoint"] = self.fixpoint_table
                 engine = make_engine(
                     target,
                     env,
@@ -274,6 +292,15 @@ class ShapeAnalysis:
                         attempt_span["failed"] = fatal is not None
                 if fatal is None:
                     failure = None
+                    # Export the fixpoint tables of the *successful*
+                    # attempt only: a failed attempt's tables are
+                    # partial by construction.  The engine method is
+                    # exception-contained; the getattr guard keeps
+                    # custom engine factories with plain engines alive.
+                    if self.enable_incremental:
+                        export = getattr(engine, "export_fixpoints", None)
+                        if export is not None:
+                            export()
                     break
                 # Budget exhaustion ends the run: retrying against the same
                 # exhausted budget cannot succeed.

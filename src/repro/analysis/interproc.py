@@ -115,6 +115,14 @@ class Summary:
     entry: AbstractState
     exits: list[AbstractState]
     cutpoints: frozenset[HeapName] = frozenset()
+    #: Canonical entry key when this summary was *replayed* from a
+    #: fixpoint bundle (None when tabulated in-run).  Replayed summaries
+    #: only answer calls whose live entry canonicalizes to exactly this
+    #: key: entailment-equivalence is too coarse for cross-program reuse
+    #: -- two equivalent-but-differently-spelled entries can steer the
+    #: engine down different (both sound) trajectories, and incremental
+    #: replay must reproduce the from-scratch trajectory bit for bit.
+    entry_key: "str | None" = None
 
 
 @dataclass
@@ -213,6 +221,8 @@ class ShapeEngine:
         metrics: Metrics | None = None,
         schedule: str = "wto",
         store=None,
+        incremental: bool = True,
+        fixpoint=None,
     ):
         program.validate()
         if mode not in ("strict", "degrade"):
@@ -273,6 +283,24 @@ class ShapeEngine:
         #: misses plus ``store-invalid`` diagnostics, never to a
         #: different verdict or an analysis failure.
         self.store = store
+        #: incremental re-analysis: when enabled (and a reuse medium is
+        #: attached), each procedure's *whole* tabulated summary table
+        #: is consulted once -- keyed on the procedure's callee-cone
+        #: digest (:mod:`repro.ir.digest`) -- before any per-entry
+        #: consult, and exported after a successful run
+        #: (:meth:`export_fixpoints`).  ``incremental=False`` restores
+        #: the from-scratch path bit-for-bit: no fixpoint object is
+        #: read or written.  (Per-entry summary keys carry the cone
+        #: digest either way -- that part is a soundness fix, not an
+        #: accelerator, so it has no escape hatch.)
+        self.incremental = incremental
+        #: optional in-memory fixpoint tier
+        #: (:class:`repro.store.fixpoint.FixpointTable`), checked before
+        #: the durable store; serve workers keep one per benchmark so an
+        #: edit-loop replay never touches disk.
+        self.fixpoint = fixpoint
+        self._fixpoint_consulted: set[str] = set()
+        self._cone_digest_cache: "dict[str, str] | None" = None
         self._reach_rec: dict[str, set[int]] = {}
 
     def _wto(self, name: str) -> WeakTopologicalOrder:
@@ -441,10 +469,82 @@ class ShapeEngine:
                 sampler.depth -= 1
             sampler.record_activation(name, entry, exits, cutpoints)
             return exits
-        if self.summaries[name]:
-            self.phase_boundary("entailment", name)
-            entry_sig = structural_signature(entry)
+        exits = self._scan_summaries(name, entry, cutpoints)
+        if exits is not None:
+            return exits
+        # Durable-store consult sits between in-memory reuse and
+        # (re-)analysis: a validated hit answers the call without
+        # synthesis or tabulation.  The boundary is crossed even with
+        # no store attached -- it is the fault-injection seam.
+        self.phase_boundary("store", name)
+        if (
+            self.incremental
+            and name not in self._fixpoint_consulted
+            and (self.store is not None or self.fixpoint is not None)
+        ):
+            # Incremental replay: the first time a procedure is called,
+            # try to install its entire cached summary table (keyed on
+            # its callee-cone digest, so any structural edit anywhere
+            # below it misses) and answer from the installed summaries.
+            # Consulted at most once per procedure: a miss means the
+            # cone changed, and re-asking cannot change that.
+            self._fixpoint_consulted.add(name)
+            if self._consult_fixpoint(name):
+                exits = self._scan_summaries(name, entry, cutpoints)
+                if exits is not None:
+                    self.metrics.inc("incr.procedures.reused")
+                    if self.tracer.enabled:
+                        self.tracer.event("incr.replay", procedure=name)
+                    return exits
+            self.metrics.inc("incr.procedures.invalidated")
+        if self.store is not None:
+            exits = self._consult_store(name, entry, cutpoints)
+            if exits is not None:
+                return exits
+        if self.callgraph.is_recursive(name):
+            return self._analyze_recursive(name, entry, cutpoints, contracts)
+        contained_before = self.contained_events
+        exits = self.interpret(name, entry.copy(), cutpoints, None, contracts)
+        if self.contained_events > contained_before:
+            # The body was degraded: its exits under-represent the
+            # procedure, so the summary must not be tabulated for reuse
+            # (each later call re-analyzes and re-contains).
+            return [e.copy() for e in exits]
+        self.phase_boundary("tabulation", name)
+        self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
+        self._store_record(name, entry, exits, cutpoints)
+        return [e.copy() for e in exits]
+
+    def _scan_summaries(
+        self,
+        name: str,
+        entry: AbstractState,
+        cutpoints: frozenset[HeapName],
+    ) -> "list[AbstractState] | None":
+        """The in-memory summary-table scan: exits transplanted into the
+        caller's name space when a tabulated summary is entailment-
+        equivalent to *entry* (cutpoints mapping across), else None."""
+        if not self.summaries[name]:
+            return None
+        self.phase_boundary("entailment", name)
+        entry_sig = structural_signature(entry)
+        live_key: "str | None | bool" = False  # False = not yet computed
         for summary in self.summaries[name]:
+            if summary.entry_key is not None:
+                # Replayed summary: exact canonical-key match only (see
+                # Summary.entry_key).  The key is computed lazily, once.
+                if live_key is False:
+                    from repro.logic.canonical import (
+                        UntranslatableWitness,
+                        canonicalize,
+                    )
+
+                    try:
+                        live_key = canonicalize(entry).key
+                    except UntranslatableWitness:
+                        live_key = None
+                if live_key != summary.entry_key:
+                    continue
             # Reuse needs *equivalence* (both directions), so the
             # structural signatures must be identical -- a mismatch
             # skips both queries.  The directions are short-circuited:
@@ -465,28 +565,226 @@ class ShapeEngine:
             if mapped_cuts == cutpoints:
                 self.metrics.inc("engine.summaries.reused")
                 return [transplant_state(e, into) for e in summary.exits]
-        # Durable-store consult sits between in-memory reuse and
-        # (re-)analysis: a validated hit answers the call without
-        # synthesis or tabulation.  The boundary is crossed even with
-        # no store attached -- it is the fault-injection seam.
-        self.phase_boundary("store", name)
+        return None
+
+    # ------------------------------------------------------------------
+    # Incremental re-analysis: fixpoint replay (repro.store.fixpoint)
+    # ------------------------------------------------------------------
+    def _cone_digest(self, name: str) -> str:
+        """The procedure's callee-cone digest over the program *this
+        engine analyzes* (post-slicing), computed once per engine."""
+        if self._cone_digest_cache is None:
+            from repro.ir.digest import cone_digests
+
+            self._cone_digest_cache = cone_digests(
+                self.program, callgraph=self.callgraph
+            )
+        return self._cone_digest_cache[name]
+
+    def _consult_fixpoint(self, name: str) -> bool:
+        """Fetch the procedure's cached fixpoint bundle (in-memory tier
+        first, then the durable store) and install its summaries into
+        this engine's table.  Returns True when at least one summary was
+        installed.  Exception-contained like every store path: anything
+        unusable degrades to a from-scratch cone plus a
+        ``store-invalid`` diagnostic, never a wrong verdict."""
+        import time
+
+        started = time.perf_counter()
+        try:
+            cone = self._cone_digest(name)
+            subs, resolve = self._fixpoint_payloads(name, cone)
+            if not subs:
+                return False
+            installed = self._install_fixpoint(name, cone, subs, resolve)
+        except (BudgetExhausted, AnalysisStuck):
+            raise
+        except Exception as exc:  # containment: a replay bug is a miss
+            self.metrics.inc("store.invalid")
+            self._store_diagnostic(
+                name, f"fixpoint consult raised {type(exc).__name__}: {exc}"
+            )
+            self._absorb_store_diagnostics()
+            return False
+        finally:
+            self.metrics.observe(
+                "incr.table.decode.seconds", time.perf_counter() - started
+            )
+        self._absorb_store_diagnostics()
+        return installed > 0
+
+    def _fixpoint_payloads(self, name: str, cone: str):
+        """The raw bundle for (*name*, *cone*) plus the blob resolver of
+        the tier it came from, or ``(None, None)``."""
+        if self.fixpoint is not None:
+            from repro.store.fixpoint import fixpoint_key
+            from repro.store.store import STORE_SCHEMA
+
+            key = fixpoint_key(
+                name,
+                cone,
+                unroll=self.max_unroll,
+                mode=self.mode,
+                schema=STORE_SCHEMA,
+            )
+            payload = self.fixpoint.get(key)
+            if (
+                isinstance(payload, dict)
+                and isinstance(payload.get("summaries"), list)
+            ):
+                self.metrics.inc("incr.fixpoint.hits")
+                return list(payload["summaries"]), self.fixpoint.get_blob
         if self.store is not None:
-            exits = self._consult_store(name, entry, cutpoints)
-            if exits is not None:
-                return exits
-        if self.callgraph.is_recursive(name):
-            return self._analyze_recursive(name, entry, cutpoints, contracts)
-        contained_before = self.contained_events
-        exits = self.interpret(name, entry.copy(), cutpoints, None, contracts)
-        if self.contained_events > contained_before:
-            # The body was degraded: its exits under-represent the
-            # procedure, so the summary must not be tabulated for reuse
-            # (each later call re-analyzes and re-contains).
-            return [e.copy() for e in exits]
-        self.phase_boundary("tabulation", name)
-        self.summaries[name].append(Summary(entry.copy(), exits, cutpoints))
-        self._store_record(name, entry, exits, cutpoints)
-        return [e.copy() for e in exits]
+            subs = self.store.consult_fixpoint(
+                name,
+                cone,
+                self.metrics,
+                unroll=self.max_unroll,
+                mode=self.mode,
+            )
+            self._absorb_store_diagnostics()
+            if subs:
+                return subs, self.store.get_blob
+        return None, None
+
+    def _install_fixpoint(self, name, cone, subs, resolve) -> int:
+        """Validate and install bundle sub-payloads one at a time (each
+        in exactly the per-entry payload shape, so validation-on-read is
+        shared check for check).  Validation interleaves with
+        installation: a later sub-payload's new-definition set depends
+        on what earlier ones installed.  The first failure abandons the
+        *rest* of the bundle -- already-installed summaries passed every
+        check and stay."""
+        from repro.store.store import STORE_SCHEMA
+        from repro.store.validate import InvalidStoreEntry, validate_summary_payload
+
+        installed = 0
+        for index, sub in enumerate(subs):
+            try:
+                if not isinstance(sub, dict):
+                    raise InvalidStoreEntry("bundle entry is not an object")
+                if (
+                    sub.get("unroll") != self.max_unroll
+                    or sub.get("mode") != self.mode
+                ):
+                    raise InvalidStoreEntry(
+                        "bundle entry's engine configuration does not match"
+                    )
+                hit = validate_summary_payload(
+                    sub,
+                    callee=name,
+                    entry_key=sub.get("entry", ""),
+                    schema=STORE_SCHEMA,
+                    env=self.env,
+                    resolve_blob=resolve,
+                    cone=cone,
+                )
+                if index == 0:
+                    # Subsumption spot-check: decoding the entry key a
+                    # second time mints an independent alpha-variant;
+                    # the two decodes must subsume each other, or the
+                    # decoded states do not mean what the key says.
+                    from repro.store.codec import decode_state
+
+                    twin, _ = decode_state(sub["entry"])
+                    if (
+                        subsumes(hit.entry, twin, env=self.env) is None
+                        or subsumes(twin, hit.entry, env=self.env) is None
+                    ):
+                        raise InvalidStoreEntry(
+                            "entry fails the subsumption spot-check"
+                        )
+            except (BudgetExhausted, AnalysisStuck):
+                raise
+            except Exception as exc:
+                self.metrics.inc("store.invalid")
+                if self.store is not None:
+                    self.store.tally("invalid")
+                self._store_diagnostic(
+                    name,
+                    f"fixpoint bundle entry {index} rejected "
+                    f"({type(exc).__name__}: {exc}); remaining bundle "
+                    "degrades to from-scratch analysis",
+                )
+                break
+            for definition in hit.new_defs:
+                self.env.add(definition)
+                self.metrics.inc("store.preds.installed")
+            self.env.ensure_counter(hit.counter)
+            self.summaries[name].append(
+                Summary(
+                    hit.entry,
+                    hit.exits,
+                    hit.cutpoints,
+                    entry_key=sub.get("entry"),
+                )
+            )
+            installed += 1
+            self.metrics.inc("incr.summaries.replayed")
+        return installed
+
+    def export_fixpoints(self) -> None:
+        """Record every procedure's tabulated summary table as a
+        fixpoint bundle -- to the durable store and to the in-memory
+        tier, whichever is attached.  Called by the driver after a
+        *successful* attempt only (a failed run's tables are partial by
+        construction); degraded bodies were never tabulated, so they
+        are never exported.  Exception-contained."""
+        if not self.incremental:
+            return
+        if self.store is None and self.fixpoint is None:
+            return
+        for name, summaries in self.summaries.items():
+            if not summaries:
+                continue
+            triples = [(s.entry, s.exits, s.cutpoints) for s in summaries]
+            try:
+                cone = self._cone_digest(name)
+                if self.store is not None:
+                    self.store.record_fixpoint(
+                        name,
+                        cone,
+                        triples,
+                        self.env,
+                        self.metrics,
+                        unroll=self.max_unroll,
+                        mode=self.mode,
+                    )
+                if self.fixpoint is not None:
+                    self._export_to_table(name, cone, triples)
+            except (BudgetExhausted, AnalysisStuck):
+                raise
+            except Exception as exc:  # containment: a lost export
+                self.metrics.inc("store.io_errors")
+                self._store_diagnostic(
+                    name,
+                    f"fixpoint record raised {type(exc).__name__}: {exc}",
+                )
+        self._absorb_store_diagnostics()
+
+    def _export_to_table(self, name, cone, triples) -> None:
+        from repro.store.fixpoint import encode_fixpoint, fixpoint_key
+        from repro.store.store import STORE_SCHEMA
+
+        payload, blobs = encode_fixpoint(
+            name,
+            cone,
+            triples,
+            self.env,
+            unroll=self.max_unroll,
+            mode=self.mode,
+            schema=STORE_SCHEMA,
+        )
+        if payload is None:
+            return
+        key = fixpoint_key(
+            name,
+            cone,
+            unroll=self.max_unroll,
+            mode=self.mode,
+            schema=STORE_SCHEMA,
+        )
+        self.fixpoint.put(key, payload, blobs)
 
     # ------------------------------------------------------------------
     # Durable store (repro.store): consult / record / diagnostics
@@ -519,6 +817,7 @@ class ShapeEngine:
                 self.metrics,
                 unroll=self.max_unroll,
                 mode=self.mode,
+                cone=self._cone_digest(name),
             )
         except (BudgetExhausted, AnalysisStuck):
             raise
@@ -604,6 +903,7 @@ class ShapeEngine:
                 self.metrics,
                 unroll=self.max_unroll,
                 mode=self.mode,
+                cone=self._cone_digest(name),
             )
         except (BudgetExhausted, AnalysisStuck):
             raise

@@ -51,6 +51,7 @@ from repro.reporting import render_batch_report
 __all__ = [
     "CHILD_CHAOS_ENV",
     "CRUCIBLE_PREFIX",
+    "EDIT_PREFIX",
     "OUTCOMES",
     "BatchReport",
     "RunRecord",
@@ -76,6 +77,14 @@ OUTCOMES = ("pass", "degraded", "failed", "crashed", "timeout")
 #: the crucible generator's deterministic program for that seed, so fuzz
 #: programs run under the same crash isolation as the curated suite.
 CRUCIBLE_PREFIX = "crucible:"
+
+#: Prefix for edited variants: ``edit:<base>@<seed>`` resolves *base*
+#: (any resolvable benchmark name, including ``crucible:<seed>``) and
+#: applies one deterministic crucible mutation driven by *seed* --
+#: the "developer changed one procedure" workload behind incremental
+#: re-analysis benchmarks and gates.  An optional ``+<count>`` suffix
+#: applies that many mutations (``edit:treeadd@7+3``).
+EDIT_PREFIX = "edit:"
 
 # CHILD_CHAOS_ENV and the process-boundary helpers now live in
 # :mod:`repro.childproc`, shared with the serve supervisor; the
@@ -311,6 +320,23 @@ def _resolve_benchmark(name: str) -> Program:
     program deterministically from its seed -- which also works across
     the subprocess boundary, since the child re-derives the same
     program from the name alone."""
+    if name.startswith(EDIT_PREFIX):
+        from repro.crucible.generator import edit_program
+
+        spec = name[len(EDIT_PREFIX):]
+        base, sep, edit_spec = spec.rpartition("@")
+        if not sep:
+            raise KeyError(
+                f"malformed edit benchmark {name!r}; expected "
+                "edit:<base>@<seed>[+<count>]"
+            )
+        seed_text, _, count_text = edit_spec.partition("+")
+        edited, _notes = edit_program(
+            _resolve_benchmark(base),
+            int(seed_text),
+            count=int(count_text or 1),
+        )
+        return edited
     if name.startswith(CRUCIBLE_PREFIX):
         from repro.crucible.generator import generate_program
 

@@ -25,6 +25,7 @@ and a determinism guard (same seed => byte-identical report).
 from repro.crucible.generator import (
     SKELETONS,
     GeneratedProgram,
+    edit_program,
     generate_program,
     mutate_program,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "OracleReport",
     "Violation",
     "compact_program",
+    "edit_program",
     "generate_program",
     "minimize_program",
     "mutate_program",

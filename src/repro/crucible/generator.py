@@ -44,6 +44,7 @@ __all__ = [
     "GeneratedProgram",
     "generate_program",
     "mutate_program",
+    "edit_program",
     "clone_program",
 ]
 
@@ -312,8 +313,10 @@ def _pick_proc(program: Program, rng: random.Random) -> Procedure:
     return program.procedures[rng.choice(sorted(program.procedures))]
 
 
-def _flip_branch(program: Program, rng: random.Random) -> str | None:
-    proc = _pick_proc(program, rng)
+def _flip_branch(
+    program: Program, rng: random.Random, proc: Procedure | None = None
+) -> str | None:
+    proc = proc or _pick_proc(program, rng)
     branches = [
         i for i, instr in enumerate(proc.instrs) if isinstance(instr, Branch)
     ]
@@ -328,8 +331,10 @@ def _flip_branch(program: Program, rng: random.Random) -> str | None:
 _DEAD_COUNTER_FIELDS = ("next", "prev", "left", "right", "val")
 
 
-def _dead_store(program: Program, rng: random.Random) -> str | None:
-    proc = _pick_proc(program, rng)
+def _dead_store(
+    program: Program, rng: random.Random, proc: Procedure | None = None
+) -> str | None:
+    proc = proc or _pick_proc(program, rng)
     index = rng.randrange(len(proc.instrs) + 1)
     regs = sorted(r.name for r in proc.registers())
     if regs and rng.random() < 0.5:
@@ -347,8 +352,10 @@ def _dead_store(program: Program, rng: random.Random) -> str | None:
     return f"dead-store {proc.name}@{index}"
 
 
-def _delete_statement(program: Program, rng: random.Random) -> str | None:
-    proc = _pick_proc(program, rng)
+def _delete_statement(
+    program: Program, rng: random.Random, proc: Procedure | None = None
+) -> str | None:
+    proc = proc or _pick_proc(program, rng)
     candidates = [
         i
         for i, instr in enumerate(proc.instrs)
@@ -361,10 +368,12 @@ def _delete_statement(program: Program, rng: random.Random) -> str | None:
     return f"stmt-delete {proc.name}@{index}"
 
 
-def _reorder_blocks(program: Program, rng: random.Random) -> str | None:
+def _reorder_blocks(
+    program: Program, rng: random.Random, proc: Procedure | None = None
+) -> str | None:
     """Shuffle the basic blocks of one procedure, making every implicit
     fallthrough explicit first so the control flow is preserved."""
-    proc = _pick_proc(program, rng)
+    proc = proc or _pick_proc(program, rng)
     leaders = {0} | set(proc.labels.values())
     for i, instr in enumerate(proc.instrs):
         if isinstance(instr, (Branch, Goto)):
@@ -447,3 +456,51 @@ def mutate_program(
         generated.mutations.append(note)
         applied += 1
     return generated
+
+
+def edit_program(
+    program: Program,
+    seed: int,
+    count: int = 1,
+    target: str | None = None,
+    kinds: "tuple[str, ...] | None" = None,
+) -> "tuple[Program, list[str]]":
+    """Deterministically derive an *edited* variant of *program*: the
+    "developer changed one procedure" generator behind the
+    ``edit:<base>@<seed>`` benchmark grammar and the incremental
+    differential gate.
+
+    Applies *count* crucible mutations driven by ``random.Random(seed)``,
+    optionally confined to procedure *target* and/or to the mutation
+    *kinds* named (a subset of :data:`MUTATIONS`).  Returns
+    ``(edited, notes)``: a fresh, always-valid program (the input is
+    untouched) plus one provenance note per applied mutation.
+    """
+    pool = MUTATIONS
+    if kinds is not None:
+        pool = tuple((name, fn) for name, fn in MUTATIONS if name in kinds)
+        if not pool:
+            raise ValueError(f"no such mutation kinds: {kinds!r}")
+    if target is not None and target not in program.procedures:
+        raise ValueError(f"no such procedure to edit: {target!r}")
+    rng = random.Random(seed)
+    edited = clone_program(program)
+    notes: list[str] = []
+    applied = 0
+    attempts = 0
+    while applied < count and attempts < count * 16:
+        attempts += 1
+        _mutname, mutate = rng.choice(pool)
+        candidate = clone_program(edited)
+        proc = candidate.procedures[target] if target is not None else None
+        note = mutate(candidate, rng, proc)
+        if note is None:
+            continue
+        try:
+            candidate.validate()
+        except IRError:
+            continue
+        edited = candidate
+        notes.append(note)
+        applied += 1
+    return edited, notes

@@ -87,3 +87,83 @@ class CallGraph:
     def topological_order(self) -> list[frozenset[str]]:
         """SCCs ordered callees-first (Tarjan emits reverse topological)."""
         return list(self._sccs)
+
+    # -- cones ---------------------------------------------------------
+    def callee_cone(self, name: str) -> frozenset[str]:
+        """*name* plus every procedure transitively reachable from it.
+
+        This is the set whose digests key the procedure's cached
+        fixpoint results: a summary for ``name`` can only be replayed
+        when nothing in its callee cone changed.
+        """
+        cones = self._callee_cones()
+        return cones[name]
+
+    def caller_cone(self, name: str) -> frozenset[str]:
+        """*name* plus every procedure that transitively calls it.
+
+        After an edit to ``name`` this is exactly the set of procedures
+        whose cached fixpoints are invalidated (their callee cones all
+        contain ``name``).
+        """
+        self._reverse_edges()
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            nxt: list[str] = []
+            for n in frontier:
+                for caller in self._rev[n]:
+                    if caller not in seen:
+                        seen.add(caller)
+                        nxt.append(caller)
+            frontier = nxt
+        return frozenset(seen)
+
+    def cone_depth(self, names: "set[str] | frozenset[str]") -> int:
+        """BFS depth (in call edges, walked caller-ward) of the union of
+        the caller cones of *names*.  0 when nothing is invalidated, 1
+        when only the edited procedures themselves are."""
+        self._reverse_edges()
+        seen = {n for n in names if n in self.edges}
+        if not seen:
+            return 0
+        frontier = list(seen)
+        depth = 1
+        while frontier:
+            nxt: list[str] = []
+            for n in frontier:
+                for caller in self._rev[n]:
+                    if caller not in seen:
+                        seen.add(caller)
+                        nxt.append(caller)
+            if nxt:
+                depth += 1
+            frontier = nxt
+        return depth
+
+    def _reverse_edges(self) -> dict[str, set[str]]:
+        if not hasattr(self, "_rev"):
+            rev: dict[str, set[str]] = {n: set() for n in self.edges}
+            for caller, callees in self.edges.items():
+                for callee in callees:
+                    rev[callee].add(caller)
+            self._rev = rev
+        return self._rev
+
+    def _callee_cones(self) -> dict[str, frozenset[str]]:
+        if not hasattr(self, "_cones"):
+            cones: dict[str, frozenset[str]] = {}
+            # Tarjan order is callees-first, so every external callee's
+            # cone is ready by the time its SCC is processed; members of
+            # one SCC share a cone.
+            for scc in self._sccs:
+                cone: set[str] = set(scc)
+                for member in scc:
+                    for callee in self.edges[member]:
+                        if callee not in scc:
+                            cone |= cones[callee]
+                frozen = frozenset(cone)
+                for member in scc:
+                    cones[member] = frozen
+            self._cones = cones
+        return self._cones

@@ -1,0 +1,219 @@
+"""Deterministic structural digests over procedure CFGs.
+
+The incremental-analysis layer needs to answer "did this procedure
+change?" without trusting anything environmental: digests must be
+byte-identical across processes (PYTHONHASHSEED-independent), invariant
+under procedure reordering in the source program and under consistent
+renaming of virtual registers and labels, and changed by any semantic
+edit to the body (instruction added/removed/replaced, condition
+flipped, blocks reordered).
+
+The rendering therefore mirrors what `logic/canonical.py` does for
+states: registers are replaced by their first-use index (parameters
+first, then body order), labels are replaced by the instruction index
+they resolve to, and the result is hashed with SHA-256 over a
+repr-stable nested-tuple encoding.
+
+A procedure's cached fixpoint results are only reusable when nothing it
+transitively calls changed either, so the store keys on the *cone
+digest*: a hash over the (name, digest) pairs of the procedure's callee
+cone (itself included).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.instructions import (
+    ArithOp,
+    Assign,
+    Branch,
+    Call,
+    Free,
+    Goto,
+    Load,
+    Malloc,
+    Nop,
+    Return,
+    Store,
+)
+from repro.ir.program import Procedure, Program
+from repro.ir.values import Global, IntConst, Null, Register
+
+__all__ = [
+    "ProgramDiff",
+    "cone_digests",
+    "diff_programs",
+    "procedure_digest",
+    "program_digests",
+]
+
+
+class _RegisterIndex:
+    """Alpha-canonical register numbering: parameters first, then
+    first-use order over the instruction stream."""
+
+    def __init__(self, params: tuple[Register, ...]) -> None:
+        self._order: dict[str, int] = {}
+        for reg in params:
+            self._index(reg)
+
+    def _index(self, reg: Register) -> int:
+        idx = self._order.get(reg.name)
+        if idx is None:
+            idx = len(self._order)
+            self._order[reg.name] = idx
+        return idx
+
+    def operand(self, value: object) -> tuple:
+        if isinstance(value, Register):
+            return ("r", self._index(value))
+        if isinstance(value, Global):
+            return ("g", value.name)
+        if isinstance(value, Null):
+            return ("null",)
+        if isinstance(value, IntConst):
+            return ("i", value.value)
+        if value is None:
+            return ("none",)
+        raise TypeError(f"undigestable operand: {value!r}")
+
+
+def _render(proc: Procedure) -> tuple:
+    regs = _RegisterIndex(proc.params)
+    # Labels may legally point one past the end of the body (see
+    # Procedure.validate); rendering them as target indices makes the
+    # digest invariant under label renaming.
+    labels = dict(proc.labels)
+    rows: list[tuple] = []
+    for instr in proc.instrs:
+        if isinstance(instr, Nop):
+            rows.append(("nop",))
+        elif isinstance(instr, Assign):
+            rows.append(("assign", regs.operand(instr.dst), regs.operand(instr.src)))
+        elif isinstance(instr, ArithOp):
+            rows.append(
+                (
+                    "arith",
+                    instr.op,
+                    regs.operand(instr.dst),
+                    regs.operand(instr.lhs),
+                    regs.operand(instr.rhs),
+                )
+            )
+        elif isinstance(instr, Malloc):
+            rows.append(("malloc", regs.operand(instr.dst), regs.operand(instr.count)))
+        elif isinstance(instr, Free):
+            rows.append(("free", regs.operand(instr.ptr)))
+        elif isinstance(instr, Load):
+            rows.append(
+                ("load", regs.operand(instr.dst), regs.operand(instr.addr), instr.field)
+            )
+        elif isinstance(instr, Store):
+            rows.append(
+                ("store", regs.operand(instr.addr), instr.field, regs.operand(instr.src))
+            )
+        elif isinstance(instr, Call):
+            rows.append(
+                (
+                    "call",
+                    instr.func,
+                    regs.operand(instr.dst),
+                    tuple(regs.operand(a) for a in instr.args),
+                )
+            )
+        elif isinstance(instr, Return):
+            rows.append(("ret", regs.operand(instr.value)))
+        elif isinstance(instr, Goto):
+            rows.append(("goto", labels[instr.target]))
+        elif isinstance(instr, Branch):
+            cond = instr.cond
+            rows.append(
+                (
+                    "br",
+                    cond.op,
+                    regs.operand(cond.lhs),
+                    regs.operand(cond.rhs),
+                    labels[instr.target],
+                )
+            )
+        else:
+            raise TypeError(f"undigestable instruction: {instr!r}")
+    return ("proc", proc.name, len(proc.params), tuple(rows))
+
+
+def _sha(rendering: tuple) -> str:
+    return hashlib.sha256(repr(rendering).encode("utf-8")).hexdigest()
+
+
+def procedure_digest(proc: Procedure) -> str:
+    """PYTHONHASHSEED-stable structural digest of one procedure body."""
+    return _sha(_render(proc))
+
+
+def program_digests(program: Program) -> dict[str, str]:
+    """Per-procedure digests, keyed by procedure name."""
+    return {name: procedure_digest(proc) for name, proc in program.procedures.items()}
+
+
+def cone_digests(
+    program: Program,
+    callgraph: CallGraph | None = None,
+    proc_digests: dict[str, str] | None = None,
+) -> dict[str, str]:
+    """Per-procedure *cone* digests: a hash over the sorted
+    (name, digest) pairs of the procedure's transitive callee set,
+    itself included.  Two programs agree on a procedure's cone digest
+    exactly when the procedure and everything it can reach are
+    structurally identical in both — the soundness condition for
+    replaying its cached fixpoint."""
+    digests = proc_digests if proc_digests is not None else program_digests(program)
+    graph = callgraph if callgraph is not None else CallGraph(program)
+    cones: dict[str, str] = {}
+    for name in program.procedures:
+        members = sorted(graph.callee_cone(name))
+        cones[name] = _sha(("cone", tuple((m, digests[m]) for m in members)))
+    return cones
+
+
+@dataclass(frozen=True)
+class ProgramDiff:
+    """What changed between two digest maps, cone-expanded for the new
+    program.  Used for `incr.*` reporting; invalidation itself is
+    implicit in the cone-digest store keys."""
+
+    changed: tuple[str, ...]  # digests differ, or procedure added/removed
+    cone: tuple[str, ...]  # changed + transitive callers (new program)
+    depth: int  # caller-ward BFS depth of the cone
+    total: int  # procedures in the new program
+    reusable: tuple[str, ...] = field(default=())  # total minus cone
+
+
+def diff_programs(
+    old_digests: dict[str, str],
+    new_program: Program,
+    callgraph: CallGraph | None = None,
+) -> ProgramDiff:
+    graph = callgraph if callgraph is not None else CallGraph(new_program)
+    new_digests = program_digests(new_program)
+    changed = {
+        name
+        for name, digest in new_digests.items()
+        if old_digests.get(name) != digest
+    }
+    changed |= {name for name in old_digests if name not in new_digests}
+    cone: set[str] = set()
+    for name in changed:
+        if name in new_program.procedures:
+            cone |= graph.caller_cone(name)
+    depth = graph.cone_depth(changed & set(new_digests))
+    reusable = tuple(sorted(set(new_digests) - cone))
+    return ProgramDiff(
+        changed=tuple(sorted(changed)),
+        cone=tuple(sorted(cone)),
+        depth=depth,
+        total=len(new_digests),
+        reusable=reusable,
+    )

@@ -174,6 +174,7 @@ METRIC_SCHEMA: dict[str, str] = {
     "serve.jobs.degraded": "counter",
     "serve.workers.spawned": "counter",
     "serve.workers.restarts": "counter",
+    "serve.workers.warmed": "counter",
     "serve.degrade.entered": "counter",
     "serve.degrade.exited": "counter",
     "serve.queue.depth": "gauge",
@@ -197,6 +198,23 @@ METRIC_SCHEMA: dict[str, str] = {
     "store.index.torn": "counter",
     "store.entries": "gauge",
     "store.lookup.seconds": "histogram",
+    # incr.* -- incremental re-analysis (repro.ir.digest +
+    # repro.store.fixpoint).  ``incr.procedures.reused`` counts
+    # procedures whose entire fixpoint table was replayed from a
+    # cone-digest-keyed bundle; ``incr.procedures.invalidated`` counts
+    # procedures that had to be re-analyzed (their callee cone changed,
+    # or their bundle failed validation-on-read).
+    "incr.fixpoint.lookups": "counter",
+    "incr.fixpoint.hits": "counter",
+    "incr.fixpoint.misses": "counter",
+    "incr.fixpoint.writes": "counter",
+    "incr.procedures.reused": "counter",
+    "incr.procedures.invalidated": "counter",
+    "incr.summaries.replayed": "counter",
+    "incr.tables.injected": "counter",
+    "incr.cone.size": "gauge",
+    "incr.cone.depth": "gauge",
+    "incr.table.decode.seconds": "histogram",
 }
 
 #: Legacy ``AnalysisResult.stats`` key -> canonical metric name.

@@ -51,6 +51,17 @@ surviving regression exits nonzero.  CI runs this against the
 committed baselines; ``--compare-out`` writes the comparison JSON it
 uploads as an artifact.
 
+Since the incremental layer landed (schema ``repro-bench-v2``), suite
+runs also measure the ``incr:*`` edit-loop rows: each Table-4 program
+is analyzed from scratch after a deterministic 1-procedure edit, then
+incrementally against a store populated by the unedited base, and the
+row reports the callgraph-cone size/depth of the edit and the fixpoint
+replay hit rate alongside the usual timing arrays -- so the
+``--compare`` gate guards the edit-loop speedup like any other
+benchmark.  Core verdicts between the two configurations must match or
+the harness exits nonzero (``python -m repro incr-smoke`` is the
+full differential gate).
+
 The default output path never overwrites an existing report: when
 ``BENCH_<date>.json`` is taken, ``BENCH_<date>-2.json`` (then ``-3``,
 ...) is used, so re-running on the baseline's date cannot clobber it.
@@ -71,6 +82,8 @@ from repro.perf.cache import EntailmentCache
 __all__ = [
     "main",
     "run_bench",
+    "BENCH_SCHEMA",
+    "INCR_SUITE",
     "QUICK_SUITE",
     "attach_baseline",
     "compare_reports",
@@ -89,6 +102,32 @@ QUICK_SUITE = (
     "list-doubly",
     "entail-stress",
 )
+
+#: The incremental (edit-loop) suite: every Table-4 program is analyzed
+#: from scratch after a 1-procedure edit, then again against a store
+#: populated by the *unedited* base -- the "developer touched one
+#: procedure, re-analyze" workload the roadmap's CI-traffic goal cares
+#: about.  Rows are named ``incr:<program>`` and carry the ordinary
+#: ``uncached_seconds``/``cached_seconds`` arrays so the ``--compare``
+#: regression gate judges them like any other benchmark.
+INCR_SUITE = ("181.mcf", "treeadd", "bisort", "perimeter", "power")
+
+#: Seed for the deterministic 1-procedure edit the incremental rows
+#: measure.  A dead store in the entry procedure: semantics-preserving,
+#: so scratch and warm runs must agree, yet digest-changing, so the
+#: entry procedure's cone genuinely re-analyzes.
+_INCR_EDIT_SEED = 7
+
+#: The bench report schema this harness writes and fully understands.
+#: v2 added the ``incr:*`` rows and their ``incremental`` sections.
+BENCH_SCHEMA = "repro-bench-v2"
+
+_SCHEMA_VERSION = re.compile(r"^repro-bench-v(\d+)$")
+
+
+def _schema_version(report: dict) -> "int | None":
+    match = _SCHEMA_VERSION.match(str(report.get("schema", "")))
+    return int(match.group(1)) if match else None
 
 #: Verdict-fingerprint stat counters: identical between cached and
 #: uncached runs iff the analysis took the same trajectory.  Cache and
@@ -219,6 +258,114 @@ def _store_differential(
     )
 
 
+def _incremental_row(
+    name: str, mode: str, deadline: "float | None", repetitions: int
+) -> dict:
+    """One edit-loop measurement: ``incr:<name>``.
+
+    ``uncached_seconds`` are from-scratch runs of the *edited* program;
+    ``cached_seconds`` are incremental runs of the same edited program
+    against a copy of a store populated by the unedited base -- each
+    repetition gets its own copy of the populated store (a warm run
+    re-exports the edited cone's bundles, and the honest workload is
+    the *first* re-analysis after an edit, not the second).
+
+    ``verdicts_match`` compares **core** verdicts (outcome, failure,
+    attempts): replaying a cached fixpoint legitimately changes the
+    trajectory counters (that is the whole point), never the
+    conclusion -- ``python -m repro incr-smoke`` gates that parity
+    differentially under store faults."""
+    import shutil
+    import tempfile
+
+    from repro.analysis import ShapeAnalysis
+    from repro.benchsuite import TABLE4_PROGRAMS
+    from repro.crucible.generator import edit_program
+    from repro.ir.digest import diff_programs, program_digests
+    from repro.store import SummaryStore
+
+    base = TABLE4_PROGRAMS()[name]
+    edited, edits = edit_program(
+        base, _INCR_EDIT_SEED, target=base.entry, kinds=("dead-store",)
+    )
+    diff = diff_programs(program_digests(base), edited)
+
+    def run(program, store=None):
+        start = time.perf_counter()
+        result = ShapeAnalysis(
+            program,
+            name=f"incr:{name}",
+            mode=mode,
+            deadline_seconds=deadline,
+            store=store,
+        ).run()
+        return result, time.perf_counter() - start
+
+    uncached_seconds = []
+    verdict = core = phases = None
+    matches = True
+    for _ in range(repetitions):
+        result, seconds = run(edited)
+        uncached_seconds.append(round(seconds, 6))
+        this = _core(_verdict(result))
+        if core is None:
+            core, verdict, phases = this, _verdict(result), _phase_seconds(result)
+        elif this != core:
+            matches = False
+
+    populate_dir = tempfile.mkdtemp(prefix=f"repro-bench-incr-{name}-")
+    cached_seconds = []
+    replay_hits = replay_lookups = invalid = 0
+    try:
+        run(base, SummaryStore(populate_dir))
+        for _ in range(repetitions):
+            rep_dir = tempfile.mkdtemp(prefix=f"repro-bench-incr-rep-{name}-")
+            try:
+                shutil.rmtree(rep_dir)
+                shutil.copytree(populate_dir, rep_dir)
+                warm = SummaryStore(rep_dir)
+                result, seconds = run(edited, warm)
+                cached_seconds.append(round(seconds, 6))
+                stats = warm.stats()
+                replay_hits += stats.get("fixpoint_hits", 0)
+                replay_lookups += stats.get("fixpoint_lookups", 0)
+                invalid += stats.get("invalid", 0)
+                if _core(_verdict(result)) != core:
+                    matches = False
+            finally:
+                shutil.rmtree(rep_dir, ignore_errors=True)
+    finally:
+        shutil.rmtree(populate_dir, ignore_errors=True)
+
+    uncached_total, cached_total = sum(uncached_seconds), sum(cached_seconds)
+    return {
+        "name": f"incr:{name}",
+        "verdict": verdict,
+        "verdicts_match": matches,
+        "phase_seconds": phases,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": round(uncached_total / cached_total, 4)
+        if cached_total
+        else None,
+        "incremental": {
+            "edits": list(edits),
+            "changed": list(diff.changed),
+            "cone": list(diff.cone),
+            "cone_size": len(diff.cone),
+            "cone_depth": diff.depth,
+            "procedures": diff.total,
+            "reused": len(diff.reusable),
+            "replay_hits": replay_hits,
+            "replay_lookups": replay_lookups,
+            "replay_hit_rate": round(replay_hits / replay_lookups, 6)
+            if replay_lookups
+            else 0.0,
+            "invalid": invalid,
+        },
+    }
+
+
 def run_bench(
     names: "list[str] | None" = None,
     quick: bool = False,
@@ -231,7 +378,12 @@ def run_bench(
 
     Each benchmark is analyzed ``repetitions`` times without a cache
     and ``repetitions`` times against one shared cache; the shared
-    cache makes repetitions 2..R the warm-path measurement."""
+    cache makes repetitions 2..R the warm-path measurement.
+
+    Suite runs (no explicit *names*) additionally measure the
+    ``incr:*`` edit-loop rows over :data:`INCR_SUITE`; explicit name
+    lists measure exactly what they name."""
+    incremental = names is None
     if names is None:
         if quick:
             names = list(QUICK_SUITE)
@@ -341,9 +493,22 @@ def run_bench(
                 "lemma_differential": lemma_section,
             }
         )
+    incremental_mismatches = []
+    total_incr_scratch = total_incr_warm = 0.0
+    total_replay_hits = total_replay_lookups = 0
+    if incremental:
+        for incr_name in INCR_SUITE:
+            row = _incremental_row(incr_name, mode, deadline, repetitions)
+            if not row["verdicts_match"]:
+                incremental_mismatches.append(row["name"])
+            total_incr_scratch += sum(row["uncached_seconds"])
+            total_incr_warm += sum(row["cached_seconds"])
+            total_replay_hits += row["incremental"]["replay_hits"]
+            total_replay_lookups += row["incremental"]["replay_lookups"]
+            benchmarks.append(row)
     list_total = list_hits + list_misses
     return {
-        "schema": "repro-bench-v1",
+        "schema": BENCH_SCHEMA,
         "date": datetime.date.today().isoformat(),
         "python": sys.version.split()[0],
         "quick": quick,
@@ -366,11 +531,19 @@ def run_bench(
             if total_store_warm
             else None,
             "store_warm_hits": total_store_hits,
+            "incr_scratch_seconds": round(total_incr_scratch, 6),
+            "incr_warm_seconds": round(total_incr_warm, 6),
+            "incr_speedup": round(total_incr_scratch / total_incr_warm, 4)
+            if total_incr_warm
+            else None,
+            "incr_replay_hits": total_replay_hits,
+            "incr_replay_lookups": total_replay_lookups,
         },
         "verdict_mismatches": mismatches,
         "schedule_mismatches": schedule_mismatches,
         "store_mismatches": store_mismatches,
         "lemma_mismatches": lemma_mismatches,
+        "incremental_mismatches": incremental_mismatches,
     }
 
 
@@ -594,7 +767,31 @@ def compare_reports(
     judged under-sampled or unmatched data would be noise itself.
 
     Self-comparison of any report yields zero regressions by
-    construction (every ratio is exactly 1.0)."""
+    construction (every ratio is exactly 1.0).
+
+    Schema skew is *warned about*, never silently absorbed: a baseline
+    written by a newer harness (schema version above
+    :data:`BENCH_SCHEMA`'s) may shape its timing fields differently, so
+    its skipped/missing verdicts could be schema artifacts rather than
+    absent data -- the ``warnings`` list in the returned dict (and in
+    ``--compare-out``) says so explicitly."""
+    warnings = []
+    ours = _schema_version({"schema": BENCH_SCHEMA}) or 0
+    base_version = _schema_version(baseline)
+    if base_version is None:
+        warnings.append(
+            "baseline has no recognizable bench schema "
+            f"(schema={baseline.get('schema')!r}); its timing fields "
+            "may be misread -- treat skipped/missing verdicts as "
+            "schema mismatch, not absent data"
+        )
+    elif base_version > ours:
+        warnings.append(
+            f"baseline was produced by a newer bench schema "
+            f"(v{base_version} > this harness's v{ours}); its timing "
+            "fields may be misread -- treat skipped/missing verdicts "
+            "as schema mismatch, not absent data"
+        )
     base_by_name = {
         b.get("name"): b
         for b in (baseline.get("benchmarks") or [])
@@ -638,6 +835,9 @@ def compare_reports(
         "min_seconds": min_seconds,
         "current_date": current.get("date"),
         "baseline_date": baseline.get("date"),
+        "current_schema": current.get("schema"),
+        "baseline_schema": baseline.get("schema"),
+        "warnings": warnings,
         "benchmarks": rows,
         "regressions": buckets["regression"],
         "improved": buckets["improved"],
@@ -654,6 +854,8 @@ def render_comparison(comparison: dict) -> str:
         f"and > {comparison['min_seconds']}s, per-rep minima, "
         f"min {comparison['min_reps']} reps)"
     ]
+    for warning in comparison.get("warnings", ()):
+        lines.append(f"  warning: {warning}")
     for row in comparison["benchmarks"]:
         parts = [f"  {row['name']:16s} {row['verdict']:10s}"]
         for metric, data in row["metrics"].items():
@@ -682,6 +884,18 @@ def render(report: dict) -> str:
         f"{report['repetitions']} reps)"
     ]
     for bench in report["benchmarks"]:
+        if "incremental" in bench:
+            incr = bench["incremental"]
+            lines.append(
+                f"  {bench['name']:16s} scratch  {sum(bench['uncached_seconds']):7.3f}s"
+                f"  incr   {sum(bench['cached_seconds']):7.3f}s"
+                f"  x{bench['speedup']:<6}"
+                f" cone {incr['cone_size']}/{incr['procedures']}"
+                f" depth {incr['cone_depth']}"
+                f" replay {incr['replay_hits']}/{incr['replay_lookups']}"
+                f"{'' if bench['verdicts_match'] else '  VERDICT MISMATCH'}"
+            )
+            continue
         cache = bench["cache"]
         sched = bench.get("schedule_differential", {})
         store = bench.get("store_differential", {})
@@ -714,6 +928,14 @@ def render(report: dict) -> str:
             f"  warm   {totals['store_warm_seconds']:7.3f}s"
             f"  x{totals['store_speedup']}"
             f" ({totals['store_warm_hits']} warm hit(s))"
+        )
+    if totals.get("incr_warm_seconds"):
+        lines.append(
+            f"  {'INCREMENTAL':16s} scratch  {totals['incr_scratch_seconds']:7.3f}s"
+            f"  incr   {totals['incr_warm_seconds']:7.3f}s"
+            f"  x{totals['incr_speedup']}"
+            f" ({totals['incr_replay_hits']}/{totals['incr_replay_lookups']}"
+            " fixpoint replay(s))"
         )
     baseline = report.get("baseline")
     if baseline:
@@ -853,6 +1075,8 @@ def main(argv: "list[str] | None" = None) -> int:
             threshold=args.compare_threshold,
             min_seconds=args.compare_min_seconds,
         )
+        for warning in comparison["warnings"]:
+            print(f"repro bench: warning: {warning}", file=sys.stderr)
         print(render_comparison(comparison))
         if args.compare_out:
             Path(args.compare_out).write_text(
@@ -885,6 +1109,13 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             "repro bench: lemma synthesis lost a structural pass for: "
             + ", ".join(report["lemma_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if report.get("incremental_mismatches"):
+        print(
+            "repro bench: incremental and from-scratch core verdicts "
+            "differ for: " + ", ".join(report["incremental_mismatches"]),
             file=sys.stderr,
         )
         return 1

@@ -122,8 +122,13 @@ class Client:
         self,
         spec: "JobSpec | dict",
         retry_for: float = 0.0,
+        op: str = "submit",
     ) -> dict:
         """Run one job; the full response (``record`` + ``serve``).
+
+        *op* selects the wire operation: ``"submit"`` (default) or
+        ``"analyze-diff"`` for edit-loop jobs whose spec carries an
+        ``edit`` instruction.
 
         Overload rejections are retried until *retry_for* seconds have
         elapsed, then raised as :class:`OverloadedError`.  Each sleep
@@ -141,7 +146,7 @@ class Client:
         previous_delay = 0.0
         while True:
             response = self.request(
-                {"op": "submit", "spec": spec},
+                {"op": op, "spec": spec},
                 # The socket read blocks for the whole analysis; give
                 # it the job's isolation budget plus retry headroom.
                 timeout=float(spec.get("timeout") or 120.0) * 4 + 120.0,
@@ -233,10 +238,30 @@ def main(argv: "list[str] | None" = None) -> int:
         help="seconds to keep retrying an overloaded server",
     )
     parser.add_argument(
+        "--edit-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze a seeded crucible edit of the benchmark instead "
+        "of the benchmark itself (the analyze-diff op: warm workers "
+        "replay everything outside the edit's callgraph cone)",
+    )
+    parser.add_argument(
+        "--edit-kind",
+        choices=("branch-flip", "dead-store", "stmt-delete", "block-reorder"),
+        default=None,
+        help="restrict the edit to one mutation kind (with --edit-seed)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the full response JSON"
     )
     args = parser.parse_args(argv)
 
+    edit = None
+    if args.edit_seed is not None:
+        edit = {"seed": args.edit_seed}
+        if args.edit_kind:
+            edit["kinds"] = [args.edit_kind]
     spec = JobSpec(
         benchmark=args.benchmark,
         mode=args.mode,
@@ -244,10 +269,15 @@ def main(argv: "list[str] | None" = None) -> int:
         timeout=args.timeout,
         unroll=args.unroll,
         state_budget=args.state_budget,
+        edit=edit,
     )
     client = Client(args.socket)
     try:
-        response = client.submit(spec, retry_for=args.retry_for)
+        response = client.submit(
+            spec,
+            retry_for=args.retry_for,
+            op="analyze-diff" if edit is not None else "submit",
+        )
     except OverloadedError as exc:
         print(f"repro submit: {exc}", file=sys.stderr)
         return 3

@@ -30,6 +30,9 @@ from repro.serve.protocol import JobSpec
 __all__ = ["main", "percentile", "run_load"]
 
 DEFAULT_BENCHMARKS = ("list-build", "list-traverse", "list-reverse")
+#: Edit-loop (``--diff``) defaults: Table-4 programs with enough
+#: procedures that a one-procedure edit leaves a cone worth replaying.
+DIFF_BENCHMARKS = ("treeadd", "bisort", "perimeter", "power")
 
 
 def percentile(values: list, p: float) -> float:
@@ -62,8 +65,16 @@ def run_load(
     jobs_per_client: int = 5,
     timeout: float = 120.0,
     mode: "str | None" = None,
+    diff: bool = False,
 ) -> dict:
-    """Drive the daemon at *socket_path* and return the report dict."""
+    """Drive the daemon at *socket_path* and return the report dict.
+
+    With *diff*, every job is an ``analyze-diff``: the same benchmark
+    names, but each job analyzes a distinct seeded one-procedure
+    dead-store edit, the CI traffic shape the incremental layer exists
+    for -- persistent workers keep the base fixpoint tables warm, so
+    steady-state latency is cone-sized, not program-sized, and the
+    report adds the replay hit rate that proves it."""
     client = Client(socket_path)
     results: list = []
     errors: list = []
@@ -74,14 +85,25 @@ def run_load(
     def one_client(client_index: int) -> None:
         nonlocal rejected, backoff_seconds
         for j in range(jobs_per_client):
-            benchmark = benchmarks[
-                (client_index * jobs_per_client + j) % len(benchmarks)
-            ]
-            spec = JobSpec(benchmark=benchmark, mode=mode, timeout=timeout)
+            sequence = client_index * jobs_per_client + j
+            benchmark = benchmarks[sequence % len(benchmarks)]
+            edit = None
+            if diff:
+                # One distinct edit per job: seeds vary so the service
+                # sees a stream of different diffs against the same
+                # bases, exactly like per-commit CI traffic.
+                edit = {"seed": sequence + 1, "kinds": ["dead-store"]}
+            spec = JobSpec(
+                benchmark=benchmark, mode=mode, timeout=timeout, edit=edit
+            )
             started = time.monotonic()
             while True:
                 try:
-                    response = client.submit(spec, retry_for=0.0)
+                    response = client.submit(
+                        spec,
+                        retry_for=0.0,
+                        op="analyze-diff" if diff else "submit",
+                    )
                     break
                 except OverloadedError as exc:
                     with lock:
@@ -106,6 +128,7 @@ def run_load(
                         "generation": serve.get("generation"),
                         "degraded": serve.get("degraded"),
                         "hit_rate": _hit_rate(stats),
+                        "replayed": stats.get("incr.summaries.replayed", 0),
                     }
                 )
 
@@ -143,6 +166,19 @@ def run_load(
     def mean(values: list) -> "float | None":
         return round(sum(values) / len(values), 4) if values else None
 
+    incremental = None
+    if diff:
+        replayed = [r["replayed"] for r in results]
+        incremental = {
+            "jobs_with_replay": sum(1 for n in replayed if n),
+            "replayed_summaries": sum(replayed),
+            "replay_job_rate": round(
+                sum(1 for n in replayed if n) / len(replayed), 4
+            )
+            if replayed
+            else None,
+        }
+
     return {
         "clients": clients,
         "jobs_per_client": jobs_per_client,
@@ -167,6 +203,8 @@ def run_load(
             "worker_generations_seen": len(seen_workers),
         },
         "degraded_jobs": sum(1 for r in results if r.get("degraded")),
+        "diff": diff,
+        "incremental": incremental,
     }
 
 
@@ -190,6 +228,13 @@ def render_report(report: dict) -> str:
         f"warm hit rate {cache['warm_hit_rate']} "
         f"({cache['worker_generations_seen']} worker generation(s))"
     )
+    if report.get("incremental"):
+        incr = report["incremental"]
+        lines.append(
+            f"  incremental: {incr['jobs_with_replay']} job(s) replayed "
+            f"warm fixpoints ({incr['replayed_summaries']} summaries, "
+            f"replay job rate {incr['replay_job_rate']})"
+        )
     if report["errors"]:
         lines.append(f"  errors: {report['errors']}")
     return "\n".join(lines)
@@ -218,14 +263,24 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--queue", type=int, default=16)
     parser.add_argument("--mode", choices=("strict", "degrade"), default=None)
     parser.add_argument(
-        "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
-        help="comma-separated benchmark names",
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names (default: the quick list "
+        "benchmarks, or the Table-4 diff set with --diff)",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="edit-loop traffic: every job is an analyze-diff with a "
+        "distinct seeded dead-store edit; the report adds fixpoint "
+        "replay rates (the CI-per-commit shape)",
     )
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
+    default_names = DIFF_BENCHMARKS if args.diff else DEFAULT_BENCHMARKS
     benchmarks = tuple(
-        name.strip() for name in args.benchmarks.split(",") if name.strip()
+        name.strip()
+        for name in (args.benchmarks or ",".join(default_names)).split(",")
+        if name.strip()
     )
     daemon = None
     socket_path = args.socket
@@ -255,6 +310,7 @@ def main(argv: "list[str] | None" = None) -> int:
             clients=args.clients,
             jobs_per_client=args.jobs,
             mode=args.mode,
+            diff=args.diff,
         )
         if args.json:
             json.dump(report, sys.stdout, indent=2, sort_keys=True)

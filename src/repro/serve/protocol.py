@@ -8,6 +8,8 @@ a single JSON object terminated by ``\\n``.
 Requests::
 
     {"op": "submit", "spec": {"benchmark": "treeadd", ...}}
+    {"op": "analyze-diff", "spec": {"benchmark": "treeadd",
+                                    "edit": {"seed": 7, ...}, ...}}
     {"op": "status"}
     {"op": "stats"}
     {"op": "shutdown"}
@@ -50,8 +52,12 @@ ERR_OVERLOADED = "overloaded"
 ERR_BAD_REQUEST = "bad-request"
 ERR_SHUTTING_DOWN = "shutting-down"
 
-_VALID_OPS = ("submit", "status", "stats", "shutdown")
+_VALID_OPS = ("submit", "analyze-diff", "status", "stats", "shutdown")
 _VALID_MODES = (None, "strict", "degrade")
+#: Mutation kinds an ``edit`` instruction may name (mirrors
+#: ``repro.crucible.generator.MUTATIONS``; validated here so a typo is
+#: a bad-request at the socket, not a crash record from a worker).
+_VALID_EDIT_KINDS = ("branch-flip", "dead-store", "stmt-delete", "block-reorder")
 
 
 class ProtocolError(ValueError):
@@ -99,6 +105,15 @@ class JobSpec:
     chaos: "dict | None" = None
     #: Span-trace file the worker should write (server-assigned).
     trace: "str | None" = None
+    #: Edit-loop instruction (the ``analyze-diff`` op): analyze a
+    #: seeded 1-procedure crucible mutation of the benchmark instead of
+    #: the benchmark itself -- ``{"seed": 7, "count": 1,
+    #: "target": "build", "kinds": ["dead-store"]}`` (count/target/
+    #: kinds optional).  Persistent workers keep the base program's
+    #: fixpoint tables warm in memory, so only the edit's callgraph
+    #: cone re-analyzes -- this is the job shape the incremental layer
+    #: exists for.
+    edit: "dict | None" = None
 
     def validate(self) -> None:
         if not self.benchmark or not isinstance(self.benchmark, str):
@@ -113,6 +128,25 @@ class JobSpec:
             raise ProtocolError("faults must be a list of fault specs")
         if self.chaos is not None and not isinstance(self.chaos, dict):
             raise ProtocolError("chaos must be a dict")
+        if self.edit is not None:
+            if not isinstance(self.edit, dict):
+                raise ProtocolError("edit must be a dict")
+            if not isinstance(self.edit.get("seed"), int):
+                raise ProtocolError("edit needs an integer seed")
+            count = self.edit.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise ProtocolError("edit count must be a positive integer")
+            target = self.edit.get("target")
+            if target is not None and not isinstance(target, str):
+                raise ProtocolError("edit target must be a procedure name")
+            kinds = self.edit.get("kinds")
+            if kinds is not None:
+                if not isinstance(kinds, list) or not all(
+                    k in _VALID_EDIT_KINDS for k in kinds
+                ):
+                    raise ProtocolError(
+                        f"edit kinds must be drawn from {_VALID_EDIT_KINDS}"
+                    )
 
     def to_dict(self) -> dict:
         return {
@@ -125,6 +159,7 @@ class JobSpec:
             "faults": self.faults,
             "chaos": self.chaos,
             "trace": self.trace,
+            "edit": self.edit,
         }
 
     @classmethod
@@ -142,6 +177,7 @@ class JobSpec:
                 faults=data.get("faults") or [],
                 chaos=data.get("chaos"),
                 trace=data.get("trace"),
+                edit=data.get("edit"),
             )
         except TypeError as exc:
             raise ProtocolError(f"malformed job spec: {exc}") from exc

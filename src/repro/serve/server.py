@@ -266,9 +266,9 @@ class AnalysisServer:
         if op == "shutdown":
             self.shutdown()
             return {"ok": True, "shutdown": True}
-        return self.handle_submit(request)
+        return self.handle_submit(request, op=op)
 
-    def handle_submit(self, request: dict) -> dict:
+    def handle_submit(self, request: dict, op: str = "submit") -> dict:
         if self._shutting_down.is_set():
             return {
                 "ok": False,
@@ -282,6 +282,18 @@ class AnalysisServer:
                 "ok": False,
                 "error": ERR_BAD_REQUEST,
                 "message": str(exc),
+            }
+        # ``analyze-diff`` is submit with an edit instruction required:
+        # the op exists so edit-loop clients fail loudly when they
+        # forget the edit (a plain re-analysis would silently measure
+        # the wrong thing), and so traffic dashboards can tell the two
+        # job shapes apart.
+        if op == "analyze-diff" and spec.edit is None:
+            return {
+                "ok": False,
+                "error": ERR_BAD_REQUEST,
+                "message": "analyze-diff needs spec.edit "
+                '(e.g. {"seed": 7, "kinds": ["dead-store"]})',
             }
         depth = self.pool.queue_depth
         with self._overload_lock:
@@ -550,6 +562,12 @@ def main(argv: "list[str] | None" = None) -> int:
     store_path = None if args.no_store else (
         args.store or os.environ.get("REPRO_STORE")
     )
+    # Register as a live store consumer so ``repro store-gc`` refuses
+    # to evict the pool's warm working set out from under it.
+    if store_path:
+        from repro.store.gc import register_store_pid
+
+        register_store_pid(store_path, role="serve")
     server = AnalysisServer(
         socket_path=args.socket,
         workers=args.workers,
@@ -574,6 +592,10 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         server.serve_forever()
     finally:
+        if store_path:
+            from repro.store.gc import release_store_pid
+
+            release_store_pid(store_path)
         if args.pidfile:
             release_pidfile(args.pidfile)
     print("repro serve: stopped", file=sys.stderr)

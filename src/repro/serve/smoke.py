@@ -29,6 +29,12 @@ robustness contract:
    caches (which check 4 proves must *re-warm*), the store's warmth
    carries *across* the kill -- the generation-1 process reads the
    summaries its dead predecessor persisted.
+7. **fixpoint warm-up fired** -- the supervisor injected the dead
+   generation's last fixpoint-table dump into the replacement
+   (``serve.workers.warmed >= 1``), and the restarted worker's own
+   metrics confirm the injection (``incr.tables.injected >= 1``): the
+   in-memory replay tier, unlike the caches of check 4, must *not*
+   start cold after a kill.
 
 Exit code 0 when every check passes; 1 with the failed checks listed.
 """
@@ -268,6 +274,35 @@ def run_smoke(
                 "jobs (warm tier did not survive the kill)"
             )
 
+    # 7. Fixpoint warm-up: the supervisor must have injected the dead
+    # generation's table into the replacement, and the replacement's
+    # own session metrics must record the injection.  Both ends of the
+    # warm round-trip are asserted, so a supervisor that *sends* a dump
+    # a worker silently rejects still fails the gate.
+    warmed = metrics.get("serve.workers.warmed", 0)
+    if warmed < 1:
+        failures.append(
+            "supervisor never warmed a restarted worker "
+            "(serve.workers.warmed stayed 0)"
+        )
+    else:
+        try:
+            worker_stats = client.stats().get("workers") or []
+        except (OSError, ServerError) as exc:
+            worker_stats = []
+            failures.append(f"stats fetch for warm-up check: {exc}")
+        injected = 0
+        for info in worker_stats:
+            snapshot = info.get("metrics") or {}
+            injected += (snapshot.get("counters") or {}).get(
+                "incr.tables.injected", 0
+            )
+        if worker_stats and injected < 1:
+            failures.append(
+                "no worker reported incr.tables.injected >= 1 -- the "
+                "warm dump was sent but never merged"
+            )
+
     return {
         "jobs": jobs,
         "answered": len(responses),
@@ -275,6 +310,7 @@ def run_smoke(
         "latency_p99_seconds": round(p99, 4),
         "restarts": metrics.get("serve.workers.restarts", 0),
         "retries": metrics.get("serve.jobs.retried", 0),
+        "warmed": warmed,
         "post_restart_jobs": len(restarted),
         "failures": failures,
     }

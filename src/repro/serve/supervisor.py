@@ -297,6 +297,10 @@ class _Slot:
         self.cache_stats: "dict | None" = None
         self.store_stats: "dict | None" = None
         self.metrics_snapshot: "dict | None" = None
+        #: Latest fixpoint-table wire dump the current generation
+        #: shipped.  Deliberately NOT reset on death: it is the
+        #: inheritance a replacement worker is warmed with.
+        self.fixpoint_wire: "dict | None" = None
         #: Telemetry of dead generations, newest last -- the
         #: per-generation cache/store hit-rate history that shows a
         #: restarted worker re-warming.
@@ -310,6 +314,8 @@ class _Slot:
             self.store_stats = response["store"]
         if response.get("metrics") is not None:
             self.metrics_snapshot = response["metrics"]
+        if response.get("fixpoint") is not None:
+            self.fixpoint_wire = response["fixpoint"]
 
     def archive_generation(self) -> None:
         """Move the dying generation's telemetry into the archive."""
@@ -507,11 +513,38 @@ class WorkerPool:
                     worker=slot.index,
                     generation=slot.generation,
                 )
+                self._warm_worker(slot)
                 return slot.handle
             except (WorkerDied, OSError):
+                if slot.handle is not None:
+                    slot.handle.kill()
+                    slot.handle = None
                 slot.consecutive_failures += 1
                 slot.generation += 1
         return None
+
+    def _warm_worker(self, slot: _Slot) -> None:
+        """Inject the slot's last-known fixpoint table into a freshly
+        spawned worker, so a restarted replacement replays the cone
+        math its dead predecessor tabulated instead of starting cold.
+        A worker that dies during warm-up propagates :class:`WorkerDied`
+        to the spawn loop (counted as a failed spawn); a worker that
+        merely rejects the dump (malformed wire) keeps running cold --
+        the dump is best-effort warmth, never load-bearing state."""
+        if slot.fixpoint_wire is None:
+            return
+        ack = slot.handle.request(
+            {"type": "warm", "fixpoint": slot.fixpoint_wire},
+            timeout=SPAWN_TIMEOUT,
+        )
+        injected = ack.get("injected", 0) if ack.get("type") == "warmed" else 0
+        if injected:
+            self._on_event(
+                "serve.workers.warmed",
+                worker=slot.index,
+                generation=slot.generation,
+                injected=injected,
+            )
 
     def _execute(self, slot: _Slot, job: Job) -> None:
         queue_wait = time.monotonic() - job.enqueued_at

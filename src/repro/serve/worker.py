@@ -18,7 +18,10 @@ Wire format (one JSON object per line)::
     -> {"type": "job", "id": 7, "spec": {...JobSpec...}}
     <- {"type": "result", "id": 7, "record": {...RunRecord...},
         "cache": {"hits": 41, ...}, "store": {"hits": 3, ...},
+        "fixpoint": {...FixpointTable.to_wire()...},
         "metrics": {...obs.snapshot of the session so far...}}
+    -> {"type": "warm", "fixpoint": {...a dead predecessor's table...}}
+    <- {"type": "warmed", "injected": 4, "entries": 4}
     -> {"type": "exit"}
 
 The ``store`` field appears only when the worker was started with
@@ -132,7 +135,12 @@ def _build_engine_factory(spec: JobSpec):
 
 
 def _analyze(
-    spec: JobSpec, caches: dict, default_mode: str, store=None, metrics=None
+    spec: JobSpec,
+    caches: dict,
+    default_mode: str,
+    store=None,
+    metrics=None,
+    fixpoint=None,
 ) -> dict:
     """Run one job against the warm caches; always returns a
     RunRecord-shaped dict (``ShapeAnalysis.run`` contains analysis
@@ -149,6 +157,18 @@ def _analyze(
     start = time.perf_counter()
     try:
         program = _resolve_benchmark(spec.benchmark)
+        if spec.edit is not None:
+            from repro.crucible.generator import edit_program
+
+            program, _ = edit_program(
+                program,
+                spec.edit["seed"],
+                count=spec.edit.get("count", 1),
+                target=spec.edit.get("target"),
+                kinds=tuple(spec.edit["kinds"])
+                if spec.edit.get("kinds")
+                else None,
+            )
         result = ShapeAnalysis(
             program,
             name=spec.benchmark,
@@ -162,6 +182,7 @@ def _analyze(
             fold_cache=caches["fold"],
             store=store,
             metrics=metrics,
+            fixpoint_table=fixpoint,
             engine_factory=_build_engine_factory(spec),
         ).run()
     except Exception as exc:
@@ -212,11 +233,20 @@ def main(argv: "list[str] | None" = None) -> int:
 
     from repro import obs
 
+    from repro.store.fixpoint import FixpointTable
+
     caches = {
         "entailment": EntailmentCache(args.cache_size),
         "unfold": EntailmentCache(args.cache_size),
         "fold": IdentityMemo(args.cache_size),
     }
+    #: In-memory fixpoint tier: every successful run exports its
+    #: tabulated summary tables here (cone-digest-keyed, so edit-loop
+    #: jobs replay everything outside the edited cone without touching
+    #: disk), every result line ships its wire dump to the supervisor,
+    #: and a ``warm`` message from the supervisor injects a dead
+    #: predecessor's table into this one.
+    fixpoint = FixpointTable()
     #: Session-cumulative engine metrics: every job's registry merges
     #: in here, and a snapshot rides on every result line so the
     #: supervisor always holds this worker's latest full history.
@@ -249,6 +279,31 @@ def main(argv: "list[str] | None" = None) -> int:
             continue
         if message is None or message.get("type") == "exit":
             return 0
+        if message.get("type") == "warm":
+            # Fixpoint warm-up: the supervisor re-injects the last
+            # table a dead generation of this slot shipped.  The wire
+            # dump earns no trust -- malformed input is contained to a
+            # zero-injection ack, and consumption re-validates every
+            # payload exactly like bytes from disk.
+            try:
+                injected = fixpoint.merge_wire(message.get("fixpoint"))
+            except (ValueError, TypeError) as exc:
+                write_message(
+                    out,
+                    {"type": "warmed", "injected": 0, "error": str(exc)},
+                )
+                continue
+            if injected:
+                session_metrics.inc("incr.tables.injected")
+            write_message(
+                out,
+                {
+                    "type": "warmed",
+                    "injected": injected,
+                    "entries": len(fixpoint),
+                },
+            )
+            continue
         if message.get("type") != "job":
             write_message(
                 out,
@@ -282,7 +337,12 @@ def main(argv: "list[str] | None" = None) -> int:
             continue
         job_metrics = obs.Metrics()
         record = _analyze(
-            spec, caches, args.mode, store=store, metrics=job_metrics
+            spec,
+            caches,
+            args.mode,
+            store=store,
+            metrics=job_metrics,
+            fixpoint=fixpoint,
         )
         session_metrics.merge(job_metrics)
         response = {
@@ -294,6 +354,13 @@ def main(argv: "list[str] | None" = None) -> int:
         }
         if store is not None:
             response["store"] = store.stats()
+        if len(fixpoint):
+            # Ship the warm tier with every result: the supervisor
+            # keeps only the latest dump per slot, and on a restart
+            # injects it into the replacement -- the fixpoint analogue
+            # of the durable store's crash-surviving warmth, without
+            # needing a disk.
+            response["fixpoint"] = fixpoint.to_wire()
         write_message(out, response)
 
 

@@ -312,6 +312,7 @@ def encode_summary(
     unroll: int,
     mode: str,
     schema: int,
+    cone: str = "",
 ) -> "tuple[dict, dict[str, bytes]]":
     """The summary payload plus the predicate blobs it references
     (digest -> bytes), ready for the disk layer.
@@ -351,6 +352,7 @@ def encode_summary(
     payload = {
         "schema": schema,
         "callee": callee,
+        "cone": cone,
         "unroll": unroll,
         "mode": mode,
         "entry": entry_form.key,

@@ -1,0 +1,246 @@
+"""``python -m repro store-gc``: bounded retention for store directories.
+
+The durable store is append-mostly: every new program variant writes
+content-addressed objects, and a CI machine that analyzes every commit
+grows its store without bound.  This module evicts least-recently-used
+objects until the directory fits a byte budget, with two safety rails:
+
+* **Liveness.**  Long-running consumers (the serve pool) register a
+  pidfile under ``<store>/pids/``; the collector refuses to evict while
+  any registered pid is alive unless ``--force`` is given, and reaps
+  pidfiles whose processes are gone.  Evicting under a live server is
+  not a *correctness* hazard (validation-on-read treats a vanished
+  object as a miss), but it silently destroys the warm working set the
+  pool exists to keep.
+* **Atomicity.**  Eviction happens under the store's writer lock, and
+  the index is rewritten with the same tmp-file + ``os.replace``
+  discipline the store itself uses, dropping entries for evicted and
+  already-missing (quarantined) objects -- a reader that races the
+  collector sees either the old index or the new one, never a torn
+  file.
+
+Recency is ``max(atime, mtime)`` per object file; on ``relatime``
+mounts atime is coarse, which only makes the LRU approximate -- never
+unsafe, since any evicted entry is re-derivable by re-analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.store.disk import DiskStore, StoreCorrupt, _FlockGuard
+from repro.store.store import STORE_SCHEMA
+
+__all__ = [
+    "collect",
+    "live_store_pids",
+    "main",
+    "register_store_pid",
+    "release_store_pid",
+]
+
+
+def _pids_dir(store_dir) -> Path:
+    return Path(store_dir) / "pids"
+
+
+def register_store_pid(store_dir, role: str = "serve") -> Path:
+    """Mark this process as a live consumer of *store_dir*.
+
+    Written atomically so a concurrent collector never reads a torn
+    pidfile.  Returns the pidfile path (hand it to
+    :func:`release_store_pid`, and release in a ``finally``)."""
+    pids = _pids_dir(store_dir)
+    pids.mkdir(parents=True, exist_ok=True)
+    path = pids / f"{os.getpid()}.pid"
+    tmp = pids / f"tmp-{os.getpid()}.pid"
+    tmp.write_text(f"{os.getpid()} {role}\n")
+    os.replace(tmp, path)
+    return path
+
+
+def release_store_pid(store_dir) -> None:
+    try:
+        (_pids_dir(store_dir) / f"{os.getpid()}.pid").unlink()
+    except OSError:
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def live_store_pids(store_dir, reap: bool = False) -> "list[int]":
+    """Registered pids whose processes are still alive.  With *reap*,
+    stale pidfiles (dead pid, or unparseable) are removed."""
+    pids = _pids_dir(store_dir)
+    alive = []
+    if not pids.is_dir():
+        return alive
+    for path in sorted(pids.glob("*.pid")):
+        try:
+            pid = int(path.read_text().split()[0])
+        except (OSError, ValueError, IndexError):
+            pid = None
+        if pid is not None and _pid_alive(pid):
+            alive.append(pid)
+        elif reap:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    return alive
+
+
+def _object_files(objects_dir: Path) -> "list[tuple[float, int, Path]]":
+    """(recency, size, path) per object, oldest first."""
+    entries = []
+    for path in objects_dir.glob("*.json"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+    entries.sort()
+    return entries
+
+
+def collect(store_dir, max_bytes: int, force: bool = False) -> dict:
+    """Shrink *store_dir* to at most *max_bytes* of object data.
+
+    Returns a report dict; ``refused`` is True (and nothing was
+    touched) when live consumers are registered and *force* is off."""
+    root = Path(store_dir)
+    report = {
+        "store": str(root),
+        "max_bytes": max_bytes,
+        "live_pids": [],
+        "stale_pidfiles_reaped": 0,
+        "orphans_removed": 0,
+        "bytes_before": 0,
+        "bytes_after": 0,
+        "evicted": 0,
+        "evicted_bytes": 0,
+        "dangling_dropped": 0,
+        "refused": False,
+    }
+    pids_before = len(list(_pids_dir(root).glob("*.pid"))) if _pids_dir(root).is_dir() else 0
+    alive = live_store_pids(root, reap=True)
+    report["stale_pidfiles_reaped"] = pids_before - (
+        len(list(_pids_dir(root).glob("*.pid"))) if _pids_dir(root).is_dir() else 0
+    )
+    report["live_pids"] = alive
+    if alive and not force:
+        report["refused"] = True
+        return report
+
+    disk = DiskStore(root)
+    disk.open(STORE_SCHEMA)  # verifies schema, sweeps tmp-* orphans
+
+    with _FlockGuard(disk.lock_path):
+        disk.refresh()
+        objects = _object_files(disk.objects_dir)
+        total = sum(size for _, size, _ in objects)
+        report["bytes_before"] = total
+        present = {path.name[: -len(".json")] for _, _, path in objects}
+        # Quarantine cleanup: index entries whose object vanished
+        # (validation-on-read unlinks corrupt objects locally; the
+        # on-disk index can still reference them).
+        index = {
+            lookup: digest
+            for lookup, digest in disk._index.items()
+            if digest in present
+        }
+        report["dangling_dropped"] = len(disk._index) - len(index)
+        for recency, size, path in objects:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            report["evicted"] += 1
+            report["evicted_bytes"] += size
+            digest = path.name[: -len(".json")]
+            index = {k: o for k, o in index.items() if o != digest}
+        report["bytes_after"] = total
+        if report["evicted"] or report["dangling_dropped"]:
+            lines = b"".join(
+                json.dumps({"k": k, "o": o}).encode() + b"\n"
+                for k, o in sorted(index.items())
+            )
+            disk._write_file(disk.index_path, lines)
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro store-gc",
+        description="evict least-recently-used store objects down to a "
+        "byte budget (see the module doc for the safety rails)",
+    )
+    parser.add_argument("--store", required=True, metavar="DIR")
+    parser.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="object-data budget; oldest objects are evicted until the "
+        "store fits",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="evict even while registered consumers are alive",
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.max_bytes < 0:
+        print("repro store-gc: --max-bytes must be >= 0", file=sys.stderr)
+        return 2
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"repro store-gc: no store at {root}", file=sys.stderr)
+        return 2
+    try:
+        report = collect(root, args.max_bytes, force=args.force)
+    except StoreCorrupt as exc:
+        print(f"repro store-gc: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif report["refused"]:
+        pass
+    else:
+        print(
+            f"store-gc: {report['bytes_before']} -> {report['bytes_after']} "
+            f"bytes ({report['evicted']} object(s) evicted, "
+            f"{report['dangling_dropped']} dangling index entr(ies) "
+            f"dropped, {report['stale_pidfiles_reaped']} stale pidfile(s) "
+            f"reaped)"
+        )
+    if report["refused"]:
+        print(
+            "store-gc: refusing to evict: live consumer pid(s) "
+            f"{report['live_pids']} registered under {root / 'pids'} "
+            "(re-run with --force to override)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,284 @@
+"""``python -m repro incr-smoke`` -- the incremental re-analysis gate.
+
+Incremental replay is an accelerator with the same soundness obligation
+as the rest of the store: replaying a cached fixpoint table may change
+*how fast* a verdict is reached, never *which* verdict.  This gate
+proves that differentially over seeded (base, edited) program pairs --
+the "developer changed one procedure, re-analyze" workload.  Per seed:
+
+1. derive the pair: ``crucible:<seed>`` plus ``edit:crucible:<seed>@k``
+   (one deterministic crucible mutation -- branch flip, dead store,
+   statement deletion or block reordering);
+2. analyze both programs from scratch (no store) -- the baseline core
+   verdicts.  An edit can push a program into pathological analysis
+   territory (a flipped loop exit, say); pairs whose from-scratch run
+   needs more than half the gate deadline are *skipped*, not compared
+   -- near the deadline cliff, wall-clock verdicts are not
+   deterministic enough to differentiate against;
+3. cold-analyze the *base* program against a shared store, populating
+   per-entry summaries and whole-procedure fixpoint bundles.  Every
+   sixth seed populates in a subprocess SIGKILLed mid-write
+   (``REPRO_STORE_CHAOS=kill@2``) instead;
+4. corrupt what the populate run wrote, rotating through the store
+   fault menu (byte flips, torn writes, stale schemas, torn index
+   tails) -- fixpoint bundles are indexed objects, so they are among
+   the victims;
+5. warm re-run the *base* program (every procedure unchanged, so every
+   corrupt fixpoint bundle is consulted -- the rejection path cannot
+   hide), then the *edited* program (unchanged procedures replay
+   cached tables, the changed cone re-analyzes), both against the
+   damaged store, and require every **core verdict -- outcome,
+   failure, attempts, non-store diagnostic codes -- to be identical
+   to its from-scratch baseline**.
+
+Any divergence exits 1.  The gate additionally requires that the sweep
+replayed cached fixpoints at least once (an incremental path that
+never fires proves nothing), and that each seed whose fault rewrote
+committed data surfaced at least one structured ``store-invalid``
+rejection (corrupt bundles must degrade to a from-scratch cone,
+loudly -- silent acceptance would be unsound, silent crash a
+robustness bug).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.analysis import ShapeAnalysis
+from repro.benchsuite.runner import _resolve_benchmark
+from repro.store.smoke import (
+    FAULT_ROTATION,
+    _MUST_REJECT,
+    _core_verdict,
+    _corrupt,
+    _populate_in_killed_child,
+)
+from repro.store.store import SummaryStore
+
+__all__ = ["main", "pair_names", "run_gate"]
+
+#: Seed offset between a pair's program seed and its edit seed, so the
+#: edit RNG stream never coincides with the generator's.
+_EDIT_SEED_OFFSET = 101
+
+
+def pair_names(seed: int) -> "tuple[str, str]":
+    """The (base, edited) benchmark names for one gate seed."""
+    base = f"crucible:{seed}"
+    return base, f"edit:{base}@{seed + _EDIT_SEED_OFFSET}"
+
+
+def _run(name: str, options: dict, store: "SummaryStore | None") -> dict:
+    program = _resolve_benchmark(name)
+    return ShapeAnalysis(
+        program,
+        name=name,
+        mode=options["mode"],
+        max_unroll=options["unroll"],
+        state_budget=options["state_budget"],
+        deadline_seconds=options["deadline"],
+        store=store,
+    ).run().to_record()
+
+
+def run_gate(
+    store_dir: str,
+    seeds: int = 50,
+    base_seed: int = 1,
+    mode: str = "degrade",
+    unroll: int = 2,
+    state_budget: int = 20000,
+    deadline: float = 20.0,
+) -> dict:
+    """The differential sweep; returns the report dict (``failures``
+    empty iff the gate passed)."""
+    options = {
+        "mode": mode,
+        "unroll": unroll,
+        "state_budget": state_budget,
+        "deadline": deadline,
+    }
+    failures: list[str] = []
+    mismatches: list[dict] = []
+    fault_counts = {kind: 0 for kind in FAULT_ROTATION}
+    skipped: list[str] = []
+    replay_hits = 0
+    replay_lookups = 0
+    total_invalid = 0
+    seeds_checked = 0
+    start = time.perf_counter()
+
+    def diverged(seed: int, kind: str, which: str, scratch: dict, warm: dict):
+        mismatches.append(
+            {
+                "seed": seed,
+                "fault": kind,
+                "program": which,
+                "from_scratch": scratch,
+                "warm": warm,
+            }
+        )
+
+    for index in range(seeds):
+        seed = base_seed + index
+        base, edited = pair_names(seed)
+        kind = FAULT_ROTATION[index % len(FAULT_ROTATION)]
+        fault_counts[kind] += 1
+        try:
+            slow = None
+            for which in (base, edited):
+                clock = time.perf_counter()
+                verdict = _core_verdict(_run(which, options, None))
+                if time.perf_counter() - clock > deadline / 2:
+                    slow = which
+                    break
+                if which == base:
+                    base_scratch = verdict
+                else:
+                    edited_scratch = verdict
+            if slow is not None:
+                skipped.append(
+                    f"seed {seed}: {slow} needed more than {deadline / 2}s "
+                    "from scratch -- too close to the deadline cliff to "
+                    "compare deterministically"
+                )
+                continue
+
+            if kind == "kill":
+                _populate_in_killed_child(base, store_dir, options)
+            else:
+                cold = _core_verdict(_run(base, options, SummaryStore(store_dir)))
+                if cold != base_scratch:
+                    diverged(seed, kind, f"{base} (cold)", base_scratch, cold)
+
+            corrupted = 0
+            if kind in _MUST_REJECT or kind == "torn-index":
+                corrupted = _corrupt(kind, store_dir)
+                if kind in _MUST_REJECT and corrupted == 0:
+                    failures.append(
+                        f"seed {seed}: store empty after the populate run "
+                        f"-- fault {kind} not exercised"
+                    )
+
+            warm_store = SummaryStore(store_dir)
+            warm_base = _core_verdict(_run(base, options, warm_store))
+            incr_edited = _core_verdict(_run(edited, options, warm_store))
+            stats = warm_store.stats()
+            replay_hits += stats.get("fixpoint_hits", 0)
+            replay_lookups += stats.get("fixpoint_lookups", 0)
+            total_invalid += stats["invalid"]
+
+            if warm_base != base_scratch:
+                diverged(seed, kind, base, base_scratch, warm_base)
+            if incr_edited != edited_scratch:
+                diverged(seed, kind, edited, edited_scratch, incr_edited)
+            if kind in _MUST_REJECT and corrupted and stats["invalid"] == 0:
+                failures.append(
+                    f"seed {seed}: fault {kind} corrupted {corrupted} "
+                    "entr(ies) but the warm runs rejected nothing -- "
+                    "validation-on-read failed to notice"
+                )
+            seeds_checked += 1
+        except Exception as exc:  # the gate itself must never crash
+            failures.append(
+                f"seed {seed}: gate crashed ({type(exc).__name__}: {exc}) "
+                "-- incremental replay leaked a failure into the analysis"
+            )
+
+    for miss in mismatches:
+        failures.append(
+            f"seed {miss['seed']} (fault {miss['fault']}, "
+            f"{miss['program']}): core verdict diverged -- from-scratch "
+            f"{miss['from_scratch']} vs warm {miss['warm']}"
+        )
+    if seeds_checked and replay_hits == 0:
+        failures.append(
+            "the sweep never replayed a cached fixpoint table: the "
+            "incremental path never fired, so parity proves nothing"
+        )
+
+    return {
+        "seeds": seeds,
+        "base_seed": base_seed,
+        "seeds_checked": seeds_checked,
+        "skipped": skipped,
+        "faults": fault_counts,
+        "replay_hits": replay_hits,
+        "replay_lookups": replay_lookups,
+        "invalid_rejections": total_invalid,
+        "mismatches": len(mismatches),
+        "failures": failures,
+        "seconds": round(time.perf_counter() - start, 3),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    import argparse
+    import shutil
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="repro incr-smoke",
+        description="incremental re-analysis parity gate (see module doc)",
+    )
+    parser.add_argument("--seeds", type=int, default=50)
+    parser.add_argument("--base-seed", type=int, default=1)
+    parser.add_argument("--mode", choices=("strict", "degrade"), default="degrade")
+    parser.add_argument("--unroll", type=int, default=2)
+    parser.add_argument("--state-budget", type=int, default=20000)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=20.0,
+        metavar="S",
+        help="per-run analysis deadline; pairs needing more than half "
+        "of it from scratch are skipped as nondeterministic (default 20)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: a fresh temp dir, removed after)",
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-incr-smoke-")
+    try:
+        report = run_gate(
+            store_dir,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            mode=args.mode,
+            unroll=args.unroll,
+            state_budget=args.state_budget,
+            deadline=args.deadline,
+        )
+    finally:
+        if not args.store:
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"incr-smoke: {report['seeds_checked']}/{report['seeds']} "
+            f"pairs checked ({len(report['skipped'])} skipped) in "
+            f"{report['seconds']}s, faults {report['faults']}, "
+            f"{report['replay_hits']}/{report['replay_lookups']} fixpoint "
+            f"replay hit(s), {report['invalid_rejections']} store-invalid "
+            f"rejection(s), {report['mismatches']} verdict mismatch(es)"
+        )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"incr-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("incr-smoke: incremental verdicts matched from-scratch under every fault")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,7 +62,13 @@ __all__ = ["STORE_SCHEMA", "StoreHit", "SummaryStore"]
 #: another version are unreachable -- and an entry whose *payload*
 #: claims another version (however it got indexed) is rejected by
 #: validation.
-STORE_SCHEMA = 1
+#:
+#: v2: summary keys/payloads gained the callee-cone digest
+#: (repro.ir.digest), and the ``fixpoint`` object kind was added.  The
+#: cone digest also closes a v1 soundness gap: two *different*
+#: procedures sharing a name and an entry shape (e.g. ``main`` across
+#: crucible seeds) used to collide onto one summary key.
+STORE_SCHEMA = 2
 
 #: Consecutive I/O errors before the store takes itself out of play.
 _MAX_IO_ERRORS = 3
@@ -177,11 +183,13 @@ class SummaryStore:
         *,
         unroll: int,
         mode: str,
+        cone: str = "",
     ) -> str:
         parts = [
             "summary",
             str(STORE_SCHEMA),
             callee,
+            cone,
             str(unroll),
             mode,
             entry_key,
@@ -202,6 +210,7 @@ class SummaryStore:
         *,
         unroll: int = 0,
         mode: str = "strict",
+        cone: str = "",
     ) -> "StoreHit | None":
         """A validated entry for (*callee*, *entry*, *cutpoints*) under
         the given engine configuration, or None.  Never raises.
@@ -218,7 +227,7 @@ class SummaryStore:
         try:
             return self._consult(
                 callee, entry, cutpoints, env, metrics,
-                unroll=unroll, mode=mode,
+                unroll=unroll, mode=mode, cone=cone,
             )
         finally:
             metrics.observe(
@@ -235,6 +244,7 @@ class SummaryStore:
         *,
         unroll: int = 0,
         mode: str = "strict",
+        cone: str = "",
     ) -> "StoreHit | None":
         self.tally("lookups")
         metrics.inc("store.lookups")
@@ -247,7 +257,8 @@ class SummaryStore:
             self._miss(metrics)
             return None
         key = self.lookup_key(
-            callee, entry_form.key, cutpoint_reprs, unroll=unroll, mode=mode
+            callee, entry_form.key, cutpoint_reprs,
+            unroll=unroll, mode=mode, cone=cone,
         )
         try:
             raw = self._disk.get(key)
@@ -271,6 +282,7 @@ class SummaryStore:
                 schema=STORE_SCHEMA,
                 env=env,
                 resolve_blob=self._disk.get_object,
+                cone=cone,
             )
         except InvalidStoreEntry as exc:
             self._reject(callee, metrics, f"{callee}: {exc}")
@@ -313,6 +325,7 @@ class SummaryStore:
         *,
         unroll: int = 0,
         mode: str = "strict",
+        cone: str = "",
     ) -> bool:
         """Persist one tabulated summary.  Never raises; returns True
         when new bytes reached disk."""
@@ -333,6 +346,7 @@ class SummaryStore:
                 unroll=unroll,
                 mode=mode,
                 schema=schema,
+                cone=cone,
             )
         except UntranslatableWitness:
             # A cutpoint outside the entry's canonical form cannot be
@@ -345,6 +359,7 @@ class SummaryStore:
             payload["cutpoints"],
             unroll=unroll,
             mode=mode,
+            cone=cone,
         )
         try:
             for digest, blob in blobs.items():
@@ -357,6 +372,163 @@ class SummaryStore:
         if written:
             self.tally("writes")
             metrics.inc("store.writes")
+        return written
+
+    # ------------------------------------------------------------------
+    # Fixpoint bundles (incremental re-analysis)
+    # ------------------------------------------------------------------
+    #
+    # Whole-procedure summary tables (repro.store.fixpoint) keyed on the
+    # procedure's callee-cone digest.  The store hands back the *raw*
+    # sub-payload list -- the engine validates each sub-payload with the
+    # same validate_summary_payload discipline as per-entry hits, and
+    # degrades the remainder of a bundle to a from-scratch cone on the
+    # first failure.
+
+    def get_blob(self, digest: str) -> bytes:
+        """Checksum-verified object bytes (raises ``StoreCorrupt`` /
+        ``OSError`` / ``KeyError``-family like the disk layer; callers
+        contain)."""
+        return self._disk.get_object(digest)
+
+    def consult_fixpoint(
+        self,
+        procedure: str,
+        cone: str,
+        metrics=_NULL_METRICS,
+        *,
+        unroll: int = 0,
+        mode: str = "strict",
+    ) -> "list[dict] | None":
+        """The raw summary sub-payloads bundled for (*procedure*,
+        *cone*) under the given engine configuration, or None.  Never
+        raises.  Only bundle-level structure is checked here; each
+        sub-payload is validated by the engine at install time."""
+        if not self.enabled:
+            return None
+        from repro.store.fixpoint import fixpoint_key
+
+        self.tally("fixpoint_lookups")
+        self.tally("lookups")
+        metrics.inc("incr.fixpoint.lookups")
+        metrics.inc("store.lookups")
+        key = fixpoint_key(
+            procedure, cone, unroll=unroll, mode=mode, schema=STORE_SCHEMA
+        )
+        try:
+            raw = self._disk.get(key)
+        except StoreCorrupt as exc:
+            self._reject(procedure, metrics, f"{procedure}: fixpoint: {exc}")
+            self.tally("fixpoint_misses")
+            metrics.inc("incr.fixpoint.misses")
+            return None
+        except OSError as exc:
+            self._io_error(
+                procedure, f"{procedure}: fixpoint store read failed: {exc}"
+            )
+            self.tally("fixpoint_misses")
+            metrics.inc("incr.fixpoint.misses")
+            return None
+        if raw is None:
+            self.tally("fixpoint_misses")
+            self.tally("misses")
+            metrics.inc("incr.fixpoint.misses")
+            metrics.inc("store.misses")
+            return None
+        self._io_errors_in_a_row = 0
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            self._reject(
+                procedure, metrics,
+                f"{procedure}: undecodable fixpoint entry: {exc}",
+            )
+            self.tally("fixpoint_misses")
+            metrics.inc("incr.fixpoint.misses")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "fixpoint"
+            or payload.get("schema") != STORE_SCHEMA
+            or payload.get("procedure") != procedure
+            or payload.get("cone") != cone
+            or payload.get("unroll") != unroll
+            or payload.get("mode") != mode
+            or not isinstance(payload.get("summaries"), list)
+        ):
+            self._reject(
+                procedure, metrics,
+                f"{procedure}: fixpoint entry does not match its lookup key",
+            )
+            self.tally("fixpoint_misses")
+            metrics.inc("incr.fixpoint.misses")
+            return None
+        self.tally("fixpoint_hits")
+        self.tally("hits")
+        metrics.inc("incr.fixpoint.hits")
+        metrics.inc("store.hits")
+        return list(payload["summaries"])
+
+    def record_fixpoint(
+        self,
+        procedure: str,
+        cone: str,
+        summaries,
+        env,
+        metrics=_NULL_METRICS,
+        *,
+        unroll: int = 0,
+        mode: str = "strict",
+    ) -> bool:
+        """Persist a procedure's full summary table as one bundle,
+        unioned with whatever bundle already sits under the key (other
+        runs of the identical cone may have tabulated entry shapes this
+        run never saw).  Never raises; returns True when new bytes
+        reached disk."""
+        if not self.enabled:
+            return False
+        from repro.store.fixpoint import (
+            encode_fixpoint,
+            fixpoint_key,
+            merge_fixpoint_payloads,
+        )
+
+        if self.chaos is not None:
+            self.chaos.begin_write()
+        schema = STORE_SCHEMA
+        if self.chaos is not None and self.chaos("schema"):
+            schema = STORE_SCHEMA + 1
+        payload, blobs = encode_fixpoint(
+            procedure, cone, summaries, env,
+            unroll=unroll, mode=mode, schema=schema,
+        )
+        if payload is None:
+            return False
+        key = fixpoint_key(
+            procedure, cone, unroll=unroll, mode=mode, schema=STORE_SCHEMA
+        )
+        try:
+            existing = self._disk.get(key)
+        except (StoreCorrupt, OSError):
+            existing = None  # quarantined or unreadable: start fresh
+        if existing is not None:
+            try:
+                payload = merge_fixpoint_payloads(payload, json.loads(existing))
+            except ValueError:
+                pass
+        try:
+            for digest, blob in blobs.items():
+                self._disk.put_object(blob, digest)
+            written = self._disk.put(key, payload_bytes(payload))
+        except OSError as exc:
+            self._io_error(
+                procedure, f"{procedure}: fixpoint store write failed: {exc}"
+            )
+            return False
+        self._io_errors_in_a_row = 0
+        if written:
+            self.tally("fixpoint_writes")
+            metrics.inc("incr.fixpoint.writes")
         return written
 
     # ------------------------------------------------------------------

@@ -75,6 +75,7 @@ def validate_summary_payload(
     schema: int,
     env: PredicateEnv,
     resolve_blob,
+    cone: str = "",
 ) -> ValidatedEntry:
     """Run every check in the module docstring over *payload*.
 
@@ -89,10 +90,14 @@ def validate_summary_payload(
         raise InvalidStoreEntry(
             f"stale schema {payload.get('schema')!r} (expected {schema})"
         )
-    # The lookup digest covers callee + entry key, so a mismatch here
-    # means a digest collision or a mis-indexed object -- reject.
+    # The lookup digest covers callee + cone + entry key, so a mismatch
+    # here means a digest collision or a mis-indexed object -- reject.
     if payload.get("callee") != callee or payload.get("entry") != entry_key:
         raise InvalidStoreEntry("payload does not match its lookup key")
+    if payload.get("cone", "") != cone:
+        raise InvalidStoreEntry(
+            "payload's callee-cone digest does not match this program"
+        )
 
     try:
         entry_state, entry_roots = decode_state(entry_key)

@@ -1,0 +1,215 @@
+"""Property tests for the structural digests behind incremental
+re-analysis (:mod:`repro.ir.digest`).
+
+The invalidation layer is only sound if the digests are (a) stable
+across processes and hash seeds, (b) invariant under the renamings and
+reorderings that do not change meaning, and (c) sensitive to every
+semantic edit the crucible can make.  Each property here is one of
+those obligations.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.benchsuite.runner import _resolve_benchmark
+from repro.crucible.generator import MUTATIONS, edit_program
+from repro.ir import (
+    NULL,
+    Assign,
+    Branch,
+    Cond,
+    Goto,
+    Procedure,
+    Program,
+    Register,
+    Return,
+    Store,
+)
+from repro.ir.callgraph import CallGraph
+from repro.ir.digest import (
+    cone_digests,
+    diff_programs,
+    procedure_digest,
+    program_digests,
+)
+
+BENCHMARKS = ("treeadd", "bisort", "power")
+
+
+def _named_proc(name, param, tmp, label):
+    """One procedure whose register and label *names* are parameters:
+    structurally identical instances must digest identically."""
+    proc = Procedure(
+        name=name,
+        params=(Register(param),),
+        instrs=[
+            Assign(Register(tmp), Register(param)),
+            Branch(Cond("eq", Register(tmp), NULL), label),
+            Store(Register(tmp), "next", NULL),
+            Goto(label),
+        ],
+        labels={label: 3},
+    )
+    proc.validate()
+    return proc
+
+
+# ----------------------------------------------------------------------
+# Stability
+# ----------------------------------------------------------------------
+class TestStability:
+    def test_digests_survive_hash_seed_changes(self):
+        """The whole point: digests computed in separate interpreters
+        with different PYTHONHASHSEEDs are byte-identical, so a store
+        written by one CI run is readable by every later one."""
+        script = (
+            "import json, sys\n"
+            "from repro.benchsuite.runner import _resolve_benchmark\n"
+            "from repro.ir.digest import cone_digests, program_digests\n"
+            "out = {}\n"
+            "for name in %r:\n"
+            "    program = _resolve_benchmark(name)\n"
+            "    out[name] = [program_digests(program),"
+            " cone_digests(program)]\n"
+            "json.dump(out, sys.stdout, sort_keys=True)\n" % (BENCHMARKS,)
+        )
+        dumps = []
+        for seed in ("0", "1", "3141"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (
+                    os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH"),
+                ) if p
+            )
+            dumps.append(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                ).stdout
+            )
+        assert dumps[0] == dumps[1] == dumps[2]
+        json.loads(dumps[0])  # and it is well-formed
+
+    def test_repeated_in_process_digests_agree(self):
+        for name in BENCHMARKS:
+            program = _resolve_benchmark(name)
+            assert program_digests(program) == program_digests(program)
+
+
+# ----------------------------------------------------------------------
+# Invariance
+# ----------------------------------------------------------------------
+class TestInvariance:
+    def test_register_and_label_renaming(self):
+        a = _named_proc("f", "x", "t", "done")
+        b = _named_proc("f", "ptr", "scratch", "epilogue")
+        assert procedure_digest(a) == procedure_digest(b)
+
+    def test_procedure_name_is_part_of_the_digest(self):
+        # The *body* is alpha-canonical but the name is not: two
+        # identical bodies under different names are different
+        # procedures to the callgraph and must not share cache keys.
+        a = _named_proc("f", "x", "t", "done")
+        b = _named_proc("g", "x", "t", "done")
+        assert procedure_digest(a) != procedure_digest(b)
+
+    def test_procedure_reordering_in_the_program(self):
+        for name in BENCHMARKS:
+            program = _resolve_benchmark(name)
+            reordered = Program(
+                procedures={
+                    n: program.procedures[n]
+                    for n in sorted(program.procedures, reverse=True)
+                },
+                globals=program.globals,
+                entry=program.entry,
+            )
+            assert program_digests(program) == program_digests(reordered)
+            assert cone_digests(program) == cone_digests(reordered)
+
+
+# ----------------------------------------------------------------------
+# Sensitivity
+# ----------------------------------------------------------------------
+class TestSensitivity:
+    @pytest.mark.parametrize("kind", [name for name, _ in MUTATIONS])
+    def test_every_mutation_kind_changes_a_digest(self, kind):
+        """Each crucible edit kind must flip at least one procedure
+        digest on at least one benchmark/seed -- an edit the digest
+        cannot see is an unsound cache hit waiting to happen."""
+        flipped = False
+        for name in BENCHMARKS:
+            program = _resolve_benchmark(name)
+            base = program_digests(program)
+            for seed in range(1, 6):
+                edited, notes = edit_program(program, seed, kinds=(kind,))
+                if not notes:
+                    continue
+                if program_digests(edited) != base:
+                    flipped = True
+        assert flipped, f"{kind} never changed any digest"
+
+    def test_edit_invalidates_caller_cones_only(self):
+        """Editing one procedure flips the cone digests of exactly its
+        caller cone; everything outside keeps its key (and therefore
+        its cached fixpoint)."""
+        program = _resolve_benchmark("treeadd")
+        graph = CallGraph(program)
+        base_cones = cone_digests(program)
+        for victim in program.procedures:
+            edited, notes = edit_program(
+                program, 7, target=victim, kinds=("dead-store",)
+            )
+            if not notes:
+                continue
+            edited_cones = cone_digests(edited)
+            callers = graph.caller_cone(victim)
+            for name in program.procedures:
+                if name in callers:
+                    assert edited_cones[name] != base_cones[name], (
+                        f"{name} calls {victim} but kept its cone digest"
+                    )
+                else:
+                    assert edited_cones[name] == base_cones[name], (
+                        f"{name} does not reach {victim} yet its cone "
+                        "digest changed"
+                    )
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+class TestDiffPrograms:
+    def test_identical_program_diffs_empty(self):
+        program = _resolve_benchmark("bisort")
+        diff = diff_programs(program_digests(program), program)
+        assert diff.changed == ()
+        assert diff.cone == ()
+        assert diff.depth == 0
+        assert set(diff.reusable) == set(program.procedures)
+
+    def test_cone_and_reusable_partition_the_program(self):
+        program = _resolve_benchmark("perimeter")
+        edited, notes = edit_program(program, 7, kinds=("dead-store",))
+        assert notes
+        diff = diff_programs(program_digests(program), edited)
+        cone, reusable = set(diff.cone), set(diff.reusable)
+        assert cone | reusable == set(edited.procedures)
+        assert not cone & reusable
+        assert set(diff.changed) <= cone
+        assert diff.total == len(edited.procedures)
+
+    def test_removed_procedure_counts_as_changed(self):
+        program = _resolve_benchmark("treeadd")
+        digests = program_digests(program)
+        ghost = dict(digests, vanished="0" * 64)
+        diff = diff_programs(ghost, program)
+        assert "vanished" in diff.changed

@@ -281,7 +281,7 @@ class TestBenchHarness:
         code = bench.main(["list-build", "--reps", "2", "--out", str(out)])
         assert code == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-bench-v1"
+        assert report["schema"] == bench.BENCH_SCHEMA
         assert report["verdict_mismatches"] == []
         (entry,) = report["benchmarks"]
         assert entry["name"] == "list-build"

@@ -32,10 +32,12 @@ from repro.store.codec import (
 from repro.store.store import STORE_SCHEMA
 
 
-def _run(name="list-build", store=None, mode="degrade", unroll=2):
+def _run(name="list-build", store=None, mode="degrade", unroll=2,
+         incremental=True):
     program = _resolve_benchmark(name)
     return ShapeAnalysis(
-        program, name=name, mode=mode, max_unroll=unroll, store=store
+        program, name=name, mode=mode, max_unroll=unroll, store=store,
+        enable_incremental=incremental,
     ).run()
 
 
@@ -272,23 +274,27 @@ class TestSummaryStoreEndToEnd:
         "kind", ["torn-write", "checksum-flip", "stale-schema"]
     )
     def test_corrupted_entry_degrades_to_miss_and_heals(self, tmp_path, kind):
-        baseline = _core(_run())
+        # Incremental replay is off throughout: the chaos spec fires on
+        # the first per-entry record, and this test pins the *per-entry*
+        # validation-on-read path (a warm fixpoint bundle would answer
+        # the program without ever reading the damaged object).
+        baseline = _core(_run(incremental=False))
         cold_store = SummaryStore(
             tmp_path, chaos=StoreChaos([StoreFaultSpec(kind, 1)])
         )
-        cold = _run(store=cold_store)
+        cold = _run(store=cold_store, incremental=False)
         assert cold_store.chaos.fired == [(kind, 1)]
         assert _core(cold) == baseline
 
         warm_store = SummaryStore(tmp_path)
-        warm = _run(store=warm_store)
+        warm = _run(store=warm_store, incremental=False)
         assert _core(warm) == baseline
         stats = warm_store.stats()
         assert stats["invalid"] >= 1  # the damage was *seen*, not believed
         assert _store_invalid_count(warm) >= 1  # ... and surfaced
 
         healed_store = SummaryStore(tmp_path)
-        healed = _run(store=healed_store)
+        healed = _run(store=healed_store, incremental=False)
         assert _core(healed) == baseline
         stats = healed_store.stats()
         assert stats["invalid"] == 0  # the warm run re-recorded
@@ -297,8 +303,11 @@ class TestSummaryStoreEndToEnd:
     def test_tampered_payload_rejected_by_validation(self, tmp_path):
         """Valid checksum, wrong content: a payload re-addressed under
         another run's lookup key must fail the callee/entry check."""
-        baseline = _core(_run())
-        _run(store=SummaryStore(tmp_path))
+        # Per-entry path under test (incremental replay would answer
+        # from the fixpoint bundle, whose nested sub-payloads this
+        # tamper does not reach).
+        baseline = _core(_run(incremental=False))
+        _run(store=SummaryStore(tmp_path), incremental=False)
         disk = DiskStore(tmp_path)
         disk.open(STORE_SCHEMA)
         for lookup, digest in list(disk._index.items()):
@@ -308,7 +317,7 @@ class TestSummaryStoreEndToEnd:
             payload["callee"] = "somebody_else"
             disk.put(lookup, payload_bytes(payload))
         warm_store = SummaryStore(tmp_path)
-        warm = _run(store=warm_store)
+        warm = _run(store=warm_store, incremental=False)
         assert _core(warm) == baseline
         assert warm_store.stats()["invalid"] >= 1
         assert _store_invalid_count(warm) >= 1
@@ -399,3 +408,83 @@ class TestIOContainment:
         store.consult("f", AbstractState(), [], env)
         assert store.enabled
         assert store.stats()["io_errors"] == 1
+
+
+# ----------------------------------------------------------------------
+# store-gc: bounded retention
+# ----------------------------------------------------------------------
+class TestStoreGC:
+    def _populate(self, tmp_path):
+        _run(store=SummaryStore(tmp_path))
+        disk = DiskStore(tmp_path)
+        disk.open(STORE_SCHEMA)
+        return sum(
+            p.stat().st_size for p in disk.objects_dir.glob("*.json")
+        )
+
+    def test_collect_evicts_down_to_budget(self, tmp_path):
+        from repro.store.gc import collect
+
+        total = self._populate(tmp_path)
+        assert total > 0
+        budget = total // 2
+        report = collect(tmp_path, budget)
+        assert not report["refused"]
+        assert report["evicted"] > 0
+        assert report["bytes_after"] <= budget
+        # The shrunken store still works: evicted entries are plain
+        # misses, survivors still answer, and re-analysis heals.
+        assert _core(_run(store=SummaryStore(tmp_path))) == _core(_run())
+
+    def test_collect_within_budget_is_a_noop(self, tmp_path):
+        from repro.store.gc import collect
+
+        total = self._populate(tmp_path)
+        report = collect(tmp_path, total + 1)
+        assert report["evicted"] == 0
+        assert report["bytes_after"] == total
+
+    def test_live_pid_refuses_without_force(self, tmp_path):
+        from repro.store.gc import (
+            collect,
+            register_store_pid,
+            release_store_pid,
+        )
+
+        self._populate(tmp_path)
+        register_store_pid(tmp_path)
+        try:
+            report = collect(tmp_path, 0)
+            assert report["refused"]
+            assert report["evicted"] == 0
+            forced = collect(tmp_path, 0, force=True)
+            assert not forced["refused"]
+            assert forced["evicted"] > 0
+        finally:
+            release_store_pid(tmp_path)
+
+    def test_stale_pidfile_is_reaped(self, tmp_path):
+        from repro.store.gc import collect
+
+        self._populate(tmp_path)
+        pids = tmp_path / "pids"
+        pids.mkdir()
+        (pids / "999999999.pid").write_text("999999999 serve\n")
+        (pids / "junk.pid").write_text("not-a-pid\n")
+        report = collect(tmp_path, 0)
+        assert not report["refused"]
+        assert report["stale_pidfiles_reaped"] == 2
+
+    def test_dangling_index_entries_are_dropped(self, tmp_path):
+        from repro.store.gc import collect
+
+        total = self._populate(tmp_path)
+        disk = DiskStore(tmp_path)
+        disk.open(STORE_SCHEMA)
+        victim = next(iter(disk._index.values()))
+        (disk.objects_dir / f"{victim}.json").unlink()
+        report = collect(tmp_path, total)
+        assert report["dangling_dropped"] > 0
+        fresh = DiskStore(tmp_path)
+        fresh.open(STORE_SCHEMA)
+        assert victim not in fresh._index.values()
